@@ -1,0 +1,76 @@
+// Feature screening with the all-pairs MI primitive: rank every feature's
+// dependence on a chosen target variable, and build a Chow–Liu tree from the
+// same MI matrix — two downstream consumers of one phase-1 pass (paper §III:
+// "a parallel and efficient tool to help reduce the search space of other
+// structure learning algorithms").
+//
+//   ./mi_screening --target 0 --samples 150000 --threads 4
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/all_pairs_mi.hpp"
+#include "core/wait_free_builder.hpp"
+#include "bn/repository.hpp"
+#include "bn/sampling.hpp"
+#include "learn/chow_liu.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wfbn;
+
+  CliParser cli("mi_screening — rank features by MI against a target");
+  cli.add_option("network", "child", "Repository network supplying the data");
+  cli.add_option("target", "1", "Target variable index");
+  cli.add_option("samples", "150000", "Training samples");
+  cli.add_option("threads", "4", "Worker threads");
+  cli.add_option("seed", "5", "Sampling seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  RepositoryNetwork which = RepositoryNetwork::kChild;
+  for (const RepositoryNetwork candidate : all_repository_networks()) {
+    if (repository_network_name(candidate) == cli.get("network")) {
+      which = candidate;
+    }
+  }
+  const BayesianNetwork network = load_network(which);
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const auto target = static_cast<std::size_t>(cli.get_int("target"));
+  const Dataset data = forward_sample(
+      network, samples, static_cast<std::uint64_t>(cli.get_int("seed")),
+      threads);
+
+  WaitFreeBuilderOptions build_options;
+  build_options.threads = threads;
+  WaitFreeBuilder builder(build_options);
+  const PotentialTable table = builder.build(data);
+
+  AllPairsMi all_pairs(AllPairsOptions{threads, AllPairsStrategy::kFused});
+  const MiMatrix mi = all_pairs.compute(table);
+  std::printf("all-pairs MI over %zu variables: %.1f ms (%llu pairs)\n",
+              data.variable_count(), all_pairs.stats().total_seconds * 1e3,
+              static_cast<unsigned long long>(all_pairs.stats().pair_count));
+
+  // --- screening report for the target variable.
+  std::vector<std::pair<double, std::size_t>> ranking;
+  for (std::size_t v = 0; v < data.variable_count(); ++v) {
+    if (v != target) ranking.emplace_back(mi.at(target, v), v);
+  }
+  std::sort(ranking.rbegin(), ranking.rend());
+  std::printf("\ntop features by I(%s; ·):\n", network.name(target).c_str());
+  for (std::size_t k = 0; k < std::min<std::size_t>(8, ranking.size()); ++k) {
+    std::printf("  %-16s %.5f nats\n", network.name(ranking[k].second).c_str(),
+                ranking[k].first);
+  }
+
+  // --- Chow–Liu tree from the same matrix.
+  const ChowLiuResult tree = chow_liu_tree(mi, /*min_mi=*/1e-4);
+  std::printf("\nChow–Liu tree: %zu edges, total MI %.4f nats\n",
+              tree.tree.edge_count(), tree.total_mi);
+  for (const Edge& e : tree.rooted.edges()) {
+    std::printf("  %s -> %s\n", network.name(e.from).c_str(),
+                network.name(e.to).c_str());
+  }
+  return 0;
+}

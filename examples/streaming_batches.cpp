@@ -1,0 +1,69 @@
+// Streaming ingestion: training data arrives in batches, each folded into
+// the same potential table with WaitFreeBuilder::append (the two-stage
+// wait-free kernel over the existing partitions). After every batch, the
+// drafting statistics are recomputed from the growing table — watch the MI
+// estimates converge to their large-sample values.
+//
+//   ./streaming_batches --batches 8 --batch-size 25000 --threads 4
+#include <cstdio>
+
+#include "core/all_pairs_mi.hpp"
+#include "core/wait_free_builder.hpp"
+#include "data/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wfbn;
+
+  CliParser cli("streaming_batches — incremental wait-free table updates");
+  cli.add_option("batches", "8", "Number of arriving batches");
+  cli.add_option("batch-size", "25000", "Observations per batch");
+  cli.add_option("variables", "10", "Binary variables");
+  cli.add_option("threads", "4", "Worker threads (= table partitions)");
+  cli.add_option("copy", "0.8", "Chain copy probability");
+  cli.add_option("seed", "21", "Base seed (batch b uses seed+b)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto batches = static_cast<std::size_t>(cli.get_int("batches"));
+  const auto batch_size = static_cast<std::size_t>(cli.get_int("batch-size"));
+  const auto n = static_cast<std::size_t>(cli.get_int("variables"));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const double copy = cli.get_double("copy");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  WaitFreeBuilderOptions options;
+  options.threads = threads;
+  WaitFreeBuilder builder(options);
+  AllPairsMi all_pairs(AllPairsOptions{threads, AllPairsStrategy::kFused});
+
+  std::printf("streaming %zu batches of %zu rows (n=%zu, chain copy=%.2f)\n\n",
+              batches, batch_size, n, copy);
+  TablePrinter table({"batch", "total m", "distinct keys", "I(X0;X1)",
+                      "I(X0;X2)", "foreign keys routed"});
+
+  // First batch builds the table; the rest are appended in place.
+  PotentialTable potential =
+      builder.build(generate_chain_correlated(batch_size, n, 2, copy, seed));
+  for (std::size_t b = 1; b <= batches; ++b) {
+    if (b > 1) {
+      const Dataset batch =
+          generate_chain_correlated(batch_size, n, 2, copy, seed + b);
+      builder.append(batch, potential);
+    }
+    const MiMatrix mi = all_pairs.compute(potential);
+    table.add_row({std::to_string(b),
+                   std::to_string(potential.sample_count()),
+                   std::to_string(potential.distinct_keys()),
+                   TablePrinter::fmt(mi.at(0, 1), 4),
+                   TablePrinter::fmt(mi.at(0, 2), 4),
+                   TablePrinter::fmt(builder.stats().total_foreign_pushes())});
+  }
+  table.print("MI convergence as batches accumulate");
+
+  std::printf(
+      "\nExpected: I(X0;X1) > I(X0;X2) throughout (direct vs two-hop chain\n"
+      "dependence), both stabilizing as m grows; every batch is folded with\n"
+      "the same two-stage wait-free kernel (zero locks).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Wide-key pipeline: phase 1 on networks whose joint state space exceeds the
+// paper's 64-bit key limit (Eq. 3 needs ∏ r_j to fit one integer — 63 binary
+// variables). The two-word codec lifts that to 2^126 while keeping the same
+// wait-free two-stage construction and O(1)-per-variable decoding.
+//
+//   ./wide_scale --variables 100 --samples 200000 --threads 4
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/wide_builder.hpp"
+#include "data/generators.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wfbn;
+
+  CliParser cli("wide_scale — phase 1 beyond the 64-bit key limit");
+  cli.add_option("variables", "100", "Binary variables (64-bit keys cap at 63)");
+  cli.add_option("samples", "200000", "Training samples");
+  cli.add_option("threads", "4", "Worker threads");
+  cli.add_option("copy", "0.8", "Chain copy probability (dependence strength)");
+  cli.add_option("seed", "33", "Workload seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("variables"));
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+
+  std::printf("chain-correlated data: m=%zu, n=%zu binary variables", samples, n);
+  std::printf(" (joint state space 2^%zu)\n", n);
+  const Dataset data = generate_chain_correlated(
+      samples, n, 2, cli.get_double("copy"),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  Timer timer;
+  WideBuilderOptions options;
+  options.threads = threads;
+  WideWaitFreeBuilder builder(options);
+  const WidePotentialTable table = builder.build(data);
+  std::printf("wide wait-free construction: %.1f ms, %zu distinct state strings\n",
+              timer.milliseconds(), table.distinct_keys());
+
+  timer.reset();
+  const MiMatrix mi = wide_all_pairs_mi(table, threads);
+  std::printf("all-pairs MI over %zu pairs: %.1f ms\n", n * (n - 1) / 2,
+              timer.milliseconds());
+
+  // Drafting-phase quality check: the true chain edges should top the list.
+  const auto candidates = mi.pairs_above(0.01);
+  std::size_t adjacent_hits = 0;
+  const std::size_t top = std::min<std::size_t>(n - 1, candidates.size());
+  for (std::size_t k = 0; k < top; ++k) {
+    if (candidates[k].j == candidates[k].i + 1) ++adjacent_hits;
+  }
+  std::printf(
+      "top-%zu candidate edges: %zu/%zu are true chain adjacencies "
+      "(I(X_i;X_{i+1}) dominates)\n",
+      top, adjacent_hits, top);
+
+  // Cross-word sanity: variables on opposite sides of the 63-variable word
+  // boundary still interact correctly.
+  if (n > 64) {
+    std::printf("word-boundary pair I(X62;X63) = %.4f nats (adjacent, high); "
+                "I(X62;X%zu) = %.4f nats (distant, low)\n",
+                mi.at(62, 63), n - 1, mi.at(62, n - 1));
+  }
+  return 0;
+}

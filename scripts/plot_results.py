@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Plot the figure-reproduction benches' CSV output.
+
+Usage:
+    build/bench/fig3_table_construction --csv > fig3.txt
+    scripts/plot_results.py fig3.txt -o fig3.png
+
+Parses the `-- CSV (...) --` blocks the benches emit with --csv and renders
+runtime (log-log) and speedup panels side by side, one line per series —
+the same presentation as the paper's figures. Requires matplotlib (optional
+dependency; everything else in this repository is plain C++).
+"""
+
+import argparse
+import collections
+import re
+import sys
+
+
+def parse_csv_blocks(path):
+    """Returns {block_title: [(series, cores, value), ...]}."""
+    blocks = {}
+    title = None
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            header = re.match(r"^-- CSV \((.+)\) --$", line)
+            if header:
+                title = header.group(1)
+                blocks[title] = []
+                continue
+            if title is None or not line:
+                continue
+            parts = line.split(",")
+            if len(parts) != 3 or parts[1] in ("cores",):
+                continue
+            try:
+                blocks[title].append((parts[0], int(parts[1]), float(parts[2])))
+            except ValueError:
+                continue  # header row
+    return {k: v for k, v in blocks.items() if v}
+
+
+def series_of(rows):
+    grouped = collections.OrderedDict()
+    for name, cores, value in rows:
+        grouped.setdefault(name, []).append((cores, value))
+    return grouped
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", help="bench output captured with --csv")
+    parser.add_argument("-o", "--output", default="figure.png")
+    parser.add_argument("--title", default=None)
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    blocks = parse_csv_blocks(args.input)
+    if not blocks:
+        sys.exit(f"no '-- CSV (...) --' blocks found in {args.input}; "
+                 "re-run the bench with --csv")
+
+    runtime_blocks = {k: v for k, v in blocks.items() if "runtime" in k}
+    speedup_blocks = {k: v for k, v in blocks.items() if "speedup" in k}
+    panels = []
+    for k, v in runtime_blocks.items():
+        panels.append((k, v, "runtime [ms]", True))
+    for k, v in speedup_blocks.items():
+        panels.append((k, v, "speedup ×", False))
+    if not panels:
+        panels = [(k, v, "value", False) for k, v in blocks.items()]
+
+    fig, axes = plt.subplots(1, len(panels), figsize=(6 * len(panels), 4.5))
+    if len(panels) == 1:
+        axes = [axes]
+    for axis, (name, rows, ylabel, log_y) in zip(axes, panels):
+        for series, points in series_of(rows).items():
+            points.sort()
+            xs = [p[0] for p in points]
+            ys = [p[1] for p in points]
+            style = "--" if "tbb" in series or "lock" in series else "-"
+            axis.plot(xs, ys, style, marker="o", label=series)
+        axis.set_xscale("log", base=2)
+        if log_y:
+            axis.set_yscale("log")
+        axis.set_xlabel("cores")
+        axis.set_ylabel(ylabel)
+        axis.set_title(name, fontsize=9)
+        axis.grid(True, which="both", alpha=0.3)
+        axis.legend(fontsize=7)
+    if args.title:
+        fig.suptitle(args.title)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output} ({len(panels)} panel(s))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#include "bn/cpt.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+namespace {
+std::size_t config_product(const std::vector<std::uint32_t>& cards) {
+  std::size_t configs = 1;
+  for (const std::uint32_t r : cards) {
+    WFBN_EXPECT(r >= 1, "parent cardinality must be >= 1");
+    configs *= r;
+    WFBN_EXPECT(configs <= (1u << 24), "CPT parent configuration space too large");
+  }
+  return configs;
+}
+
+/// Gamma(shape, 1) sampler (Marsaglia–Tsang for shape >= 1, boost for < 1).
+double sample_gamma(double shape, Xoshiro256& rng) {
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+    const double u = rng.uniform01();
+    return sample_gamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    // Standard normal via Box–Muller.
+    const double u1 = rng.uniform01();
+    const double u2 = rng.uniform01();
+    const double x =
+        std::sqrt(-2.0 * std::log(u1 + 1e-300)) * std::cos(6.283185307179586 * u2);
+    const double v = std::pow(1.0 + c * x, 3);
+    if (v <= 0.0) continue;
+    const double u = rng.uniform01();
+    if (std::log(u + 1e-300) < 0.5 * x * x + d - d * v + d * std::log(v)) {
+      return d * v;
+    }
+  }
+}
+}  // namespace
+
+Cpt::Cpt(std::uint32_t cardinality, std::vector<std::uint32_t> parent_cardinalities)
+    : cardinality_(cardinality),
+      parent_cardinalities_(std::move(parent_cardinalities)),
+      configs_(config_product(parent_cardinalities_)) {
+  WFBN_EXPECT(cardinality_ >= 1, "cardinality must be >= 1");
+  table_.assign(configs_ * cardinality_, 1.0 / cardinality_);
+}
+
+Cpt Cpt::from_probabilities(std::uint32_t cardinality,
+                            std::vector<std::uint32_t> parent_cardinalities,
+                            std::vector<double> probabilities) {
+  Cpt cpt(cardinality, std::move(parent_cardinalities));
+  if (probabilities.size() != cpt.table_.size()) {
+    throw DataError("CPT probability vector has wrong size");
+  }
+  cpt.table_ = std::move(probabilities);
+  if (!cpt.is_normalized()) {
+    throw DataError("CPT columns must be non-negative and sum to 1");
+  }
+  return cpt;
+}
+
+Cpt Cpt::random(std::uint32_t cardinality,
+                std::vector<std::uint32_t> parent_cardinalities, Xoshiro256& rng,
+                double alpha) {
+  WFBN_EXPECT(alpha > 0.0, "Dirichlet concentration must be positive");
+  Cpt cpt(cardinality, std::move(parent_cardinalities));
+  for (std::size_t config = 0; config < cpt.configs_; ++config) {
+    double sum = 0.0;
+    for (std::uint32_t s = 0; s < cardinality; ++s) {
+      const double g = sample_gamma(alpha, rng);
+      cpt.table_[config * cardinality + s] = g;
+      sum += g;
+    }
+    // Dirichlet draw = normalized independent gammas; guard the (measure-
+    // zero) all-zeros corner by falling back to uniform.
+    if (sum <= 0.0) {
+      for (std::uint32_t s = 0; s < cardinality; ++s) {
+        cpt.table_[config * cardinality + s] = 1.0 / cardinality;
+      }
+    } else {
+      for (std::uint32_t s = 0; s < cardinality; ++s) {
+        cpt.table_[config * cardinality + s] /= sum;
+      }
+    }
+  }
+  return cpt;
+}
+
+std::size_t Cpt::config_index(std::span<const State> parent_states) const {
+  WFBN_EXPECT(parent_states.size() == parent_cardinalities_.size(),
+              "parent state count mismatch");
+  std::size_t index = 0;
+  std::size_t stride = 1;
+  for (std::size_t i = 0; i < parent_states.size(); ++i) {
+    WFBN_EXPECT(parent_states[i] < parent_cardinalities_[i],
+                "parent state out of range");
+    index += parent_states[i] * stride;
+    stride *= parent_cardinalities_[i];
+  }
+  return index;
+}
+
+State Cpt::sample(std::size_t parent_config, Xoshiro256& rng) const {
+  WFBN_EXPECT(parent_config < configs_, "parent config out of range");
+  const double u = rng.uniform01();
+  double cumulative = 0.0;
+  const double* column = table_.data() + parent_config * cardinality_;
+  for (std::uint32_t s = 0; s + 1 < cardinality_; ++s) {
+    cumulative += column[s];
+    if (u < cumulative) return static_cast<State>(s);
+  }
+  return static_cast<State>(cardinality_ - 1);
+}
+
+bool Cpt::is_normalized() const noexcept {
+  for (std::size_t config = 0; config < configs_; ++config) {
+    double sum = 0.0;
+    for (std::uint32_t s = 0; s < cardinality_; ++s) {
+      const double p = table_[config * cardinality_ + s];
+      if (p < 0.0 || p > 1.0 + 1e-9 || !std::isfinite(p)) return false;
+      sum += p;
+    }
+    if (std::fabs(sum - 1.0) > 1e-6) return false;
+  }
+  return true;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,67 @@
+// Conditional probability tables P(X | parents(X)) for discrete variables.
+//
+// Layout: probabilities are stored per parent configuration, child state
+// fastest: cell = state + cardinality * parent_config, where parent_config is
+// the mixed-radix index of the parent states in parent-list order (first
+// parent fastest) — the same convention as KeyCodec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "table/key_codec.hpp"
+#include "util/rng.hpp"
+
+namespace wfbn {
+
+class Cpt {
+ public:
+  /// A CPT for a variable with `cardinality` states and parents of the given
+  /// cardinalities, initialized to uniform distributions.
+  Cpt(std::uint32_t cardinality, std::vector<std::uint32_t> parent_cardinalities);
+
+  /// Builds from explicit probabilities (size = cardinality * #configs; each
+  /// config's column must sum to 1 within 1e-6). Throws DataError otherwise.
+  static Cpt from_probabilities(std::uint32_t cardinality,
+                                std::vector<std::uint32_t> parent_cardinalities,
+                                std::vector<double> probabilities);
+
+  /// Random CPT: each parent configuration's distribution is drawn from a
+  /// symmetric Dirichlet(alpha). Small alpha (e.g. 0.5) gives skewed,
+  /// information-rich distributions — good for structure-recovery tests.
+  static Cpt random(std::uint32_t cardinality,
+                    std::vector<std::uint32_t> parent_cardinalities,
+                    Xoshiro256& rng, double alpha = 0.5);
+
+  [[nodiscard]] std::uint32_t cardinality() const noexcept { return cardinality_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& parent_cardinalities()
+      const noexcept {
+    return parent_cardinalities_;
+  }
+  [[nodiscard]] std::size_t config_count() const noexcept { return configs_; }
+
+  /// Mixed-radix index of a parent-state assignment (first parent fastest).
+  [[nodiscard]] std::size_t config_index(std::span<const State> parent_states) const;
+
+  [[nodiscard]] double probability(State state, std::size_t parent_config) const {
+    return table_[parent_config * cardinality_ + state];
+  }
+
+  /// Samples a state given the parent configuration.
+  [[nodiscard]] State sample(std::size_t parent_config, Xoshiro256& rng) const;
+
+  /// Every configuration's distribution sums to 1 (±1e-6) and is
+  /// non-negative.
+  [[nodiscard]] bool is_normalized() const noexcept;
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return table_; }
+
+ private:
+  std::uint32_t cardinality_;
+  std::vector<std::uint32_t> parent_cardinalities_;
+  std::size_t configs_;
+  std::vector<double> table_;
+};
+
+}  // namespace wfbn

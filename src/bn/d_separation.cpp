@@ -1,0 +1,105 @@
+#include "bn/d_separation.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+std::vector<bool> active_trail_nodes(const Dag& dag, NodeId source,
+                                     const std::vector<bool>& z) {
+  const std::size_t n = dag.node_count();
+  WFBN_EXPECT(source < n, "source out of range");
+  WFBN_EXPECT(z.size() == n, "evidence indicator has wrong size");
+  WFBN_EXPECT(!z[source], "source must not be observed");
+
+  // Phase I: mark Z and all its ancestors (nodes whose descendants include
+  // observed evidence activate v-structures).
+  std::vector<bool> ancestor_of_z = z;
+  {
+    std::deque<NodeId> frontier;
+    for (NodeId v = 0; v < n; ++v) {
+      if (z[v]) frontier.push_back(v);
+    }
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      for (const NodeId parent : dag.parents(v)) {
+        if (!ancestor_of_z[parent]) {
+          ancestor_of_z[parent] = true;
+          frontier.push_back(parent);
+        }
+      }
+    }
+  }
+
+  // Phase II: BFS over (node, direction) states. kUp = the trail reached the
+  // node from one of its children; kDown = from one of its parents.
+  enum Direction { kUp = 0, kDown = 1 };
+  std::vector<bool> visited(n * 2, false);
+  std::vector<bool> reachable(n, false);
+  std::deque<std::pair<NodeId, Direction>> frontier;
+
+  auto visit = [&](NodeId v, Direction d) {
+    const std::size_t slot = v * 2 + static_cast<std::size_t>(d);
+    if (!visited[slot]) {
+      visited[slot] = true;
+      frontier.emplace_back(v, d);
+    }
+  };
+
+  visit(source, kUp);
+  while (!frontier.empty()) {
+    const auto [v, dir] = frontier.front();
+    frontier.pop_front();
+    if (!z[v]) reachable[v] = true;
+
+    if (dir == kUp) {
+      if (!z[v]) {
+        for (const NodeId parent : dag.parents(v)) visit(parent, kUp);
+        for (const NodeId child : dag.children(v)) visit(child, kDown);
+      }
+    } else {  // kDown: arrived from a parent
+      if (!z[v]) {
+        for (const NodeId child : dag.children(v)) visit(child, kDown);
+      }
+      if (ancestor_of_z[v]) {
+        // v-structure v (or an ancestor-of-evidence collider): the trail may
+        // turn around and go back up.
+        for (const NodeId parent : dag.parents(v)) visit(parent, kUp);
+      }
+    }
+  }
+  return reachable;
+}
+
+bool d_separated(const Dag& dag, const std::vector<NodeId>& x,
+                 const std::vector<NodeId>& y, const std::vector<NodeId>& z) {
+  WFBN_EXPECT(!x.empty() && !y.empty(), "X and Y must be non-empty");
+  std::vector<bool> evidence(dag.node_count(), false);
+  for (const NodeId v : z) {
+    WFBN_EXPECT(v < dag.node_count(), "evidence node out of range");
+    evidence[v] = true;
+  }
+  for (const NodeId v : x) {
+    WFBN_EXPECT(!evidence[v], "X intersects Z");
+    WFBN_EXPECT(std::find(y.begin(), y.end(), v) == y.end(), "X intersects Y");
+  }
+  for (const NodeId v : y) WFBN_EXPECT(!evidence[v], "Y intersects Z");
+
+  for (const NodeId source : x) {
+    const std::vector<bool> reach = active_trail_nodes(dag, source, evidence);
+    for (const NodeId target : y) {
+      if (reach[target]) return false;
+    }
+  }
+  return true;
+}
+
+bool d_separated(const Dag& dag, NodeId x, NodeId y,
+                 const std::vector<NodeId>& z) {
+  return d_separated(dag, std::vector<NodeId>{x}, std::vector<NodeId>{y}, z);
+}
+
+}  // namespace wfbn

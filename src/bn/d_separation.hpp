@@ -1,0 +1,30 @@
+// d-separation queries on a DAG (paper §II-A: active paths / influence flow).
+//
+// Implements the linear-time "reachable" procedure (Koller & Friedman 2009,
+// Alg. 3.1): BFS over (node, travel-direction) states after marking the
+// ancestors of the conditioning set. Used by the tests to define ground-truth
+// independencies and by the thinning phase to validate learned structures.
+#pragma once
+
+#include <vector>
+
+#include "bn/dag.hpp"
+
+namespace wfbn {
+
+/// Nodes reachable from `source` via an active trail given evidence `z`
+/// (indicator vector, z[v] = true ⇔ v observed). source itself is included.
+[[nodiscard]] std::vector<bool> active_trail_nodes(const Dag& dag, NodeId source,
+                                                   const std::vector<bool>& z);
+
+/// True iff X ⟂ Y | Z in the graph (no active trail from any x∈X to any y∈Y).
+/// X, Y must be disjoint from each other and from Z.
+[[nodiscard]] bool d_separated(const Dag& dag, const std::vector<NodeId>& x,
+                               const std::vector<NodeId>& y,
+                               const std::vector<NodeId>& z);
+
+/// Convenience single-pair form.
+[[nodiscard]] bool d_separated(const Dag& dag, NodeId x, NodeId y,
+                               const std::vector<NodeId>& z);
+
+}  // namespace wfbn

@@ -1,0 +1,255 @@
+#include "bn/dag.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+namespace {
+void check_pair(std::size_t n, NodeId u, NodeId v) {
+  WFBN_EXPECT(u < n && v < n, "node id out of range");
+  WFBN_EXPECT(u != v, "self-loops are not allowed");
+}
+
+bool contains(const std::vector<NodeId>& list, NodeId v) {
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+void erase_value(std::vector<NodeId>& list, NodeId v) {
+  list.erase(std::remove(list.begin(), list.end(), v), list.end());
+}
+}  // namespace
+
+Dag::Dag(std::size_t node_count)
+    : parents_(node_count), children_(node_count) {}
+
+bool Dag::has_edge(NodeId u, NodeId v) const {
+  check_pair(node_count(), u, v);
+  return contains(children_[u], v);
+}
+
+bool Dag::reachable(NodeId from, NodeId to) const {
+  if (from == to) return true;
+  std::vector<bool> seen(node_count(), false);
+  std::deque<NodeId> frontier{from};
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const NodeId child : children_[v]) {
+      if (child == to) return true;
+      if (!seen[child]) {
+        seen[child] = true;
+        frontier.push_back(child);
+      }
+    }
+  }
+  return false;
+}
+
+bool Dag::would_create_cycle(NodeId u, NodeId v) const {
+  check_pair(node_count(), u, v);
+  // u → v closes a cycle iff v already reaches u.
+  return reachable(v, u);
+}
+
+bool Dag::add_edge(NodeId u, NodeId v) {
+  check_pair(node_count(), u, v);
+  if (contains(children_[u], v) || would_create_cycle(u, v)) return false;
+  children_[u].push_back(v);
+  parents_[v].push_back(u);
+  ++edge_count_;
+  return true;
+}
+
+bool Dag::remove_edge(NodeId u, NodeId v) {
+  check_pair(node_count(), u, v);
+  if (!contains(children_[u], v)) return false;
+  erase_value(children_[u], v);
+  erase_value(parents_[v], u);
+  --edge_count_;
+  return true;
+}
+
+std::vector<Edge> Dag::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const NodeId v : children_[u]) out.push_back(Edge{u, v});
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+  });
+  return out;
+}
+
+std::vector<NodeId> Dag::topological_order() const {
+  std::vector<std::size_t> in_degree(node_count());
+  for (NodeId v = 0; v < node_count(); ++v) in_degree[v] = parents_[v].size();
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (in_degree[v] == 0) ready.push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(node_count());
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const NodeId child : children_[v]) {
+      if (--in_degree[child] == 0) ready.push_back(child);
+    }
+  }
+  WFBN_EXPECT(order.size() == node_count(),
+              "DAG invariant violated — graph has a cycle");
+  return order;
+}
+
+std::vector<bool> Dag::ancestors_of(const std::vector<NodeId>& seeds) const {
+  std::vector<bool> result(node_count(), false);
+  std::deque<NodeId> frontier;
+  for (const NodeId s : seeds) {
+    WFBN_EXPECT(s < node_count(), "seed node out of range");
+    frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const NodeId parent : parents_[v]) {
+      if (!result[parent]) {
+        result[parent] = true;
+        frontier.push_back(parent);
+      }
+    }
+  }
+  return result;
+}
+
+UndirectedGraph Dag::skeleton() const {
+  UndirectedGraph g(node_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const NodeId v : children_[u]) g.add_edge(u, v);
+  }
+  return g;
+}
+
+UndirectedGraph::UndirectedGraph(std::size_t node_count)
+    : adjacency_(node_count) {}
+
+bool UndirectedGraph::add_edge(NodeId u, NodeId v) {
+  check_pair(node_count(), u, v);
+  if (contains(adjacency_[u], v)) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edge_count_;
+  return true;
+}
+
+bool UndirectedGraph::remove_edge(NodeId u, NodeId v) {
+  check_pair(node_count(), u, v);
+  if (!contains(adjacency_[u], v)) return false;
+  erase_value(adjacency_[u], v);
+  erase_value(adjacency_[v], u);
+  --edge_count_;
+  return true;
+}
+
+bool UndirectedGraph::has_edge(NodeId u, NodeId v) const {
+  check_pair(node_count(), u, v);
+  return contains(adjacency_[u], v);
+}
+
+std::vector<Edge> UndirectedGraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const NodeId v : adjacency_[u]) {
+      if (u < v) out.push_back(Edge{u, v});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+  });
+  return out;
+}
+
+bool UndirectedGraph::has_path(NodeId u, NodeId v,
+                               const std::vector<bool>* blocked) const {
+  check_pair(node_count(), u, v);
+  if (has_edge(u, v)) return true;
+  std::vector<bool> seen(node_count(), false);
+  std::deque<NodeId> frontier{u};
+  seen[u] = true;
+  while (!frontier.empty()) {
+    const NodeId w = frontier.front();
+    frontier.pop_front();
+    for (const NodeId next : adjacency_[w]) {
+      if (next == v) return true;
+      if (seen[next]) continue;
+      if (blocked != nullptr && (*blocked)[next]) continue;
+      seen[next] = true;
+      frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::vector<bool> UndirectedGraph::reach_avoiding(NodeId start,
+                                                  NodeId forbidden) const {
+  std::vector<bool> seen(node_count(), false);
+  std::deque<NodeId> frontier{start};
+  seen[start] = true;
+  while (!frontier.empty()) {
+    const NodeId w = frontier.front();
+    frontier.pop_front();
+    for (const NodeId next : adjacency_[w]) {
+      if (next == forbidden || seen[next]) continue;
+      seen[next] = true;
+      frontier.push_back(next);
+    }
+  }
+  return seen;
+}
+
+std::vector<NodeId> UndirectedGraph::nodes_on_paths(NodeId u, NodeId v) const {
+  check_pair(node_count(), u, v);
+  // w is on a simple u–v path iff w reaches u avoiding v AND reaches v
+  // avoiding u. (For graphs this is a slight over-approximation of simple-
+  // path membership, but it is the standard cut-set search space: every true
+  // separator is contained in it.)
+  const std::vector<bool> from_u = reach_avoiding(u, v);
+  const std::vector<bool> from_v = reach_avoiding(v, u);
+  std::vector<NodeId> out;
+  for (NodeId w = 0; w < node_count(); ++w) {
+    if (w != u && w != v && from_u[w] && from_v[w]) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<std::size_t> UndirectedGraph::components() const {
+  constexpr std::size_t kUnset = ~std::size_t{0};
+  std::vector<std::size_t> label(node_count(), kUnset);
+  std::size_t next_label = 0;
+  for (NodeId root = 0; root < node_count(); ++root) {
+    if (label[root] != kUnset) continue;
+    label[root] = next_label;
+    std::deque<NodeId> frontier{root};
+    while (!frontier.empty()) {
+      const NodeId w = frontier.front();
+      frontier.pop_front();
+      for (const NodeId next : adjacency_[w]) {
+        if (label[next] == kUnset) {
+          label[next] = next_label;
+          frontier.push_back(next);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,114 @@
+// Graph substrate for Bayesian networks and the structure learner:
+// a directed acyclic graph with cycle protection, plus the undirected graph
+// the constraint-based learner manipulates (draft skeletons are undirected;
+// Cheng's phases reason about undirected paths and cut-sets).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace wfbn {
+
+using NodeId = std::size_t;
+
+struct Edge {
+  NodeId from;
+  NodeId to;
+  [[nodiscard]] bool operator==(const Edge&) const = default;
+};
+
+/// Directed acyclic graph over nodes 0..n-1. add_edge refuses cycles, so the
+/// acyclicity invariant always holds.
+class Dag {
+ public:
+  explicit Dag(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return parents_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Adds u → v. Returns false (and leaves the graph unchanged) if the edge
+  /// already exists or would create a cycle. Throws on out-of-range nodes or
+  /// self-loops.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes u → v; returns false if absent.
+  bool remove_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+  [[nodiscard]] bool would_create_cycle(NodeId u, NodeId v) const;
+
+  [[nodiscard]] const std::vector<NodeId>& parents(NodeId v) const {
+    return parents_[v];
+  }
+  [[nodiscard]] const std::vector<NodeId>& children(NodeId v) const {
+    return children_[v];
+  }
+
+  /// All edges in (from, to) lexicographic order.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Topological order (parents before children). The graph is acyclic by
+  /// construction, so this always succeeds.
+  [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+  /// All ancestors of the nodes in `seeds` (excluding the seeds themselves
+  /// unless reachable via a longer path).
+  [[nodiscard]] std::vector<bool> ancestors_of(const std::vector<NodeId>& seeds) const;
+
+  /// The undirected skeleton (edge directions dropped).
+  [[nodiscard]] class UndirectedGraph skeleton() const;
+
+ private:
+  [[nodiscard]] bool reachable(NodeId from, NodeId to) const;
+
+  std::vector<std::vector<NodeId>> parents_;
+  std::vector<std::vector<NodeId>> children_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Simple undirected graph over nodes 0..n-1 (adjacency lists, no multi-edges).
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Returns false if the edge already exists. Throws on out-of-range or
+  /// self-loop.
+  bool add_edge(NodeId u, NodeId v);
+  bool remove_edge(NodeId u, NodeId v);
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const {
+    return adjacency_[v];
+  }
+
+  /// Undirected edges as (min, max) pairs in lexicographic order.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Is there a path u ⇝ v? `blocked` nodes (if any) may not be traversed
+  /// (u and v themselves are always allowed).
+  [[nodiscard]] bool has_path(NodeId u, NodeId v,
+                              const std::vector<bool>* blocked = nullptr) const;
+
+  /// Nodes that lie on at least one simple path between u and v, excluding u
+  /// and v — the search space for Cheng's cut-sets. A node w qualifies iff w
+  /// reaches u without passing v and reaches v without passing u.
+  [[nodiscard]] std::vector<NodeId> nodes_on_paths(NodeId u, NodeId v) const;
+
+  /// Connected component label per node (labels are 0-based, ordered by
+  /// smallest member).
+  [[nodiscard]] std::vector<std::size_t> components() const;
+
+ private:
+  /// All nodes reachable from `start` without traversing `forbidden`.
+  [[nodiscard]] std::vector<bool> reach_avoiding(NodeId start, NodeId forbidden) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace wfbn

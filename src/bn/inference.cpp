@@ -1,0 +1,307 @@
+#include "bn/inference.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+Factor::Factor(std::vector<std::size_t> variables,
+               std::vector<std::uint32_t> cardinalities)
+    : variables_(std::move(variables)), cardinalities_(std::move(cardinalities)) {
+  WFBN_EXPECT(variables_.size() == cardinalities_.size(),
+              "factor shape mismatch");
+  std::size_t cells = 1;
+  for (const std::uint32_t r : cardinalities_) {
+    WFBN_EXPECT(r >= 1, "cardinality must be >= 1");
+    cells *= r;
+    WFBN_EXPECT(cells <= (1u << 26), "factor too large — elimination blow-up");
+  }
+  values_.assign(cells, 0.0);
+}
+
+std::size_t Factor::position_of(std::size_t variable) const {
+  const auto it = std::find(variables_.begin(), variables_.end(), variable);
+  WFBN_EXPECT(it != variables_.end(), "variable not in factor scope");
+  return static_cast<std::size_t>(it - variables_.begin());
+}
+
+Factor Factor::multiply(const Factor& other) const {
+  // Result scope: this factor's variables, then other's new ones.
+  std::vector<std::size_t> vars = variables_;
+  std::vector<std::uint32_t> cards = cardinalities_;
+  for (std::size_t i = 0; i < other.variables_.size(); ++i) {
+    if (std::find(vars.begin(), vars.end(), other.variables_[i]) == vars.end()) {
+      vars.push_back(other.variables_[i]);
+      cards.push_back(other.cardinalities_[i]);
+    }
+  }
+  Factor result(vars, cards);
+
+  // Per result variable: its stride in each operand (0 when absent).
+  const std::size_t k = vars.size();
+  std::vector<std::size_t> stride_a(k, 0);
+  std::vector<std::size_t> stride_b(k, 0);
+  {
+    std::size_t s = 1;
+    for (std::size_t i = 0; i < variables_.size(); ++i) {
+      const auto pos = static_cast<std::size_t>(
+          std::find(vars.begin(), vars.end(), variables_[i]) - vars.begin());
+      stride_a[pos] = s;
+      s *= cardinalities_[i];
+    }
+    s = 1;
+    for (std::size_t i = 0; i < other.variables_.size(); ++i) {
+      const auto pos = static_cast<std::size_t>(
+          std::find(vars.begin(), vars.end(), other.variables_[i]) - vars.begin());
+      stride_b[pos] = s;
+      s *= other.cardinalities_[i];
+    }
+  }
+
+  // Odometer walk over the result cells.
+  std::vector<std::uint32_t> assignment(k, 0);
+  std::size_t index_a = 0;
+  std::size_t index_b = 0;
+  for (std::size_t cell = 0; cell < result.values_.size(); ++cell) {
+    result.values_[cell] = values_[index_a] * other.values_[index_b];
+    for (std::size_t d = 0; d < k; ++d) {
+      if (++assignment[d] < result.cardinalities_[d]) {
+        index_a += stride_a[d];
+        index_b += stride_b[d];
+        break;
+      }
+      assignment[d] = 0;
+      index_a -= stride_a[d] * (result.cardinalities_[d] - 1);
+      index_b -= stride_b[d] * (result.cardinalities_[d] - 1);
+    }
+  }
+  return result;
+}
+
+Factor Factor::sum_out(std::size_t variable) const {
+  const std::size_t pos = position_of(variable);
+  std::vector<std::size_t> vars;
+  std::vector<std::uint32_t> cards;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (i != pos) {
+      vars.push_back(variables_[i]);
+      cards.push_back(cardinalities_[i]);
+    }
+  }
+  if (vars.empty()) {
+    // Scalar result: keep a 1-cell factor over a dummy empty scope by
+    // returning a factor with one pseudo-variable of cardinality 1.
+    Factor scalar({}, {});
+    scalar.values_.assign(1, total());
+    return scalar;
+  }
+  Factor result(vars, cards);
+
+  std::size_t inner_stride = 1;
+  for (std::size_t i = 0; i < pos; ++i) inner_stride *= cardinalities_[i];
+  const std::uint32_t r = cardinalities_[pos];
+  const std::size_t outer_stride = inner_stride * r;
+
+  for (std::size_t cell = 0; cell < values_.size(); ++cell) {
+    const std::size_t inner = cell % inner_stride;
+    const std::size_t outer = cell / outer_stride;
+    const std::size_t target = outer * inner_stride + inner;
+    result.values_[target] += values_[cell];
+  }
+  return result;
+}
+
+Factor Factor::restrict_to(std::size_t variable, State state) const {
+  const std::size_t pos = position_of(variable);
+  WFBN_EXPECT(state < cardinalities_[pos], "state out of range");
+  std::vector<std::size_t> vars;
+  std::vector<std::uint32_t> cards;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (i != pos) {
+      vars.push_back(variables_[i]);
+      cards.push_back(cardinalities_[i]);
+    }
+  }
+  if (vars.empty()) {
+    Factor scalar({}, {});
+    scalar.values_.assign(1, values_[state]);
+    return scalar;
+  }
+  Factor result(vars, cards);
+
+  std::size_t inner_stride = 1;
+  for (std::size_t i = 0; i < pos; ++i) inner_stride *= cardinalities_[i];
+  const std::uint32_t r = cardinalities_[pos];
+  for (std::size_t target = 0; target < result.values_.size(); ++target) {
+    const std::size_t inner = target % inner_stride;
+    const std::size_t outer = target / inner_stride;
+    result.values_[target] =
+        values_[outer * inner_stride * r + state * inner_stride + inner];
+  }
+  return result;
+}
+
+double Factor::total() const noexcept {
+  double sum = 0.0;
+  for (const double v : values_) sum += v;
+  return sum;
+}
+
+Factor cpt_factor(const BayesianNetwork& network, NodeId v) {
+  std::vector<std::size_t> vars{v};
+  std::vector<std::uint32_t> cards{network.cardinality(v)};
+  for (const NodeId parent : network.dag().parents(v)) {
+    vars.push_back(parent);
+    cards.push_back(network.cardinality(parent));
+  }
+  Factor factor(vars, cards);
+  // Cpt layout is state + r * parent_config with parents first-fastest in
+  // parent order — exactly the factor's (v, parents...) layout.
+  const Cpt& cpt = network.cpt(v);
+  for (std::size_t cell = 0; cell < factor.cell_count(); ++cell) {
+    factor.set_value(cell, cpt.raw()[cell]);
+  }
+  return factor;
+}
+
+std::vector<double> exact_posterior(const BayesianNetwork& network,
+                                    std::span<const std::size_t> query,
+                                    std::span<const Evidence> evidence) {
+  WFBN_EXPECT(!query.empty(), "query set must be non-empty");
+  const std::size_t n = network.node_count();
+  std::set<std::size_t> keep(query.begin(), query.end());
+  WFBN_EXPECT(keep.size() == query.size(), "duplicate query variables");
+  for (const Evidence& e : evidence) {
+    WFBN_EXPECT(e.variable < n, "evidence variable out of range");
+    WFBN_EXPECT(keep.count(e.variable) == 0,
+                "evidence must be disjoint from the query");
+  }
+
+  // CPT factors restricted to the evidence.
+  std::vector<Factor> factors;
+  factors.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    Factor f = cpt_factor(network, v);
+    for (const Evidence& e : evidence) {
+      if (std::find(f.variables().begin(), f.variables().end(), e.variable) !=
+          f.variables().end()) {
+        f = f.restrict_to(e.variable, e.state);
+      }
+    }
+    factors.push_back(std::move(f));
+  }
+
+  // Eliminate every non-query, non-evidence variable, min-degree first.
+  std::set<std::size_t> to_eliminate;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (keep.count(v)) continue;
+    bool is_evidence = false;
+    for (const Evidence& e : evidence) {
+      if (e.variable == v) is_evidence = true;
+    }
+    if (!is_evidence) to_eliminate.insert(v);
+  }
+
+  while (!to_eliminate.empty()) {
+    // Min-degree heuristic: eliminate the variable whose combined factor has
+    // the smallest scope.
+    std::size_t best = *to_eliminate.begin();
+    std::size_t best_scope = ~std::size_t{0};
+    for (const std::size_t v : to_eliminate) {
+      std::set<std::size_t> scope;
+      for (const Factor& f : factors) {
+        if (std::find(f.variables().begin(), f.variables().end(), v) !=
+            f.variables().end()) {
+          scope.insert(f.variables().begin(), f.variables().end());
+        }
+      }
+      if (scope.size() < best_scope) {
+        best_scope = scope.size();
+        best = v;
+      }
+    }
+
+    // Multiply all factors mentioning `best`, sum it out, put the result back.
+    std::vector<Factor> remaining;
+    Factor combined({}, {});
+    combined.set_value(0, 1.0);
+    bool found = false;
+    for (Factor& f : factors) {
+      if (std::find(f.variables().begin(), f.variables().end(), best) !=
+          f.variables().end()) {
+        combined = found ? combined.multiply(f) : std::move(f);
+        found = true;
+      } else {
+        remaining.push_back(std::move(f));
+      }
+    }
+    if (found) remaining.push_back(combined.sum_out(best));
+    factors = std::move(remaining);
+    to_eliminate.erase(best);
+  }
+
+  // Multiply what is left into one factor over the query variables.
+  Factor joint({}, {});
+  joint.set_value(0, 1.0);
+  for (const Factor& f : factors) joint = joint.multiply(f);
+
+  const double normalizer = joint.total();
+  if (normalizer <= 0.0) {
+    throw DataError("evidence has zero probability under the network");
+  }
+
+  // Reorder the joint's scope into the requested query order.
+  std::vector<std::uint32_t> out_cards;
+  out_cards.reserve(query.size());
+  for (const std::size_t q : query) out_cards.push_back(network.cardinality(q));
+  std::vector<double> out(joint.cell_count(), 0.0);
+  WFBN_EXPECT(joint.variables().size() == query.size(),
+              "elimination left an unexpected scope");
+
+  // Strides of each query variable inside the joint factor.
+  std::vector<std::size_t> joint_stride(query.size(), 0);
+  {
+    std::size_t s = 1;
+    for (std::size_t i = 0; i < joint.variables().size(); ++i) {
+      const auto pos = static_cast<std::size_t>(
+          std::find(query.begin(), query.end(), joint.variables()[i]) -
+          query.begin());
+      joint_stride[pos] = s;
+      s *= joint.cardinalities()[i];
+    }
+  }
+  std::vector<std::uint32_t> assignment(query.size(), 0);
+  for (std::size_t cell = 0; cell < out.size(); ++cell) {
+    std::size_t joint_cell = 0;
+    for (std::size_t d = 0; d < query.size(); ++d) {
+      joint_cell += assignment[d] * joint_stride[d];
+    }
+    out[cell] = joint.value_at(joint_cell) / normalizer;
+    for (std::size_t d = 0; d < query.size(); ++d) {
+      if (++assignment[d] < out_cards[d]) break;
+      assignment[d] = 0;
+    }
+  }
+  return out;
+}
+
+double exact_evidence_probability(const BayesianNetwork& network,
+                                  std::span<const Evidence> evidence) {
+  WFBN_EXPECT(!evidence.empty(), "evidence must be non-empty");
+  // Chain rule: P(e) = P(e_1) · P(e_2 | e_1) · ... — each term is an exact
+  // single-variable posterior given the previously fixed evidence.
+  double probability = 1.0;
+  std::vector<Evidence> given;
+  for (const Evidence& e : evidence) {
+    const std::size_t q[] = {e.variable};
+    const std::vector<double> p = exact_posterior(network, q, given);
+    probability *= p[e.state];
+    if (probability == 0.0) return 0.0;
+    given.push_back(e);
+  }
+  return probability;
+}
+
+}  // namespace wfbn

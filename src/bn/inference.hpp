@@ -1,0 +1,75 @@
+// Exact inference on a Bayesian network by variable elimination.
+//
+// The paper positions inference as the complementary problem to structure
+// learning (§III; its potential-table kernels descend from parallel exact
+// inference work [26][27]). This module provides the exact-posterior oracle
+// the tests and examples check the data-driven QueryEngine against:
+//
+//   P(Q | E = e)  for query set Q and evidence assignment e,
+//
+// computed by multiplying the network's CPTs as factors, restricting them to
+// the evidence, and summing out non-query variables in a min-degree
+// elimination order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bn/network.hpp"
+#include "core/query.hpp"  // Evidence
+
+namespace wfbn {
+
+/// A factor over a set of variables: a dense non-negative table, first
+/// variable fastest (same layout convention as MarginalTable/Cpt).
+class Factor {
+ public:
+  Factor(std::vector<std::size_t> variables,
+         std::vector<std::uint32_t> cardinalities);
+
+  [[nodiscard]] const std::vector<std::size_t>& variables() const noexcept {
+    return variables_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& cardinalities() const noexcept {
+    return cardinalities_;
+  }
+  [[nodiscard]] std::size_t cell_count() const noexcept { return values_.size(); }
+  [[nodiscard]] double value_at(std::size_t cell) const { return values_[cell]; }
+  void set_value(std::size_t cell, double v) { values_[cell] = v; }
+
+  /// Factor product: result is over the union of the variable sets.
+  [[nodiscard]] Factor multiply(const Factor& other) const;
+
+  /// Sums out one variable (which must be present).
+  [[nodiscard]] Factor sum_out(std::size_t variable) const;
+
+  /// Restricts to variable = state (drops the variable from the scope).
+  [[nodiscard]] Factor restrict_to(std::size_t variable, State state) const;
+
+  /// Sum of all cells.
+  [[nodiscard]] double total() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t position_of(std::size_t variable) const;
+
+  std::vector<std::size_t> variables_;
+  std::vector<std::uint32_t> cardinalities_;
+  std::vector<double> values_;
+};
+
+/// Builds node v's CPT as a factor over (v, parents(v)...).
+[[nodiscard]] Factor cpt_factor(const BayesianNetwork& network, NodeId v);
+
+/// Exact posterior P(Q | evidence) as probabilities in MarginalTable layout
+/// over `query` (first variable fastest). Throws DataError if the evidence
+/// has zero probability.
+[[nodiscard]] std::vector<double> exact_posterior(
+    const BayesianNetwork& network, std::span<const std::size_t> query,
+    std::span<const Evidence> evidence = {});
+
+/// Exact marginal probability of an evidence assignment.
+[[nodiscard]] double exact_evidence_probability(const BayesianNetwork& network,
+                                                std::span<const Evidence> evidence);
+
+}  // namespace wfbn

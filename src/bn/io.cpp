@@ -1,0 +1,144 @@
+#include "bn/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+namespace {
+
+constexpr const char* kMagic = "wfbn-network";
+constexpr int kVersion = 1;
+
+std::string next_token(std::istream& in, const char* what) {
+  std::string token;
+  if (!(in >> token)) throw DataError(std::string("truncated network file: expected ") + what);
+  return token;
+}
+
+template <typename T>
+T next_number(std::istream& in, const char* what) {
+  T value{};
+  if (!(in >> value)) {
+    throw DataError(std::string("malformed network file: expected ") + what);
+  }
+  return value;
+}
+
+void expect_keyword(std::istream& in, const char* keyword) {
+  const std::string token = next_token(in, keyword);
+  if (token != keyword) {
+    throw DataError(std::string("malformed network file: expected '") + keyword +
+                    "', got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void write_network(const BayesianNetwork& network, std::ostream& out) {
+  out << kMagic << " " << kVersion << "\n";
+  out << "nodes " << network.node_count() << "\n";
+  for (NodeId v = 0; v < network.node_count(); ++v) {
+    WFBN_EXPECT(network.name(v).find_first_of(" \t\n") == std::string::npos,
+                "node names must not contain whitespace");
+    out << "node " << network.name(v) << " " << network.cardinality(v) << "\n";
+  }
+  // Parents are written per node, in CPT configuration order (parent order
+  // defines the CPT layout, so it must survive the round trip exactly).
+  for (NodeId v = 0; v < network.node_count(); ++v) {
+    const auto& parents = network.dag().parents(v);
+    out << "parents " << network.name(v) << " " << parents.size();
+    for (const NodeId parent : parents) out << " " << network.name(parent);
+    out << "\n";
+  }
+  out << std::setprecision(17);
+  for (NodeId v = 0; v < network.node_count(); ++v) {
+    const Cpt& cpt = network.cpt(v);
+    out << "cpt " << network.name(v) << " " << cpt.raw().size();
+    for (const double p : cpt.raw()) out << " " << p;
+    out << "\n";
+  }
+  out << "end\n";
+}
+
+void write_network_file(const BayesianNetwork& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw DataError("cannot open for writing: " + path);
+  write_network(network, out);
+  if (!out) throw DataError("write failed: " + path);
+}
+
+BayesianNetwork read_network(std::istream& in) {
+  expect_keyword(in, kMagic);
+  const int version = next_number<int>(in, "version");
+  if (version != kVersion) {
+    throw DataError("unsupported network version " + std::to_string(version));
+  }
+
+  expect_keyword(in, "nodes");
+  const auto node_count = next_number<std::size_t>(in, "node count");
+  if (node_count == 0) throw DataError("network must have at least one node");
+  std::vector<std::string> names;
+  std::vector<std::uint32_t> cards;
+  names.reserve(node_count);
+  cards.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    expect_keyword(in, "node");
+    names.push_back(next_token(in, "node name"));
+    const auto r = next_number<std::uint32_t>(in, "cardinality");
+    if (r == 0 || r > 255) throw DataError("cardinality out of range [1,255]");
+    cards.push_back(r);
+  }
+  auto index_of = [&](const std::string& name) -> NodeId {
+    for (NodeId v = 0; v < names.size(); ++v) {
+      if (names[v] == name) return v;
+    }
+    throw DataError("unknown node name in network file: " + name);
+  };
+
+  Dag dag(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    expect_keyword(in, "parents");
+    const NodeId child = index_of(next_token(in, "child name"));
+    const auto parent_count = next_number<std::size_t>(in, "parent count");
+    if (parent_count >= node_count) {
+      throw DataError("parent count exceeds node count");
+    }
+    for (std::size_t k = 0; k < parent_count; ++k) {
+      const NodeId parent = index_of(next_token(in, "parent name"));
+      if (!dag.add_edge(parent, child)) {
+        throw DataError("invalid edge in network file: " + names[parent] +
+                        " -> " + names[child] + " (duplicate or cycle)");
+      }
+    }
+  }
+
+  BayesianNetwork network(std::move(dag), cards, names);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    expect_keyword(in, "cpt");
+    const NodeId v = index_of(next_token(in, "cpt node name"));
+    const auto value_count = next_number<std::size_t>(in, "cpt size");
+    std::vector<double> probabilities(value_count);
+    for (double& p : probabilities) p = next_number<double>(in, "probability");
+    std::vector<std::uint32_t> parent_cards;
+    for (const NodeId parent : network.dag().parents(v)) {
+      parent_cards.push_back(cards[parent]);
+    }
+    network.set_cpt(v, Cpt::from_probabilities(cards[v], std::move(parent_cards),
+                                               std::move(probabilities)));
+  }
+  expect_keyword(in, "end");
+  return network;
+}
+
+BayesianNetwork read_network_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DataError("cannot open for reading: " + path);
+  return read_network(in);
+}
+
+}  // namespace wfbn

@@ -1,0 +1,31 @@
+// Bayesian-network persistence in a simple line-oriented text format
+// (".net"-style, human-diffable):
+//
+//   wfbn-network 1
+//   nodes <n>
+//   node <name> <cardinality>              (× n)
+//   parents <name> <k> <parent-names...>   (× n, in CPT configuration order)
+//   cpt <name> <value-count> <p...>        (× n, probabilities in Cpt layout)
+//   end
+//
+// Parent lists are serialized per node (not as an edge list) because parent
+// order defines the CPT layout and must survive the round trip.
+//
+// Round-trips every BayesianNetwork this library can represent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bn/network.hpp"
+
+namespace wfbn {
+
+void write_network(const BayesianNetwork& network, std::ostream& out);
+void write_network_file(const BayesianNetwork& network, const std::string& path);
+
+/// Throws DataError on any malformed input.
+[[nodiscard]] BayesianNetwork read_network(std::istream& in);
+[[nodiscard]] BayesianNetwork read_network_file(const std::string& path);
+
+}  // namespace wfbn

@@ -1,0 +1,56 @@
+#include "bn/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+SkeletonMetrics compare_skeletons(const UndirectedGraph& learned,
+                                  const UndirectedGraph& truth) {
+  WFBN_EXPECT(learned.node_count() == truth.node_count(),
+              "skeletons must share a node set");
+  SkeletonMetrics m;
+  for (const Edge& e : learned.edges()) {
+    if (truth.has_edge(e.from, e.to)) {
+      ++m.true_positives;
+    } else {
+      ++m.false_positives;
+    }
+  }
+  for (const Edge& e : truth.edges()) {
+    if (!learned.has_edge(e.from, e.to)) ++m.false_negatives;
+  }
+  const auto tp = static_cast<double>(m.true_positives);
+  const double denom_p = tp + static_cast<double>(m.false_positives);
+  const double denom_r = tp + static_cast<double>(m.false_negatives);
+  m.precision = denom_p > 0.0 ? tp / denom_p : 1.0;
+  m.recall = denom_r > 0.0 ? tp / denom_r : 1.0;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+std::size_t structural_hamming_distance(const Dag& learned, const Dag& truth) {
+  WFBN_EXPECT(learned.node_count() == truth.node_count(),
+              "DAGs must share a node set");
+  std::size_t distance = 0;
+  const std::size_t n = learned.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const bool l_uv = learned.has_edge(u, v);
+      const bool l_vu = learned.has_edge(v, u);
+      const bool t_uv = truth.has_edge(u, v);
+      const bool t_vu = truth.has_edge(v, u);
+      const bool l_any = l_uv || l_vu;
+      const bool t_any = t_uv || t_vu;
+      if (l_any != t_any) {
+        ++distance;  // missing or extra adjacency
+      } else if (l_any && (l_uv != t_uv)) {
+        ++distance;  // present in both but reversed
+      }
+    }
+  }
+  return distance;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,31 @@
+// Structure-recovery metrics: how close is a learned graph to the ground
+// truth? Skeleton metrics compare undirected adjacency (the output of Cheng
+// phases 1–3); SHD additionally counts orientation errors for directed
+// comparisons.
+#pragma once
+
+#include <cstdint>
+
+#include "bn/dag.hpp"
+
+namespace wfbn {
+
+struct SkeletonMetrics {
+  std::size_t true_positives = 0;   ///< edges in both graphs
+  std::size_t false_positives = 0;  ///< edges only in the learned graph
+  std::size_t false_negatives = 0;  ///< edges only in the truth
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Compares two undirected skeletons over the same node set.
+[[nodiscard]] SkeletonMetrics compare_skeletons(const UndirectedGraph& learned,
+                                                const UndirectedGraph& truth);
+
+/// Structural Hamming distance between two DAGs: missing edge, extra edge and
+/// wrongly oriented edge each cost 1 (a reversed edge costs 1, not 2).
+[[nodiscard]] std::size_t structural_hamming_distance(const Dag& learned,
+                                                      const Dag& truth);
+
+}  // namespace wfbn

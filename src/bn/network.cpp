@@ -1,0 +1,116 @@
+#include "bn/network.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "data/dataset.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+
+namespace {
+std::vector<std::uint32_t> parent_cards(const Dag& dag,
+                                        const std::vector<std::uint32_t>& cards,
+                                        NodeId v) {
+  std::vector<std::uint32_t> out;
+  out.reserve(dag.parents(v).size());
+  for (const NodeId parent : dag.parents(v)) out.push_back(cards[parent]);
+  return out;
+}
+}  // namespace
+
+BayesianNetwork::BayesianNetwork(Dag dag, std::vector<std::uint32_t> cardinalities,
+                                 std::vector<std::string> names)
+    : dag_(std::move(dag)), cardinalities_(std::move(cardinalities)) {
+  WFBN_EXPECT(dag_.node_count() == cardinalities_.size(),
+              "cardinalities must match node count");
+  for (const std::uint32_t r : cardinalities_) {
+    WFBN_EXPECT(r >= 1 && r <= 255, "cardinality must be in [1, 255]");
+  }
+  cpts_.reserve(node_count());
+  for (NodeId v = 0; v < node_count(); ++v) {
+    cpts_.emplace_back(cardinalities_[v], parent_cards(dag_, cardinalities_, v));
+  }
+  if (names.empty()) {
+    names_.reserve(node_count());
+    for (NodeId v = 0; v < node_count(); ++v) {
+      // Built via append (not operator+) to dodge GCC 12's -Wrestrict false
+      // positive (PR105651) under -Werror.
+      std::string name("X");
+      name += std::to_string(v);
+      names_.push_back(std::move(name));
+    }
+  } else {
+    WFBN_EXPECT(names.size() == node_count(), "names must match node count");
+    names_ = std::move(names);
+  }
+}
+
+void BayesianNetwork::randomize_cpts(std::uint64_t seed, double alpha) {
+  Xoshiro256 rng(seed);
+  for (NodeId v = 0; v < node_count(); ++v) {
+    cpts_[v] = Cpt::random(cardinalities_[v],
+                           parent_cards(dag_, cardinalities_, v), rng, alpha);
+  }
+}
+
+void BayesianNetwork::set_cpt(NodeId node, Cpt cpt) {
+  WFBN_EXPECT(node < node_count(), "node out of range");
+  if (cpt.cardinality() != cardinalities_[node] ||
+      cpt.parent_cardinalities() != parent_cards(dag_, cardinalities_, node)) {
+    throw DataError("CPT shape does not match node " + names_[node]);
+  }
+  cpts_[node] = std::move(cpt);
+}
+
+NodeId BayesianNetwork::node_by_name(const std::string& name) const {
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (names_[v] == name) return v;
+  }
+  throw DataError("no node named " + name);
+}
+
+std::size_t BayesianNetwork::parent_config_of(
+    NodeId v, std::span<const State> states) const {
+  const auto& parents = dag_.parents(v);
+  std::size_t index = 0;
+  std::size_t stride = 1;
+  for (const NodeId parent : parents) {
+    index += states[parent] * stride;
+    stride *= cardinalities_[parent];
+  }
+  return index;
+}
+
+double BayesianNetwork::joint_probability(std::span<const State> states) const {
+  WFBN_EXPECT(states.size() == node_count(), "assignment shape mismatch");
+  double p = 1.0;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    p *= cpts_[v].probability(states[v], parent_config_of(v, states));
+  }
+  return p;
+}
+
+double BayesianNetwork::average_log_likelihood(const Dataset& data) const {
+  WFBN_EXPECT(data.variable_count() == node_count(), "dataset shape mismatch");
+  WFBN_EXPECT(data.sample_count() > 0, "empty dataset");
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    const double p = joint_probability(data.row(i));
+    total += std::log(p + 1e-300);
+  }
+  return total / static_cast<double>(data.sample_count());
+}
+
+bool BayesianNetwork::validate() const {
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (cpts_[v].cardinality() != cardinalities_[v]) return false;
+    if (cpts_[v].parent_cardinalities() != parent_cards(dag_, cardinalities_, v)) {
+      return false;
+    }
+    if (!cpts_[v].is_normalized()) return false;
+  }
+  return true;
+}
+
+}  // namespace wfbn

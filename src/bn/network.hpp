@@ -1,0 +1,62 @@
+// A discrete Bayesian network: DAG + per-node cardinalities + CPTs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bn/cpt.hpp"
+#include "bn/dag.hpp"
+#include "util/rng.hpp"
+
+namespace wfbn {
+
+class BayesianNetwork {
+ public:
+  /// Network over `dag` with the given node cardinalities and uniform CPTs.
+  /// Node names are optional (default "X0", "X1", ...).
+  BayesianNetwork(Dag dag, std::vector<std::uint32_t> cardinalities,
+                  std::vector<std::string> names = {});
+
+  /// Fills every CPT with Dirichlet(alpha) draws, deterministically in `seed`.
+  void randomize_cpts(std::uint64_t seed, double alpha = 0.5);
+
+  /// Installs an explicit CPT for `node`. The CPT's parent cardinalities must
+  /// match dag().parents(node) order. Throws DataError on shape mismatch.
+  void set_cpt(NodeId node, Cpt cpt);
+
+  [[nodiscard]] const Dag& dag() const noexcept { return dag_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return cardinalities_.size();
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& cardinalities() const noexcept {
+    return cardinalities_;
+  }
+  [[nodiscard]] std::uint32_t cardinality(NodeId v) const {
+    return cardinalities_[v];
+  }
+  [[nodiscard]] const Cpt& cpt(NodeId v) const { return cpts_[v]; }
+  [[nodiscard]] const std::string& name(NodeId v) const { return names_[v]; }
+  [[nodiscard]] NodeId node_by_name(const std::string& name) const;
+
+  /// Joint probability of a full assignment (states.size() == node_count()).
+  [[nodiscard]] double joint_probability(std::span<const State> states) const;
+
+  /// Average log-likelihood per sample of a dataset under this network.
+  [[nodiscard]] double average_log_likelihood(const class Dataset& data) const;
+
+  /// All CPTs normalized and shape-consistent with the DAG.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  [[nodiscard]] std::size_t parent_config_of(NodeId v,
+                                             std::span<const State> states) const;
+
+  Dag dag_;
+  std::vector<std::uint32_t> cardinalities_;
+  std::vector<Cpt> cpts_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace wfbn

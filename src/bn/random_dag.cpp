@@ -1,0 +1,65 @@
+#include "bn/random_dag.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+Dag random_dag_erdos(std::size_t nodes, double edge_probability,
+                     Xoshiro256& rng) {
+  WFBN_EXPECT(edge_probability >= 0.0 && edge_probability <= 1.0,
+              "edge probability in [0,1]");
+  Dag dag(nodes);
+  for (NodeId u = 0; u < nodes; ++u) {
+    for (NodeId v = u + 1; v < nodes; ++v) {
+      if (rng.uniform01() < edge_probability) dag.add_edge(u, v);
+    }
+  }
+  return dag;
+}
+
+Dag random_dag_preferential(std::size_t nodes, std::size_t max_parents,
+                            Xoshiro256& rng) {
+  WFBN_EXPECT(max_parents >= 1, "max_parents must be >= 1");
+  Dag dag(nodes);
+  for (NodeId v = 1; v < nodes; ++v) {
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.bounded(
+                                  std::min<std::uint64_t>(max_parents, v)));
+    for (std::size_t i = 0; i < k; ++i) {
+      // Two-candidate preferential attachment: sample two earlier nodes,
+      // keep the one with the larger out-degree.
+      const NodeId a = static_cast<NodeId>(rng.bounded(v));
+      const NodeId b = static_cast<NodeId>(rng.bounded(v));
+      const NodeId parent =
+          dag.children(a).size() >= dag.children(b).size() ? a : b;
+      dag.add_edge(parent, v);  // duplicate adds are rejected harmlessly
+    }
+  }
+  return dag;
+}
+
+Dag random_dag_fixed_edges(std::size_t nodes, std::size_t edges,
+                           Xoshiro256& rng) {
+  const std::size_t max_edges = nodes * (nodes - 1) / 2;
+  WFBN_EXPECT(edges <= max_edges, "more edges than ordered pairs");
+  // Reservoir-free approach: enumerate all pairs, Fisher–Yates a prefix.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(max_edges);
+  for (NodeId u = 0; u < nodes; ++u) {
+    for (NodeId v = u + 1; v < nodes; ++v) pairs.emplace_back(u, v);
+  }
+  for (std::size_t i = 0; i < edges; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.bounded(pairs.size() - i));
+    std::swap(pairs[i], pairs[j]);
+  }
+  Dag dag(nodes);
+  for (std::size_t i = 0; i < edges; ++i) {
+    dag.add_edge(pairs[i].first, pairs[i].second);
+  }
+  return dag;
+}
+
+}  // namespace wfbn

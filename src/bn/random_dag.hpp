@@ -1,0 +1,31 @@
+// Random DAG generators for synthetic experiments: Erdős–Rényi-style layered
+// graphs and preferential-attachment (hub-heavy) regulatory-network shapes.
+// All are deterministic in the provided RNG.
+#pragma once
+
+#include <cstdint>
+
+#include "bn/dag.hpp"
+#include "util/rng.hpp"
+
+namespace wfbn {
+
+/// Erdős–Rényi DAG: every pair (u, v) with u < v gains the edge u → v with
+/// probability `edge_probability` (node order is the topological order).
+[[nodiscard]] Dag random_dag_erdos(std::size_t nodes, double edge_probability,
+                                   Xoshiro256& rng);
+
+/// Each node past the first picks 1..max_parents earlier nodes as parents,
+/// preferring nodes that already have many children (two-candidate
+/// preferential attachment) — produces hub-dominated structures like gene
+/// regulatory networks.
+[[nodiscard]] Dag random_dag_preferential(std::size_t nodes,
+                                          std::size_t max_parents,
+                                          Xoshiro256& rng);
+
+/// Exactly `edges` edges distributed uniformly over the u < v pairs.
+/// Throws PreconditionError if edges exceeds nodes·(nodes−1)/2.
+[[nodiscard]] Dag random_dag_fixed_edges(std::size_t nodes, std::size_t edges,
+                                         Xoshiro256& rng);
+
+}  // namespace wfbn

@@ -1,0 +1,316 @@
+#include "bn/repository.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+namespace {
+
+/// Helper assembling a network from (name, cardinality) node specs and
+/// name-based edges, with Dirichlet CPTs.
+BayesianNetwork build_random_cpt_network(
+    const std::vector<std::pair<std::string, std::uint32_t>>& nodes,
+    const std::vector<std::pair<std::string, std::string>>& edges,
+    std::uint64_t cpt_seed) {
+  std::map<std::string, NodeId> index;
+  std::vector<std::uint32_t> cards;
+  std::vector<std::string> names;
+  for (const auto& [name, r] : nodes) {
+    WFBN_EXPECT(index.emplace(name, names.size()).second, "duplicate node name");
+    names.push_back(name);
+    cards.push_back(r);
+  }
+  Dag dag(names.size());
+  for (const auto& [from, to] : edges) {
+    WFBN_EXPECT(index.count(from) == 1, "unknown edge endpoint: " + from);
+    WFBN_EXPECT(index.count(to) == 1, "unknown edge endpoint: " + to);
+    WFBN_EXPECT(dag.add_edge(index[from], index[to]), "bad edge: " + from + "->" + to);
+  }
+  BayesianNetwork network(std::move(dag), std::move(cards), std::move(names));
+  network.randomize_cpts(cpt_seed);
+  return network;
+}
+
+BayesianNetwork build_asia() {
+  // Lauritzen & Spiegelhalter (1988) "chest clinic". States: 0 = yes, 1 = no.
+  const std::vector<std::string> names = {"asia", "tub",    "smoke", "lung",
+                                          "bronc", "either", "xray",  "dysp"};
+  enum { ASIA, TUB, SMOKE, LUNG, BRONC, EITHER, XRAY, DYSP };
+  Dag dag(8);
+  dag.add_edge(ASIA, TUB);
+  dag.add_edge(SMOKE, LUNG);
+  dag.add_edge(SMOKE, BRONC);
+  dag.add_edge(TUB, EITHER);
+  dag.add_edge(LUNG, EITHER);
+  dag.add_edge(EITHER, XRAY);
+  dag.add_edge(EITHER, DYSP);
+  dag.add_edge(BRONC, DYSP);
+  BayesianNetwork bn(std::move(dag), std::vector<std::uint32_t>(8, 2), names);
+
+  // Root priors: P(yes), P(no).
+  bn.set_cpt(ASIA, Cpt::from_probabilities(2, {}, {0.01, 0.99}));
+  bn.set_cpt(SMOKE, Cpt::from_probabilities(2, {}, {0.5, 0.5}));
+  // Parent-state order: config index is parent-list order, first parent
+  // fastest; columns below are [child=yes, child=no] per parent config.
+  bn.set_cpt(TUB, Cpt::from_probabilities(2, {2},
+                                          {/*asia=yes*/ 0.05, 0.95,
+                                           /*asia=no */ 0.01, 0.99}));
+  bn.set_cpt(LUNG, Cpt::from_probabilities(2, {2},
+                                           {/*smoke=yes*/ 0.10, 0.90,
+                                            /*smoke=no */ 0.01, 0.99}));
+  bn.set_cpt(BRONC, Cpt::from_probabilities(2, {2},
+                                            {/*smoke=yes*/ 0.60, 0.40,
+                                             /*smoke=no */ 0.30, 0.70}));
+  // either = tub OR lung (deterministic). Parents (tub, lung); tub fastest.
+  bn.set_cpt(EITHER, Cpt::from_probabilities(
+                         2, {2, 2},
+                         {/*t=y,l=y*/ 1.0, 0.0,
+                          /*t=n,l=y*/ 1.0, 0.0,
+                          /*t=y,l=n*/ 1.0, 0.0,
+                          /*t=n,l=n*/ 0.0, 1.0}));
+  bn.set_cpt(XRAY, Cpt::from_probabilities(2, {2},
+                                           {/*either=yes*/ 0.98, 0.02,
+                                            /*either=no */ 0.05, 0.95}));
+  // Parents (either, bronc); either fastest.
+  bn.set_cpt(DYSP, Cpt::from_probabilities(
+                       2, {2, 2},
+                       {/*e=y,b=y*/ 0.90, 0.10,
+                        /*e=n,b=y*/ 0.80, 0.20,
+                        /*e=y,b=n*/ 0.70, 0.30,
+                        /*e=n,b=n*/ 0.10, 0.90}));
+  WFBN_EXPECT(bn.validate(), "ASIA CPTs malformed");
+  return bn;
+}
+
+BayesianNetwork build_cancer() {
+  // Korb & Nicholson's cancer network. States: 0 = first listed state.
+  const std::vector<std::string> names = {"Pollution", "Smoker", "Cancer",
+                                          "Xray", "Dyspnoea"};
+  enum { POLLUTION, SMOKER, CANCER, XRAY, DYSP };
+  Dag dag(5);
+  dag.add_edge(POLLUTION, CANCER);
+  dag.add_edge(SMOKER, CANCER);
+  dag.add_edge(CANCER, XRAY);
+  dag.add_edge(CANCER, DYSP);
+  BayesianNetwork bn(std::move(dag), std::vector<std::uint32_t>(5, 2), names);
+  bn.set_cpt(POLLUTION, Cpt::from_probabilities(2, {}, {0.90, 0.10}));  // low/high
+  bn.set_cpt(SMOKER, Cpt::from_probabilities(2, {}, {0.30, 0.70}));     // yes/no
+  // Parents (Pollution, Smoker); pollution fastest; child states (yes, no).
+  bn.set_cpt(CANCER, Cpt::from_probabilities(
+                         2, {2, 2},
+                         {/*p=low ,s=yes*/ 0.030, 0.970,
+                          /*p=high,s=yes*/ 0.050, 0.950,
+                          /*p=low ,s=no */ 0.001, 0.999,
+                          /*p=high,s=no */ 0.020, 0.980}));
+  bn.set_cpt(XRAY, Cpt::from_probabilities(2, {2},
+                                           {/*c=yes*/ 0.90, 0.10,
+                                            /*c=no */ 0.20, 0.80}));
+  bn.set_cpt(DYSP, Cpt::from_probabilities(2, {2},
+                                           {/*c=yes*/ 0.65, 0.35,
+                                            /*c=no */ 0.30, 0.70}));
+  WFBN_EXPECT(bn.validate(), "CANCER CPTs malformed");
+  return bn;
+}
+
+BayesianNetwork build_earthquake() {
+  // Pearl (1988) burglary/earthquake/alarm. States: 0 = true, 1 = false.
+  const std::vector<std::string> names = {"Burglary", "Earthquake", "Alarm",
+                                          "JohnCalls", "MaryCalls"};
+  enum { BURGLARY, EARTHQUAKE, ALARM, JOHN, MARY };
+  Dag dag(5);
+  dag.add_edge(BURGLARY, ALARM);
+  dag.add_edge(EARTHQUAKE, ALARM);
+  dag.add_edge(ALARM, JOHN);
+  dag.add_edge(ALARM, MARY);
+  BayesianNetwork bn(std::move(dag), std::vector<std::uint32_t>(5, 2), names);
+  bn.set_cpt(BURGLARY, Cpt::from_probabilities(2, {}, {0.001, 0.999}));
+  bn.set_cpt(EARTHQUAKE, Cpt::from_probabilities(2, {}, {0.002, 0.998}));
+  // Parents (Burglary, Earthquake); burglary fastest.
+  bn.set_cpt(ALARM, Cpt::from_probabilities(
+                        2, {2, 2},
+                        {/*b=t,e=t*/ 0.95, 0.05,
+                         /*b=f,e=t*/ 0.29, 0.71,
+                         /*b=t,e=f*/ 0.94, 0.06,
+                         /*b=f,e=f*/ 0.001, 0.999}));
+  bn.set_cpt(JOHN, Cpt::from_probabilities(2, {2},
+                                           {/*a=t*/ 0.90, 0.10,
+                                            /*a=f*/ 0.05, 0.95}));
+  bn.set_cpt(MARY, Cpt::from_probabilities(2, {2},
+                                           {/*a=t*/ 0.70, 0.30,
+                                            /*a=f*/ 0.01, 0.99}));
+  WFBN_EXPECT(bn.validate(), "EARTHQUAKE CPTs malformed");
+  return bn;
+}
+
+BayesianNetwork build_survey(std::uint64_t seed) {
+  return build_random_cpt_network(
+      {{"Age", 3},
+       {"Sex", 2},
+       {"Education", 2},
+       {"Occupation", 2},
+       {"Residence", 2},
+       {"Travel", 3}},
+      {{"Age", "Education"},
+       {"Sex", "Education"},
+       {"Education", "Occupation"},
+       {"Education", "Residence"},
+       {"Occupation", "Travel"},
+       {"Residence", "Travel"}},
+      seed);
+}
+
+BayesianNetwork build_sachs(std::uint64_t seed) {
+  // Sachs et al. (2005) consensus signaling network, 3-state discretization.
+  return build_random_cpt_network(
+      {{"Raf", 3}, {"Mek", 3}, {"Plcg", 3}, {"PIP2", 3}, {"PIP3", 3},
+       {"Erk", 3}, {"Akt", 3}, {"PKA", 3}, {"PKC", 3}, {"P38", 3},
+       {"Jnk", 3}},
+      {{"PKC", "PKA"}, {"PKC", "Jnk"}, {"PKC", "P38"}, {"PKC", "Raf"},
+       {"PKC", "Mek"}, {"PKA", "Jnk"}, {"PKA", "P38"}, {"PKA", "Raf"},
+       {"PKA", "Mek"}, {"PKA", "Erk"}, {"PKA", "Akt"}, {"Raf", "Mek"},
+       {"Mek", "Erk"}, {"Erk", "Akt"}, {"Plcg", "PIP2"}, {"Plcg", "PIP3"},
+       {"PIP3", "PIP2"}},
+      seed);
+}
+
+BayesianNetwork build_child(std::uint64_t seed) {
+  // Spiegelhalter's CHILD (congenital heart disease) structure.
+  return build_random_cpt_network(
+      {{"BirthAsphyxia", 2}, {"Disease", 6},      {"Age", 3},
+       {"LVH", 2},           {"DuctFlow", 3},     {"CardiacMixing", 4},
+       {"LungParench", 3},   {"LungFlow", 3},     {"Sick", 2},
+       {"LVHreport", 2},     {"HypDistrib", 2},   {"HypoxiaInO2", 3},
+       {"CO2", 3},           {"ChestXray", 5},    {"Grunting", 2},
+       {"LowerBodyO2", 3},   {"RUQO2", 3},        {"CO2Report", 2},
+       {"XrayReport", 5},    {"GruntingReport", 2}},
+      {{"BirthAsphyxia", "Disease"},
+       {"Disease", "Age"},
+       {"Disease", "Sick"},
+       {"Disease", "LVH"},
+       {"Disease", "DuctFlow"},
+       {"Disease", "CardiacMixing"},
+       {"Disease", "LungParench"},
+       {"Disease", "LungFlow"},
+       {"Sick", "Age"},
+       {"LVH", "LVHreport"},
+       {"DuctFlow", "HypDistrib"},
+       {"CardiacMixing", "HypDistrib"},
+       {"CardiacMixing", "HypoxiaInO2"},
+       {"LungParench", "HypoxiaInO2"},
+       {"LungParench", "CO2"},
+       {"LungParench", "ChestXray"},
+       {"LungFlow", "ChestXray"},
+       {"LungParench", "Grunting"},
+       {"Sick", "Grunting"},
+       {"HypDistrib", "LowerBodyO2"},
+       {"HypoxiaInO2", "LowerBodyO2"},
+       {"HypoxiaInO2", "RUQO2"},
+       {"CO2", "CO2Report"},
+       {"ChestXray", "XrayReport"},
+       {"Grunting", "GruntingReport"}},
+      seed);
+}
+
+BayesianNetwork build_alarm(std::uint64_t seed) {
+  // Beinlich et al. (1989) ALARM monitoring network, 37 nodes / 46 edges.
+  return build_random_cpt_network(
+      {{"CVP", 3},          {"PCWP", 3},        {"HISTORY", 2},
+       {"TPR", 3},          {"BP", 3},          {"CO", 3},
+       {"HRBP", 3},         {"HREKG", 3},       {"HRSAT", 3},
+       {"PAP", 3},          {"SAO2", 3},        {"FIO2", 2},
+       {"PRESS", 4},        {"EXPCO2", 4},      {"MINVOL", 4},
+       {"MINVOLSET", 3},    {"HYPOVOLEMIA", 2}, {"LVFAILURE", 2},
+       {"ANAPHYLAXIS", 2},  {"INSUFFANESTH", 2},{"PULMEMBOLUS", 2},
+       {"INTUBATION", 3},   {"KINKEDTUBE", 2},  {"DISCONNECT", 2},
+       {"LVEDVOLUME", 3},   {"STROKEVOLUME", 3},{"CATECHOL", 2},
+       {"ERRLOWOUTPUT", 2}, {"HR", 3},          {"ERRCAUTER", 2},
+       {"SHUNT", 2},        {"PVSAT", 3},       {"ARTCO2", 3},
+       {"VENTALV", 4},      {"VENTLUNG", 4},    {"VENTTUBE", 4},
+       {"VENTMACH", 4}},
+      {{"MINVOLSET", "VENTMACH"},
+       {"VENTMACH", "VENTTUBE"},
+       {"DISCONNECT", "VENTTUBE"},
+       {"VENTTUBE", "VENTLUNG"},
+       {"KINKEDTUBE", "VENTLUNG"},
+       {"INTUBATION", "VENTLUNG"},
+       {"VENTLUNG", "VENTALV"},
+       {"INTUBATION", "VENTALV"},
+       {"VENTALV", "ARTCO2"},
+       {"VENTALV", "PVSAT"},
+       {"FIO2", "PVSAT"},
+       {"PVSAT", "SAO2"},
+       {"SHUNT", "SAO2"},
+       {"PULMEMBOLUS", "PAP"},
+       {"PULMEMBOLUS", "SHUNT"},
+       {"INTUBATION", "SHUNT"},
+       {"ARTCO2", "EXPCO2"},
+       {"VENTLUNG", "EXPCO2"},
+       {"VENTLUNG", "MINVOL"},
+       {"INTUBATION", "MINVOL"},
+       {"INTUBATION", "PRESS"},
+       {"KINKEDTUBE", "PRESS"},
+       {"VENTTUBE", "PRESS"},
+       {"ARTCO2", "CATECHOL"},
+       {"SAO2", "CATECHOL"},
+       {"TPR", "CATECHOL"},
+       {"INSUFFANESTH", "CATECHOL"},
+       {"CATECHOL", "HR"},
+       {"HR", "HRBP"},
+       {"ERRLOWOUTPUT", "HRBP"},
+       {"HR", "HREKG"},
+       {"ERRCAUTER", "HREKG"},
+       {"HR", "HRSAT"},
+       {"ERRCAUTER", "HRSAT"},
+       {"HR", "CO"},
+       {"STROKEVOLUME", "CO"},
+       {"CO", "BP"},
+       {"TPR", "BP"},
+       {"ANAPHYLAXIS", "TPR"},
+       {"HYPOVOLEMIA", "LVEDVOLUME"},
+       {"LVFAILURE", "LVEDVOLUME"},
+       {"LVEDVOLUME", "CVP"},
+       {"LVEDVOLUME", "PCWP"},
+       {"HYPOVOLEMIA", "STROKEVOLUME"},
+       {"LVFAILURE", "STROKEVOLUME"},
+       {"LVFAILURE", "HISTORY"}},
+      seed);
+}
+
+}  // namespace
+
+BayesianNetwork load_network(RepositoryNetwork which, std::uint64_t cpt_seed) {
+  switch (which) {
+    case RepositoryNetwork::kAsia: return build_asia();
+    case RepositoryNetwork::kCancer: return build_cancer();
+    case RepositoryNetwork::kEarthquake: return build_earthquake();
+    case RepositoryNetwork::kSurvey: return build_survey(cpt_seed);
+    case RepositoryNetwork::kSachs: return build_sachs(cpt_seed);
+    case RepositoryNetwork::kChild: return build_child(cpt_seed);
+    case RepositoryNetwork::kAlarm: return build_alarm(cpt_seed);
+  }
+  throw PreconditionError("unknown repository network");
+}
+
+std::vector<RepositoryNetwork> all_repository_networks() {
+  return {RepositoryNetwork::kAsia,   RepositoryNetwork::kCancer,
+          RepositoryNetwork::kEarthquake, RepositoryNetwork::kSurvey,
+          RepositoryNetwork::kSachs,  RepositoryNetwork::kChild,
+          RepositoryNetwork::kAlarm};
+}
+
+std::string repository_network_name(RepositoryNetwork which) {
+  switch (which) {
+    case RepositoryNetwork::kAsia: return "asia";
+    case RepositoryNetwork::kCancer: return "cancer";
+    case RepositoryNetwork::kEarthquake: return "earthquake";
+    case RepositoryNetwork::kSurvey: return "survey";
+    case RepositoryNetwork::kSachs: return "sachs";
+    case RepositoryNetwork::kChild: return "child";
+    case RepositoryNetwork::kAlarm: return "alarm";
+  }
+  return "unknown";
+}
+
+}  // namespace wfbn

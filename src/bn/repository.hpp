@@ -1,0 +1,38 @@
+// Built-in benchmark networks (paper reference [1]: the Hebrew University
+// Bayesian network repository). ASIA, CANCER and EARTHQUAKE ship with their
+// canonical published CPTs; SURVEY, SACHS, CHILD and ALARM ship with the
+// published structures and seeded Dirichlet CPTs (the repository's CPTs are
+// large; for structure-learning experiments only the structure is the ground
+// truth, and skewed random CPTs give detectable dependencies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bn/network.hpp"
+
+namespace wfbn {
+
+enum class RepositoryNetwork {
+  kAsia,        ///< 8 nodes, 8 edges  (Lauritzen & Spiegelhalter 1988)
+  kCancer,      ///< 5 nodes, 4 edges  (Korb & Nicholson)
+  kEarthquake,  ///< 5 nodes, 4 edges  (Pearl 1988)
+  kSurvey,      ///< 6 nodes, 6 edges  (Scutari's survey network structure)
+  kSachs,       ///< 11 nodes, 17 edges (Sachs et al. 2005 consensus network)
+  kChild,       ///< 20 nodes, 25 edges (Spiegelhalter's CHILD network)
+  kAlarm,       ///< 37 nodes, 46 edges (Beinlich et al. 1989)
+};
+
+/// Instantiates a repository network. `cpt_seed` parameterizes the Dirichlet
+/// CPTs of the structure-only networks (ignored for networks with canonical
+/// CPTs).
+[[nodiscard]] BayesianNetwork load_network(RepositoryNetwork which,
+                                           std::uint64_t cpt_seed = 42);
+
+/// All repository entries, for parameterized tests.
+[[nodiscard]] std::vector<RepositoryNetwork> all_repository_networks();
+
+[[nodiscard]] std::string repository_network_name(RepositoryNetwork which);
+
+}  // namespace wfbn

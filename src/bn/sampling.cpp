@@ -1,0 +1,38 @@
+#include "bn/sampling.hpp"
+
+#include "concurrent/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+
+Dataset forward_sample(const BayesianNetwork& network, std::size_t samples,
+                       std::uint64_t seed, std::size_t threads) {
+  WFBN_EXPECT(threads >= 1, "need at least one sampling thread");
+  Dataset data(samples, network.cardinalities());
+  const std::vector<NodeId> order = network.dag().topological_order();
+
+  auto fill_block = [&](std::size_t block, std::size_t lo, std::size_t hi) {
+    Xoshiro256 rng = Xoshiro256(seed).split(static_cast<unsigned>(block));
+    std::vector<State> parent_states;
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto row = data.row(i);
+      for (const NodeId v : order) {
+        const auto& parents = network.dag().parents(v);
+        parent_states.clear();
+        for (const NodeId parent : parents) parent_states.push_back(row[parent]);
+        const Cpt& cpt = network.cpt(v);
+        row[v] = cpt.sample(cpt.config_index(parent_states), rng);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    fill_block(0, 0, samples);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(0, samples, fill_block);
+  }
+  return data;
+}
+
+}  // namespace wfbn

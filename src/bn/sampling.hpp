@@ -1,0 +1,21 @@
+// Forward (ancestral) sampling: generates i.i.d. observations from a
+// Bayesian network by sampling nodes in topological order. This is the
+// realistic-workload generator for the structure-learning examples and the
+// statistical tests (the paper's own evaluation uses independent uniform
+// data; see data/generators.hpp for that).
+#pragma once
+
+#include <cstdint>
+
+#include "bn/network.hpp"
+#include "data/dataset.hpp"
+
+namespace wfbn {
+
+/// Draws `samples` observations. Deterministic in (network, samples, seed,
+/// threads): row block b uses RNG stream b. Parallel over row blocks.
+[[nodiscard]] Dataset forward_sample(const BayesianNetwork& network,
+                                     std::size_t samples, std::uint64_t seed,
+                                     std::size_t threads = 1);
+
+}  // namespace wfbn

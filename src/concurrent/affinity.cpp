@@ -1,0 +1,28 @@
+#include "concurrent/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace wfbn {
+
+std::size_t hardware_cores() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool pin_current_thread([[maybe_unused]] std::size_t index) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(index % hardware_cores(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace wfbn

@@ -1,0 +1,18 @@
+// CPU-affinity helpers. The paper pins one software thread per hardware core
+// (POSIX threads on a 32-core Opteron); on machines with fewer cores than
+// requested threads, pinning is skipped gracefully so the library still runs
+// (oversubscribed) everywhere.
+#pragma once
+
+#include <cstddef>
+
+namespace wfbn {
+
+/// Number of hardware execution contexts visible to this process.
+[[nodiscard]] std::size_t hardware_cores() noexcept;
+
+/// Pins the calling thread to core (index % hardware_cores()).
+/// Returns true on success; false when pinning is unsupported or denied.
+bool pin_current_thread(std::size_t index) noexcept;
+
+}  // namespace wfbn

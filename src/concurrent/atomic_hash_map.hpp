@@ -1,0 +1,113 @@
+// Lock-free (but not wait-free) shared count table: open addressing with CAS
+// key claiming and fetch_add counting.
+//
+// This is the "no locks, but still one shared table" design point between the
+// TBB-style locked map and the paper's wait-free partitioned design. It is
+// lock-free — a stalled thread cannot block others — yet every update still
+// targets shared cache lines, so it scales worse than the partitioned tables.
+// The ablation benches compare all three.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+class AtomicHashMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+
+  /// Fixed capacity for `expected_entries` keys at <= 0.5 load factor; the
+  /// table never rehashes (rehashing a concurrent open-addressing table would
+  /// need either locks or epochs, both out of scope for a count table whose
+  /// population is bounded by the dataset size).
+  explicit AtomicHashMap(std::size_t expected_entries)
+      : mask_(std::bit_ceil(std::max<std::size_t>(expected_entries * 2, 32)) - 1),
+        slots_(mask_ + 1) {
+    for (auto& slot : slots_) {
+      slot.key.store(kEmptyKey, std::memory_order_relaxed);
+      slot.count.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  AtomicHashMap(const AtomicHashMap&) = delete;
+  AtomicHashMap& operator=(const AtomicHashMap&) = delete;
+
+  /// Thread-safe: adds `delta` to `key`'s count, claiming a slot if absent.
+  /// Precondition: key != kEmptyKey. Throws DataError if the table is full.
+  void increment(std::uint64_t key, std::uint64_t delta = 1) {
+    WFBN_EXPECT(key != kEmptyKey, "the all-ones key is reserved");
+    std::size_t index = hash(key);
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      Slot& slot = slots_[index];
+      std::uint64_t existing = slot.key.load(std::memory_order_acquire);
+      if (existing == key) {
+        slot.count.fetch_add(delta, std::memory_order_relaxed);
+        return;
+      }
+      if (existing == kEmptyKey) {
+        // Claim the slot; on race, fall through to re-examine the winner.
+        if (slot.key.compare_exchange_strong(existing, key,
+                                             std::memory_order_acq_rel)) {
+          slot.count.fetch_add(delta, std::memory_order_relaxed);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (existing == key) {
+          slot.count.fetch_add(delta, std::memory_order_relaxed);
+          return;
+        }
+      }
+      index = (index + 1) & mask_;
+    }
+    throw DataError("AtomicHashMap is full — size it for the key population");
+  }
+
+  /// Thread-safe point lookup; 0 when absent.
+  [[nodiscard]] std::uint64_t count(std::uint64_t key) const {
+    std::size_t index = hash(key);
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      const Slot& slot = slots_[index];
+      const std::uint64_t existing = slot.key.load(std::memory_order_acquire);
+      if (existing == key) return slot.count.load(std::memory_order_relaxed);
+      if (existing == kEmptyKey) return 0;
+      index = (index + 1) & mask_;
+    }
+    return 0;
+  }
+
+  /// Quiescent iteration (no concurrent writers). fn(key, count).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      const std::uint64_t key = slot.key.load(std::memory_order_relaxed);
+      if (key != kEmptyKey) fn(key, slot.count.load(std::memory_order_relaxed));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> key;
+    std::atomic<std::uint64_t> count;
+  };
+
+  [[nodiscard]] std::size_t hash(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 17) & mask_;
+  }
+
+  const std::size_t mask_;
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace wfbn

@@ -1,0 +1,54 @@
+// Sense-reversing centralized barrier.
+//
+// std::barrier exists in C++20, but the builders need (a) a barrier whose
+// crossing we can instrument (the paper's single synchronization step between
+// stage 1 and stage 2 is an explicit cost in the scaling model) and (b)
+// spin-waiting, since the construction stages are short and the threads are
+// pinned compute threads, not general tasks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t participants)
+      : participants_(participants), remaining_(participants) {
+    WFBN_EXPECT(participants > 0, "barrier needs at least one participant");
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all participants have arrived. Safe to reuse for any number
+  /// of phases (sense reversal).
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: reset the count and flip the sense, releasing everyone.
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      std::size_t spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        // Back off to yield after a short spin so the barrier also behaves
+        // on oversubscribed machines (this repo's CI has 1 hardware core).
+        if (++spins > 64) std::this_thread::yield();
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t participants() const noexcept { return participants_; }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace wfbn

@@ -1,0 +1,123 @@
+// Unbounded wait-free single-producer/single-consumer queue of trivially
+// copyable items, built as a linked list of fixed-size chunks.
+//
+// This is the queue fabric of the wait-free table-construction primitive:
+// core p owns queue (p -> q) for every q != p. During stage 1 only core p
+// pushes; during stage 2 only core q pops; the barrier between the stages
+// gives the strict SPSC discipline. The queue is nevertheless correct under
+// *concurrent* single-producer/single-consumer access (producer publishes a
+// chunk's fill count with release stores, consumer reads with acquire loads),
+// which is what the pipelined builder variant exercises.
+//
+// Progress: push() is wait-free except for chunk allocation (amortized one
+// allocation per kChunkCapacity pushes); try_pop() is wait-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace wfbn {
+
+template <typename T, std::size_t kChunkCapacity = 2048>
+class SpscQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscQueue requires trivially copyable items");
+  static_assert(kChunkCapacity >= 2, "chunk must hold at least two items");
+
+ public:
+  SpscQueue() {
+    auto* chunk = new Chunk;
+    head_chunk_ = chunk;
+    tail_chunk_ = chunk;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    Chunk* chunk = head_chunk_;
+    while (chunk != nullptr) {
+      Chunk* next = chunk->next.load(std::memory_order_relaxed);
+      delete chunk;
+      chunk = next;
+    }
+  }
+
+  /// Producer side. Never blocks; allocates a fresh chunk when the current
+  /// one fills up.
+  void push(const T& item) {
+    Chunk* chunk = tail_chunk_;
+    const std::size_t fill = chunk->count.load(std::memory_order_relaxed);
+    if (fill == kChunkCapacity) {
+      auto* fresh = new Chunk;
+      fresh->items[0] = item;
+      fresh->count.store(1, std::memory_order_relaxed);
+      // Publish the chunk before linking it so the consumer never observes a
+      // linked chunk with an unpublished first element.
+      chunk->next.store(fresh, std::memory_order_release);
+      tail_chunk_ = fresh;
+      ++pushed_;
+      return;
+    }
+    chunk->items[fill] = item;
+    chunk->count.store(fill + 1, std::memory_order_release);
+    ++pushed_;
+  }
+
+  /// Consumer side. Returns false when no item is currently available (the
+  /// producer may still push more later — emptiness is transient unless the
+  /// producer is known to be done, e.g. after the construction barrier).
+  bool try_pop(T& out) {
+    Chunk* chunk = head_chunk_;
+    const std::size_t available = chunk->count.load(std::memory_order_acquire);
+    if (read_index_ < available) {
+      out = chunk->items[read_index_++];
+      return true;
+    }
+    if (read_index_ == kChunkCapacity) {
+      Chunk* next = chunk->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        delete chunk;
+        head_chunk_ = next;
+        read_index_ = 0;
+        return try_pop(out);
+      }
+    }
+    return false;
+  }
+
+  /// Total number of items ever pushed. Producer-thread view; used by the
+  /// builder instrumentation after the barrier.
+  [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
+
+  /// True iff a try_pop() right now would fail. Consumer-thread view.
+  [[nodiscard]] bool empty() const noexcept {
+    Chunk* chunk = head_chunk_;
+    if (read_index_ < chunk->count.load(std::memory_order_acquire)) return false;
+    if (read_index_ == kChunkCapacity &&
+        chunk->next.load(std::memory_order_acquire) != nullptr) {
+      return false;
+    }
+    return true;
+  }
+
+  static constexpr std::size_t chunk_capacity() noexcept { return kChunkCapacity; }
+
+ private:
+  struct Chunk {
+    T items[kChunkCapacity];
+    std::atomic<std::size_t> count{0};  // published fill level (producer writes)
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  // Producer-only and consumer-only state live on separate cache lines so the
+  // pipelined builder variant does not induce false sharing between the ends.
+  alignas(64) Chunk* tail_chunk_;
+  std::uint64_t pushed_ = 0;
+  alignas(64) Chunk* head_chunk_;
+  std::size_t read_index_ = 0;
+};
+
+}  // namespace wfbn

@@ -1,0 +1,84 @@
+#include "concurrent/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  WFBN_EXPECT(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t id = 0; id < threads; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& kernel) {
+  std::unique_lock lock(mutex_);
+  kernel_ = &kernel;
+  first_error_ = nullptr;
+  remaining_ = workers_.size();
+  ++round_;
+  work_ready_.notify_all();
+  round_done_.wait(lock, [this] { return remaining_ == 0; });
+  kernel_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::uint64_t seen_round = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* kernel = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] { return shutting_down_ || round_ != seen_round; });
+      if (shutting_down_ && round_ == seen_round) return;
+      seen_round = round_;
+      kernel = kernel_;
+    }
+    std::exception_ptr error;
+    try {
+      (*kernel)(id);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) round_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  WFBN_EXPECT(begin <= end, "parallel_for range is inverted");
+  const std::size_t count = end - begin;
+  run([&](std::size_t p) {
+    const auto [lo, hi] = block_range(count, workers_.size(), p);
+    if (lo < hi) body(p, begin + lo, begin + hi);
+  });
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::block_range(
+    std::size_t count, std::size_t parts, std::size_t p) noexcept {
+  // Distribute the remainder over the first (count % parts) blocks so block
+  // sizes differ by at most one — the "uniformly divided" assumption of the
+  // paper's complexity analysis.
+  const std::size_t base = count / parts;
+  const std::size_t extra = count % parts;
+  const std::size_t lo = p * base + std::min(p, extra);
+  const std::size_t hi = lo + base + (p < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+}  // namespace wfbn

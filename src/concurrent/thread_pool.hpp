@@ -1,0 +1,68 @@
+// Fixed-size fork/join thread pool modeling the paper's PRAM-style execution:
+// P persistent worker threads, each with a stable id in [0, P), executing the
+// same kernel on disjoint index ranges.
+//
+// Unlike a task-stealing pool, workers here never migrate work — the
+// wait-free builder's correctness depends on "core p owns hashtable p", so
+// the pool exposes run(kernel) where kernel(p) is executed by worker p, plus
+// a convenience parallel_for that block-partitions an index range.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wfbn {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). The calling thread does not participate;
+  /// run() blocks it until the kernel completes everywhere.
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Executes kernel(p) on worker p for every p in [0, size()). Blocks until
+  /// all workers finish. If any kernel throws, the first exception is
+  /// rethrown on the caller after all workers have finished the round.
+  void run(const std::function<void(std::size_t)>& kernel);
+
+  /// Block-partitions [begin, end) over the workers and calls
+  /// body(worker, lo, hi) with each worker's contiguous subrange. Ranges of
+  /// size < size() leave the tail workers with empty ranges.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  /// The contiguous block [lo, hi) that worker `p` of `parts` receives for an
+  /// index range of `count` items (same partitioning the paper's Algorithm 1
+  /// applies to the training data). Exposed for tests and the simulator.
+  static std::pair<std::size_t, std::size_t> block_range(std::size_t count,
+                                                         std::size_t parts,
+                                                         std::size_t p) noexcept;
+
+ private:
+  void worker_loop(std::size_t id);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable round_done_;
+  const std::function<void(std::size_t)>* kernel_ = nullptr;
+  std::uint64_t round_ = 0;       // incremented per run(); workers wait on it
+  std::size_t remaining_ = 0;     // workers yet to finish the current round
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace wfbn

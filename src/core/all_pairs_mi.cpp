@@ -1,0 +1,217 @@
+#include "core/all_pairs_mi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/info_theory.hpp"
+#include "core/marginalizer.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace wfbn {
+
+std::vector<MiMatrix::ScoredPair> MiMatrix::pairs_above(double threshold) const {
+  std::vector<ScoredPair> out;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const double mi = at(i, j);
+      if (mi > threshold) out.push_back(ScoredPair{i, j, mi});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredPair& a, const ScoredPair& b) {
+    if (a.mi != b.mi) return a.mi > b.mi;
+    return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+  });
+  return out;
+}
+
+namespace {
+
+/// Unordered pairs (i, j), i < j, in a flat deterministic order.
+std::vector<std::pair<std::size_t, std::size_t>> enumerate_pairs(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  return pairs;
+}
+
+/// MI from a dense pair count table laid out as cell = s_i + r_i * s_j.
+double mi_from_pair_counts(const std::uint64_t* counts, std::uint32_t r_i,
+                           std::uint32_t r_j) {
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(r_i) * r_j; ++c) {
+    total += counts[c];
+  }
+  if (total == 0) return 0.0;
+  const double m = static_cast<double>(total);
+
+  // Derive the single-variable marginals from the pair table (paper §IV-C).
+  std::vector<std::uint64_t> row(r_i, 0);
+  std::vector<std::uint64_t> col(r_j, 0);
+  for (std::uint32_t b = 0; b < r_j; ++b) {
+    for (std::uint32_t a = 0; a < r_i; ++a) {
+      const std::uint64_t c = counts[a + static_cast<std::size_t>(r_i) * b];
+      row[a] += c;
+      col[b] += c;
+    }
+  }
+  double mi = 0.0;
+  for (std::uint32_t b = 0; b < r_j; ++b) {
+    if (col[b] == 0) continue;
+    for (std::uint32_t a = 0; a < r_i; ++a) {
+      const std::uint64_t c = counts[a + static_cast<std::size_t>(r_i) * b];
+      if (c == 0 || row[a] == 0) continue;
+      const double p_ab = static_cast<double>(c) / m;
+      const double p_a = static_cast<double>(row[a]) / m;
+      const double p_b = static_cast<double>(col[b]) / m;
+      mi += p_ab * std::log(p_ab / (p_a * p_b));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+}  // namespace
+
+AllPairsMi::AllPairsMi(AllPairsOptions options) : options_(options) {
+  WFBN_EXPECT(options_.threads >= 1, "need at least one thread");
+}
+
+MiMatrix AllPairsMi::compute(const PotentialTable& table) {
+  ThreadPool pool(options_.threads);
+  return compute(table, pool);
+}
+
+MiMatrix AllPairsMi::compute(const PotentialTable& table, ThreadPool& pool) {
+  const std::size_t n = table.codec().variable_count();
+  WFBN_EXPECT(n >= 2, "all-pairs MI needs at least two variables");
+  stats_ = AllPairsStats{};
+  stats_.pair_count = n * (n - 1) / 2;
+  stats_.worker_seconds.assign(pool.size(), 0.0);
+  stats_.worker_entries_visited.assign(pool.size(), 0);
+
+  Timer timer;
+  MiMatrix out(n);
+  switch (options_.strategy) {
+    case AllPairsStrategy::kPairParallel:
+      out = compute_pair_parallel(table, pool);
+      break;
+    case AllPairsStrategy::kEntryParallel:
+      out = compute_entry_parallel(table, pool);
+      break;
+    case AllPairsStrategy::kFused:
+      out = compute_fused(table, pool);
+      break;
+  }
+  stats_.total_seconds = timer.seconds();
+  return out;
+}
+
+MiMatrix AllPairsMi::compute_pair_parallel(const PotentialTable& table,
+                                           ThreadPool& pool) {
+  const KeyCodec& codec = table.codec();
+  const std::size_t n = codec.variable_count();
+  const auto pairs = enumerate_pairs(n);
+  MiMatrix out(n);
+
+  pool.parallel_for(0, pairs.size(), [&](std::size_t w, std::size_t lo,
+                                         std::size_t hi) {
+    Timer timer;
+    std::uint64_t visited = 0;
+    for (std::size_t k = lo; k < hi; ++k) {
+      const auto [i, j] = pairs[k];
+      const std::uint32_t r_i = codec.cardinality(i);
+      const std::uint32_t r_j = codec.cardinality(j);
+      const Key stride_i = codec.stride(i);
+      const Key stride_j = codec.stride(j);
+      std::vector<std::uint64_t> counts(static_cast<std::size_t>(r_i) * r_j, 0);
+      table.partitions().for_each([&](Key key, std::uint64_t c) {
+        const auto a = static_cast<std::size_t>((key / stride_i) % r_i);
+        const auto b = static_cast<std::size_t>((key / stride_j) % r_j);
+        counts[a + static_cast<std::size_t>(r_i) * b] += c;
+        ++visited;
+      });
+      out.set(i, j, mi_from_pair_counts(counts.data(), r_i, r_j));
+    }
+    stats_.worker_seconds[w] = timer.seconds();
+    stats_.worker_entries_visited[w] = visited;
+  });
+  return out;
+}
+
+MiMatrix AllPairsMi::compute_entry_parallel(const PotentialTable& table,
+                                            ThreadPool& pool) {
+  const std::size_t n = table.codec().variable_count();
+  const auto pairs = enumerate_pairs(n);
+  MiMatrix out(n);
+  const Marginalizer marginalizer(pool.size());
+
+  for (const auto& [i, j] : pairs) {
+    const std::size_t vars[] = {i, j};
+    const MarginalTable joint = marginalizer.marginalize(table, vars, pool);
+    out.set(i, j, mutual_information(joint));
+    const auto& ws = marginalizer.worker_stats();
+    for (std::size_t w = 0; w < ws.size(); ++w) {
+      stats_.worker_seconds[w] += ws[w].seconds;
+      stats_.worker_entries_visited[w] += ws[w].entries_visited;
+    }
+  }
+  return out;
+}
+
+MiMatrix AllPairsMi::compute_fused(const PotentialTable& table,
+                                   ThreadPool& pool) {
+  const KeyCodec& codec = table.codec();
+  const std::size_t n = codec.variable_count();
+  const auto pairs = enumerate_pairs(n);
+  const std::size_t parts = table.partitions().partition_count();
+
+  // Flat per-worker buffer holding all pair tables back to back.
+  std::vector<std::size_t> offsets(pairs.size() + 1, 0);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto [i, j] = pairs[k];
+    offsets[k + 1] = offsets[k] + static_cast<std::size_t>(codec.cardinality(i)) *
+                                      codec.cardinality(j);
+  }
+  std::vector<std::vector<std::uint64_t>> worker_counts(
+      pool.size(), std::vector<std::uint64_t>(offsets.back(), 0));
+
+  pool.run([&](std::size_t w) {
+    Timer timer;
+    std::uint64_t visited = 0;
+    std::vector<std::uint64_t>& counts = worker_counts[w];
+    std::vector<State> states(n);
+    const auto [lo, hi] = ThreadPool::block_range(parts, pool.size(), w);
+    for (std::size_t p = lo; p < hi; ++p) {
+      table.partitions().partition(p).for_each([&](Key key, std::uint64_t c) {
+        codec.decode_all(key, states);
+        ++visited;
+        for (std::size_t k = 0; k < pairs.size(); ++k) {
+          const auto [i, j] = pairs[k];
+          counts[offsets[k] + states[i] +
+                 static_cast<std::size_t>(codec.cardinality(i)) * states[j]] += c;
+        }
+      });
+    }
+    stats_.worker_seconds[w] = timer.seconds();
+    stats_.worker_entries_visited[w] = visited;
+  });
+
+  // Merge worker buffers, then score each pair.
+  std::vector<std::uint64_t>& merged = worker_counts[0];
+  for (std::size_t w = 1; w < worker_counts.size(); ++w) {
+    for (std::size_t c = 0; c < merged.size(); ++c) {
+      merged[c] += worker_counts[w][c];
+    }
+  }
+  MiMatrix out(n);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto [i, j] = pairs[k];
+    out.set(i, j, mi_from_pair_counts(merged.data() + offsets[k],
+                                      codec.cardinality(i), codec.cardinality(j)));
+  }
+  return out;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,90 @@
+// All-pairs mutual information (paper Algorithm 4): the statistics pass of
+// the drafting phase. For every pair (i, j) the pair marginal P(x_i, x_j) is
+// built from the potential table, and I(X_i;X_j) is evaluated from it (the
+// single-variable marginals are derived from the pair table — Eq. 1's three
+// marginalizations collapse into one, as §IV-C describes).
+//
+// Three scheduling strategies (DESIGN.md ablation ABL-MI):
+//  - kPairParallel   pairs are block-distributed over the workers; each
+//                    worker sweeps the whole table per pair (Algorithm 4's
+//                    round-robin pair scheduling).
+//  - kEntryParallel  pairs run one at a time; each marginalization is
+//                    data-parallel over table partitions (Algorithm 3 inside
+//                    Algorithm 4).
+//  - kFused          one parallel sweep of the table; each worker decodes a
+//                    key once and updates all n(n−1)/2 private pair tables,
+//                    which are then tree-merged. Fewest table passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/thread_pool.hpp"
+#include "table/potential_table.hpp"
+
+namespace wfbn {
+
+/// Symmetric n×n matrix of pair statistics with a zero diagonal.
+class MiMatrix {
+ public:
+  explicit MiMatrix(std::size_t n) : n_(n), cells_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return cells_[i * n_ + j];
+  }
+  void set(std::size_t i, std::size_t j, double value) {
+    cells_[i * n_ + j] = value;
+    cells_[j * n_ + i] = value;
+  }
+
+  /// Pairs with MI above `threshold`, sorted by descending MI — the candidate
+  /// edge list the drafting phase consumes.
+  struct ScoredPair {
+    std::size_t i, j;
+    double mi;
+  };
+  [[nodiscard]] std::vector<ScoredPair> pairs_above(double threshold) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> cells_;
+};
+
+enum class AllPairsStrategy { kPairParallel, kEntryParallel, kFused };
+
+struct AllPairsOptions {
+  std::size_t threads = 1;
+  AllPairsStrategy strategy = AllPairsStrategy::kPairParallel;
+};
+
+struct AllPairsStats {
+  double total_seconds = 0.0;
+  std::uint64_t pair_count = 0;
+  /// Per-worker busy time; max over workers is the simulated-makespan input.
+  std::vector<double> worker_seconds;
+  std::vector<std::uint64_t> worker_entries_visited;
+};
+
+class AllPairsMi {
+ public:
+  explicit AllPairsMi(AllPairsOptions options = {});
+
+  /// MI of every unordered variable pair of `table`.
+  [[nodiscard]] MiMatrix compute(const PotentialTable& table);
+  [[nodiscard]] MiMatrix compute(const PotentialTable& table, ThreadPool& pool);
+
+  [[nodiscard]] const AllPairsStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const AllPairsOptions& options() const noexcept { return options_; }
+
+ private:
+  MiMatrix compute_pair_parallel(const PotentialTable& table, ThreadPool& pool);
+  MiMatrix compute_entry_parallel(const PotentialTable& table, ThreadPool& pool);
+  MiMatrix compute_fused(const PotentialTable& table, ThreadPool& pool);
+
+  AllPairsOptions options_;
+  AllPairsStats stats_;
+};
+
+}  // namespace wfbn

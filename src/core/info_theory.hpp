@@ -1,0 +1,51 @@
+// Information-theoretic statistics tests over marginal count tables —
+// the quantities of paper §II-C (Definitions 2 and 3) plus the G-test
+// significance machinery Cheng et al.'s algorithm uses in practice.
+//
+// All entropies/informations are in nats (natural log). Zero counts
+// contribute zero (lim p→0 of p·log p), matching the usual convention.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "table/marginal_table.hpp"
+
+namespace wfbn {
+
+/// Shannon entropy H of the joint distribution a count table represents.
+[[nodiscard]] double entropy(const MarginalTable& table);
+
+/// Mutual information I(X;Y) (Eq. 1) from a joint count table whose variable
+/// set is exactly {x, y}. The single-variable marginals are derived from the
+/// pair table (the paper's optimization: one marginalization per pair).
+[[nodiscard]] double mutual_information(const MarginalTable& joint_xy);
+
+/// Conditional mutual information I(X;Y|Z) (Eq. 2) from a joint count table
+/// over {x, y} ∪ Z. `x` and `y` are global variable ids present in the
+/// table; every other table variable is treated as part of Z. With an empty
+/// Z this reduces to mutual_information (Eq. 1), as the paper notes.
+[[nodiscard]] double conditional_mutual_information(const MarginalTable& joint,
+                                                    std::size_t x, std::size_t y);
+
+/// G-test of (conditional) independence: G = 2·m·I(X;Y|Z) with
+/// dof = (r_x−1)(r_y−1)·Π r_z. Large G ⇒ dependence.
+struct GTestResult {
+  double g = 0.0;
+  std::uint64_t dof = 0;
+  double p_value = 1.0;  ///< P(χ²_dof ≥ g)
+};
+
+[[nodiscard]] GTestResult g_test(const MarginalTable& joint, std::size_t x,
+                                 std::size_t y);
+
+/// Survival function of the chi-squared distribution with `dof` degrees of
+/// freedom: P(X >= x). Implemented via the regularized incomplete gamma
+/// function (series + continued fraction), accurate to ~1e-12.
+[[nodiscard]] double chi_squared_sf(double x, double dof);
+
+/// Regularized lower incomplete gamma P(a, x); Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
+}  // namespace wfbn

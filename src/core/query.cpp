@@ -1,0 +1,116 @@
+#include "core/query.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+QueryEngine::QueryEngine(const PotentialTable& table, std::size_t threads)
+    : table_(table), threads_(threads) {
+  WFBN_EXPECT(threads >= 1, "query engine needs at least one thread");
+}
+
+MarginalTable QueryEngine::filtered_marginal(
+    std::span<const std::size_t> variables,
+    std::span<const Evidence> evidence) const {
+  const KeyCodec& codec = table_.codec();
+  for (const Evidence& e : evidence) {
+    WFBN_EXPECT(e.variable < codec.variable_count(), "evidence variable out of range");
+    WFBN_EXPECT(e.state < codec.cardinality(e.variable), "evidence state out of range");
+    WFBN_EXPECT(std::find(variables.begin(), variables.end(), e.variable) ==
+                    variables.end(),
+                "evidence variables must be disjoint from the query set");
+  }
+
+  const KeyProjector projector(codec, variables);
+  // Precompute (stride, cardinality, state) per evidence term for the sweep.
+  struct Filter {
+    Key stride;
+    std::uint64_t cardinality;
+    std::uint64_t state;
+  };
+  std::vector<Filter> filters;
+  filters.reserve(evidence.size());
+  for (const Evidence& e : evidence) {
+    filters.push_back(Filter{codec.stride(e.variable),
+                             codec.cardinality(e.variable), e.state});
+  }
+
+  const std::size_t parts = table_.partitions().partition_count();
+  ThreadPool pool(threads_);
+  std::vector<MarginalTable> partials(
+      pool.size(), MarginalTable(projector.variables(), projector.cardinalities()));
+
+  pool.run([&](std::size_t w) {
+    MarginalTable& partial = partials[w];
+    const auto [lo, hi] = ThreadPool::block_range(parts, pool.size(), w);
+    for (std::size_t p = lo; p < hi; ++p) {
+      table_.partitions().partition(p).for_each([&](Key key, std::uint64_t c) {
+        for (const Filter& f : filters) {
+          if ((key / f.stride) % f.cardinality != f.state) return;
+        }
+        partial.add(projector.project(key), c);
+      });
+    }
+  });
+
+  MarginalTable out = std::move(partials[0]);
+  for (std::size_t w = 1; w < partials.size(); ++w) out.merge(partials[w]);
+  return out;
+}
+
+std::vector<double> QueryEngine::marginal(
+    std::span<const std::size_t> variables) const {
+  return conditional(variables, {});
+}
+
+std::vector<double> QueryEngine::conditional(
+    std::span<const std::size_t> variables,
+    std::span<const Evidence> evidence) const {
+  const MarginalTable counts = filtered_marginal(variables, evidence);
+  const std::uint64_t total = counts.total();
+  if (total == 0) {
+    throw DataError("evidence has zero support in the training data");
+  }
+  std::vector<double> out(counts.cell_count());
+  for (std::uint64_t cell = 0; cell < counts.cell_count(); ++cell) {
+    out[cell] =
+        static_cast<double>(counts.count_at(cell)) / static_cast<double>(total);
+  }
+  return out;
+}
+
+double QueryEngine::evidence_probability(
+    std::span<const Evidence> evidence) const {
+  WFBN_EXPECT(!evidence.empty(), "evidence must be non-empty");
+  // Count matching rows by marginalizing the first evidence variable under
+  // the remaining filters, then selecting its observed state.
+  const std::size_t vars[] = {evidence.front().variable};
+  const MarginalTable counts =
+      filtered_marginal(vars, evidence.subspan(1));
+  const std::uint64_t matching = counts.count_at(evidence.front().state);
+  return static_cast<double>(matching) /
+         static_cast<double>(table_.sample_count());
+}
+
+QueryEngine::MapResult QueryEngine::most_probable(
+    std::span<const std::size_t> variables,
+    std::span<const Evidence> evidence) const {
+  const std::vector<double> distribution = conditional(variables, evidence);
+  const auto best = std::max_element(distribution.begin(), distribution.end());
+  std::uint64_t cell =
+      static_cast<std::uint64_t>(best - distribution.begin());
+
+  MapResult result;
+  result.probability = *best;
+  result.states.reserve(variables.size());
+  for (const std::size_t v : variables) {
+    const std::uint32_t r = table_.codec().cardinality(v);
+    result.states.push_back(static_cast<State>(cell % r));
+    cell /= r;
+  }
+  return result;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,69 @@
+// Probability queries over a potential table: normalized marginals,
+// conditionals given evidence, and MAP states — the "use the table you just
+// built" layer. The paper's footnote 2 observes that counts are normalized
+// lazily at marginalization time; this module is where that happens.
+//
+// Evidence filtering runs as one data-parallel sweep over the table
+// partitions (same access pattern as the marginalization primitive), so
+// conditioning costs the same O(#entries/P) as a marginal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "concurrent/thread_pool.hpp"
+#include "table/marginal_table.hpp"
+#include "table/potential_table.hpp"
+
+namespace wfbn {
+
+/// One observed variable.
+struct Evidence {
+  std::size_t variable;
+  State state;
+};
+
+class QueryEngine {
+ public:
+  /// The engine borrows `table`; it must outlive the engine.
+  QueryEngine(const PotentialTable& table, std::size_t threads = 1);
+
+  /// Normalized marginal distribution P(V) as probabilities in the layout of
+  /// MarginalTable::index_of over `variables`.
+  [[nodiscard]] std::vector<double> marginal(
+      std::span<const std::size_t> variables) const;
+
+  /// Conditional distribution P(V | evidence). Throws DataError if the
+  /// evidence has zero support in the data. Evidence variables must be
+  /// disjoint from `variables`.
+  [[nodiscard]] std::vector<double> conditional(
+      std::span<const std::size_t> variables,
+      std::span<const Evidence> evidence) const;
+
+  /// P(evidence): fraction of observations consistent with the evidence.
+  [[nodiscard]] double evidence_probability(
+      std::span<const Evidence> evidence) const;
+
+  /// Most probable joint state of `variables` (optionally given evidence),
+  /// with its probability. Ties break toward the lower cell index.
+  struct MapResult {
+    std::vector<State> states;
+    double probability = 0.0;
+  };
+  [[nodiscard]] MapResult most_probable(
+      std::span<const std::size_t> variables,
+      std::span<const Evidence> evidence = {}) const;
+
+ private:
+  /// Count table of `variables` restricted to rows matching `evidence`.
+  [[nodiscard]] MarginalTable filtered_marginal(
+      std::span<const std::size_t> variables,
+      std::span<const Evidence> evidence) const;
+
+  const PotentialTable& table_;
+  std::size_t threads_;
+};
+
+}  // namespace wfbn

@@ -1,0 +1,247 @@
+#include "core/wait_free_builder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "concurrent/affinity.hpp"
+#include "concurrent/barrier.hpp"
+#include "concurrent/spsc_queue.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace wfbn {
+
+namespace {
+
+using KeyQueue = SpscQueue<Key>;
+
+/// P×P queue fabric; cell (src, dst) carries keys produced by worker src for
+/// owner dst. Diagonal cells are never used (own keys go straight into the
+/// local table) but are allocated to keep indexing branch-free.
+class QueueFabric {
+ public:
+  explicit QueueFabric(std::size_t workers) : workers_(workers) {
+    cells_.reserve(workers * workers);
+    for (std::size_t i = 0; i < workers * workers; ++i) {
+      cells_.push_back(std::make_unique<KeyQueue>());
+    }
+  }
+
+  KeyQueue& at(std::size_t src, std::size_t dst) {
+    return *cells_[src * workers_ + dst];
+  }
+
+ private:
+  std::size_t workers_;
+  std::vector<std::unique_ptr<KeyQueue>> cells_;
+};
+
+}  // namespace
+
+std::uint64_t BuildStats::total_foreign_pushes() const noexcept {
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : workers) total += w.foreign_pushes;
+  return total;
+}
+
+std::uint64_t BuildStats::total_local_updates() const noexcept {
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : workers) total += w.local_updates;
+  return total;
+}
+
+double BuildStats::critical_path_seconds() const noexcept {
+  double stage1 = 0.0;
+  double stage2 = 0.0;
+  for (const WorkerStats& w : workers) {
+    stage1 = std::max(stage1, w.stage1_seconds);
+    stage2 = std::max(stage2, w.stage2_seconds);
+  }
+  return stage1 + stage2;
+}
+
+WaitFreeBuilder::WaitFreeBuilder(WaitFreeBuilderOptions options)
+    : options_(options) {
+  WFBN_EXPECT(options_.threads >= 1, "builder needs at least one thread");
+  WFBN_EXPECT(options_.pipeline_batch >= 1, "pipeline batch must be >= 1");
+}
+
+std::size_t WaitFreeBuilder::expected_entries_per_partition(
+    const Dataset& data, std::size_t threads) const {
+  if (options_.expected_distinct_keys != 0) {
+    return options_.expected_distinct_keys / threads + 1;
+  }
+  // Distinct keys are bounded by both m and the state space; for sparse data
+  // (the paper's regime) m dominates. A quarter of the bound is a reasonable
+  // starting size — the tables grow geometrically if it is exceeded.
+  const std::uint64_t bound = std::min<std::uint64_t>(
+      data.sample_count(), data.codec().state_space_size());
+  return static_cast<std::size_t>(bound / threads / 4 + 16);
+}
+
+PotentialTable WaitFreeBuilder::build(const Dataset& data) {
+  ThreadPool pool(options_.threads);
+  return build(data, pool);
+}
+
+PotentialTable WaitFreeBuilder::build(const Dataset& data, ThreadPool& pool) {
+  WFBN_EXPECT(data.sample_count() > 0, "cannot build a table from no data");
+  return options_.pipelined ? build_pipelined(data, pool)
+                            : build_phased(data, pool);
+}
+
+void WaitFreeBuilder::append(const Dataset& data, PotentialTable& table) {
+  WFBN_EXPECT(data.sample_count() > 0, "cannot append an empty batch");
+  if (data.cardinalities() != table.codec().cardinalities()) {
+    throw DataError("batch cardinalities do not match the table's codec");
+  }
+  if (table.partitions().rebalanced()) {
+    throw DataError(
+        "table was rebalanced — construction-time ownership no longer holds, "
+        "rebuild instead of appending");
+  }
+  ThreadPool pool(table.partitions().partition_count());
+  Timer total_timer;
+  run_phased(data, table.codec(), table.partitions(), pool);
+  stats_.total_seconds = total_timer.seconds();
+  table.record_additional_samples(data.sample_count());
+}
+
+PotentialTable WaitFreeBuilder::build_phased(const Dataset& data,
+                                             ThreadPool& pool) {
+  const std::size_t P = pool.size();
+  const KeyCodec codec = data.codec();
+  PartitionedTable table(P, codec.state_space_size(), options_.scheme,
+                         expected_entries_per_partition(data, P));
+  Timer total_timer;
+  run_phased(data, codec, table, pool);
+  stats_.total_seconds = total_timer.seconds();
+  return PotentialTable(codec, std::move(table),
+                        static_cast<std::uint64_t>(data.sample_count()));
+}
+
+void WaitFreeBuilder::run_phased(const Dataset& data, const KeyCodec& codec,
+                                 PartitionedTable& table, ThreadPool& pool) {
+  const std::size_t P = pool.size();
+  QueueFabric queues(P);
+  SpinBarrier barrier(P);
+  stats_ = BuildStats{};
+  stats_.workers.assign(P, WorkerStats{});
+
+  const std::size_t m = data.sample_count();
+
+  pool.run([&](std::size_t p) {
+    if (options_.pin_threads) pin_current_thread(p);
+    WorkerStats& ws = stats_.workers[p];
+    OpenHashTable& mine = table.partition(p);
+
+    // ---- Stage 1 (Algorithm 1): scan my block, route keys by ownership.
+    Timer stage_timer;
+    const auto [lo, hi] = ThreadPool::block_range(m, P, p);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Key key = codec.encode(data.row(i));
+      ++ws.rows_encoded;
+      const std::size_t owner = table.owner_of(key);
+      if (owner == p) {
+        mine.increment(key);
+        ++ws.local_updates;
+      } else {
+        queues.at(p, owner).push(key);
+        ++ws.foreign_pushes;
+      }
+    }
+    ws.stage1_seconds = stage_timer.seconds();
+
+    // ---- The single synchronization step between the stages.
+    Timer barrier_timer;
+    barrier.arrive_and_wait();
+    if (p == 0) stats_.barrier_seconds = barrier_timer.seconds();
+
+    // ---- Stage 2 (Algorithm 2): drain queues addressed to me.
+    stage_timer.reset();
+    Key key = 0;
+    for (std::size_t src = 0; src < P; ++src) {
+      if (src == p) continue;
+      KeyQueue& queue = queues.at(src, p);
+      while (queue.try_pop(key)) {
+        mine.increment(key);
+        ++ws.stage2_pops;
+      }
+    }
+    ws.stage2_seconds = stage_timer.seconds();
+  });
+}
+
+PotentialTable WaitFreeBuilder::build_pipelined(const Dataset& data,
+                                                ThreadPool& pool) {
+  const std::size_t P = pool.size();
+  const KeyCodec codec = data.codec();
+  PartitionedTable table(P, codec.state_space_size(), options_.scheme,
+                         expected_entries_per_partition(data, P));
+  QueueFabric queues(P);
+  stats_ = BuildStats{};
+  stats_.workers.assign(P, WorkerStats{});
+  std::atomic<std::size_t> producers_done{0};
+
+  const std::size_t m = data.sample_count();
+  const std::size_t batch = options_.pipeline_batch;
+  Timer total_timer;
+
+  pool.run([&](std::size_t p) {
+    if (options_.pin_threads) pin_current_thread(p);
+    WorkerStats& ws = stats_.workers[p];
+    OpenHashTable& mine = table.partition(p);
+    Timer stage_timer;
+
+    auto drain_once = [&] {
+      Key key = 0;
+      for (std::size_t src = 0; src < P; ++src) {
+        if (src == p) continue;
+        KeyQueue& queue = queues.at(src, p);
+        while (queue.try_pop(key)) {
+          mine.increment(key);
+          ++ws.stage2_pops;
+        }
+      }
+    };
+
+    // Interleave producing batches with draining inbound keys.
+    const auto [lo, hi] = ThreadPool::block_range(m, P, p);
+    std::size_t i = lo;
+    while (i < hi) {
+      const std::size_t stop = std::min(hi, i + batch);
+      for (; i < stop; ++i) {
+        const Key key = codec.encode(data.row(i));
+        ++ws.rows_encoded;
+        const std::size_t owner = table.owner_of(key);
+        if (owner == p) {
+          mine.increment(key);
+          ++ws.local_updates;
+        } else {
+          queues.at(p, owner).push(key);
+          ++ws.foreign_pushes;
+        }
+      }
+      drain_once();
+    }
+    ws.stage1_seconds = stage_timer.seconds();
+    producers_done.fetch_add(1, std::memory_order_acq_rel);
+
+    // Keep draining until every producer has finished, then one final pass:
+    // after producers_done == P no queue can grow, so an empty sweep means
+    // the fabric is fully drained.
+    stage_timer.reset();
+    while (producers_done.load(std::memory_order_acquire) < P) {
+      drain_once();
+    }
+    drain_once();
+    ws.stage2_seconds = stage_timer.seconds();
+  });
+
+  stats_.total_seconds = total_timer.seconds();
+  return PotentialTable(codec, std::move(table),
+                        static_cast<std::uint64_t>(m));
+}
+
+}  // namespace wfbn

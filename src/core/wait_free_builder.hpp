@@ -1,0 +1,106 @@
+// The wait-free table-construction primitive (paper §IV-B, Algorithms 1–2).
+//
+// Key-space ownership is split across P cores. Stage 1: each core scans its
+// block of the training data, encodes each row (Eq. 3), updates its own
+// hashtable for keys it owns and pushes foreign keys onto the SPSC queue
+// addressed to the owner. One barrier. Stage 2: each core drains the queues
+// addressed to it into its own table. Every memory word has exactly one
+// writer per stage, so no locks and no retries: both stages are wait-free,
+// and the only synchronization is the single barrier crossing.
+//
+// Two variants:
+//  - phased (the paper): barrier between the stages;
+//  - pipelined (paper §VI future work): consumers drain their inbound queues
+//    while producers are still running, removing the barrier at the cost of
+//    concurrent SPSC traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "concurrent/thread_pool.hpp"
+#include "data/dataset.hpp"
+#include "table/partitioned_table.hpp"
+#include "table/potential_table.hpp"
+
+namespace wfbn {
+
+struct WaitFreeBuilderOptions {
+  std::size_t threads = 1;
+  PartitionScheme scheme = PartitionScheme::kModulo;
+  /// Overlap stage 2 with stage 1 (no barrier). See class comment.
+  bool pipelined = false;
+  /// Pin worker p to core p when the OS allows it.
+  bool pin_threads = false;
+  /// Pre-size per-partition hashtables; 0 derives an estimate from m.
+  std::size_t expected_distinct_keys = 0;
+  /// Rows a pipelined producer processes between drain attempts.
+  std::size_t pipeline_batch = 4096;
+};
+
+/// Per-worker instrumentation. The counts feed the multicore scaling
+/// simulator (src/sim): they are exactly the per-core work terms of the
+/// paper's O(m·n/P) analysis.
+struct WorkerStats {
+  std::uint64_t rows_encoded = 0;    ///< stage-1 rows this worker scanned
+  std::uint64_t local_updates = 0;   ///< stage-1 updates into its own table
+  std::uint64_t foreign_pushes = 0;  ///< stage-1 keys routed to other owners
+  std::uint64_t stage2_pops = 0;     ///< stage-2 keys drained into its table
+  double stage1_seconds = 0.0;
+  double stage2_seconds = 0.0;
+};
+
+struct BuildStats {
+  std::vector<WorkerStats> workers;
+  double total_seconds = 0.0;
+  double barrier_seconds = 0.0;  ///< caller-observed barrier crossing cost
+
+  [[nodiscard]] std::uint64_t total_foreign_pushes() const noexcept;
+  [[nodiscard]] std::uint64_t total_local_updates() const noexcept;
+  /// max_p(stage1_p) + max_p(stage2_p): the makespan a P-core machine would
+  /// observe if each worker ran on its own core.
+  [[nodiscard]] double critical_path_seconds() const noexcept;
+};
+
+class WaitFreeBuilder {
+ public:
+  explicit WaitFreeBuilder(WaitFreeBuilderOptions options = {});
+
+  /// Builds the potential table of `data` with options().threads workers on
+  /// an internally managed pool.
+  [[nodiscard]] PotentialTable build(const Dataset& data);
+
+  /// Same, reusing an existing pool (pool.size() overrides options().threads).
+  [[nodiscard]] PotentialTable build(const Dataset& data, ThreadPool& pool);
+
+  /// Incremental update: folds additional observations into an existing
+  /// table with the same two-stage wait-free procedure (training data often
+  /// arrives in batches). Preconditions (checked): the dataset's
+  /// cardinalities match the table's codec, the table has not been
+  /// rebalance()d (ownership must still hold), and one worker is spawned per
+  /// existing partition. Throws DataError/PreconditionError on violation.
+  void append(const Dataset& data, PotentialTable& table);
+
+  /// Instrumentation from the most recent build().
+  [[nodiscard]] const BuildStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const WaitFreeBuilderOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  PotentialTable build_phased(const Dataset& data, ThreadPool& pool);
+  PotentialTable build_pipelined(const Dataset& data, ThreadPool& pool);
+  /// The two-stage kernel over an existing partitioned table (used by both
+  /// build_phased and append). Refreshes stats_ except total_seconds.
+  void run_phased(const Dataset& data, const KeyCodec& codec,
+                  PartitionedTable& table, ThreadPool& pool);
+  [[nodiscard]] std::size_t expected_entries_per_partition(
+      const Dataset& data, std::size_t threads) const;
+
+  WaitFreeBuilderOptions options_;
+  BuildStats stats_;
+};
+
+}  // namespace wfbn

@@ -1,0 +1,147 @@
+#include "core/wide_builder.hpp"
+
+#include <algorithm>
+
+#include "concurrent/barrier.hpp"
+#include "concurrent/spsc_queue.hpp"
+#include "core/info_theory.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+
+WideWaitFreeBuilder::WideWaitFreeBuilder(WideBuilderOptions options)
+    : options_(options) {
+  WFBN_EXPECT(options_.threads >= 1, "builder needs at least one thread");
+}
+
+WidePotentialTable WideWaitFreeBuilder::build(const Dataset& data) {
+  WFBN_EXPECT(data.sample_count() > 0, "cannot build a table from no data");
+  const std::size_t P = options_.threads;
+  const WideKeyCodec codec(data.cardinalities());
+  const std::size_t m = data.sample_count();
+
+  const std::size_t expected =
+      options_.expected_distinct_keys != 0
+          ? options_.expected_distinct_keys / P + 1
+          : m / P / 4 + 16;
+  std::vector<WideOpenHashTable> parts;
+  parts.reserve(P);
+  for (std::size_t p = 0; p < P; ++p) parts.emplace_back(expected);
+
+  // P×P SPSC fabric; cell (src, dst) carries keys from src to owner dst.
+  std::vector<std::unique_ptr<SpscQueue<WideKey>>> queues;
+  queues.reserve(P * P);
+  for (std::size_t i = 0; i < P * P; ++i) {
+    queues.push_back(std::make_unique<SpscQueue<WideKey>>());
+  }
+  SpinBarrier barrier(P);
+
+  ThreadPool pool(P);
+  pool.run([&](std::size_t p) {
+    WideOpenHashTable& mine = parts[p];
+    // Stage 1.
+    const auto [lo, hi] = ThreadPool::block_range(m, P, p);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const WideKey key = codec.encode(data.row(i));
+      const std::size_t owner =
+          static_cast<std::size_t>(wide_key_hash(key) % P);
+      if (owner == p) {
+        mine.increment(key);
+      } else {
+        queues[p * P + owner]->push(key);
+      }
+    }
+    barrier.arrive_and_wait();
+    // Stage 2.
+    WideKey key;
+    for (std::size_t src = 0; src < P; ++src) {
+      if (src == p) continue;
+      while (queues[src * P + p]->try_pop(key)) mine.increment(key);
+    }
+  });
+
+  return WidePotentialTable(codec, std::move(parts),
+                            static_cast<std::uint64_t>(m));
+}
+
+MarginalTable wide_marginalize(const WidePotentialTable& table,
+                               std::span<const std::size_t> variables,
+                               std::size_t threads) {
+  WFBN_EXPECT(threads >= 1, "need at least one thread");
+  const WideKeyProjector projector(table.codec(), variables);
+  const std::size_t parts = table.partition_count();
+  ThreadPool pool(threads);
+  std::vector<MarginalTable> partials(
+      pool.size(), MarginalTable(projector.variables(), projector.cardinalities()));
+  pool.run([&](std::size_t w) {
+    MarginalTable& partial = partials[w];
+    const auto [lo, hi] = ThreadPool::block_range(parts, pool.size(), w);
+    for (std::size_t p = lo; p < hi; ++p) {
+      table.partition(p).for_each([&](WideKey key, std::uint64_t c) {
+        partial.add(projector.project(key), c);
+      });
+    }
+  });
+  MarginalTable out = std::move(partials[0]);
+  for (std::size_t w = 1; w < partials.size(); ++w) out.merge(partials[w]);
+  return out;
+}
+
+MiMatrix wide_all_pairs_mi(const WidePotentialTable& table, std::size_t threads) {
+  WFBN_EXPECT(threads >= 1, "need at least one thread");
+  const WideKeyCodec& codec = table.codec();
+  const std::size_t n = codec.variable_count();
+  WFBN_EXPECT(n >= 2, "all-pairs MI needs at least two variables");
+
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  std::vector<std::size_t> offsets(pairs.size() + 1, 0);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    offsets[k + 1] = offsets[k] + static_cast<std::size_t>(
+                                      codec.cardinality(pairs[k].first)) *
+                                      codec.cardinality(pairs[k].second);
+  }
+
+  ThreadPool pool(threads);
+  const std::size_t parts = table.partition_count();
+  std::vector<std::vector<std::uint64_t>> worker_counts(
+      pool.size(), std::vector<std::uint64_t>(offsets.back(), 0));
+  pool.run([&](std::size_t w) {
+    std::vector<std::uint64_t>& counts = worker_counts[w];
+    std::vector<State> states(n);
+    const auto [lo, hi] = ThreadPool::block_range(parts, pool.size(), w);
+    for (std::size_t p = lo; p < hi; ++p) {
+      table.partition(p).for_each([&](WideKey key, std::uint64_t c) {
+        codec.decode_all(key, states);
+        for (std::size_t k = 0; k < pairs.size(); ++k) {
+          const auto [i, j] = pairs[k];
+          counts[offsets[k] + states[i] +
+                 static_cast<std::size_t>(codec.cardinality(i)) * states[j]] += c;
+        }
+      });
+    }
+  });
+
+  std::vector<std::uint64_t>& merged = worker_counts[0];
+  for (std::size_t w = 1; w < worker_counts.size(); ++w) {
+    for (std::size_t c = 0; c < merged.size(); ++c) merged[c] += worker_counts[w][c];
+  }
+
+  MiMatrix out(n);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto [i, j] = pairs[k];
+    MarginalTable joint({i, j}, {codec.cardinality(i), codec.cardinality(j)});
+    const std::size_t cells =
+        static_cast<std::size_t>(codec.cardinality(i)) * codec.cardinality(j);
+    for (std::size_t c = 0; c < cells; ++c) {
+      joint.add(c, merged[offsets[k] + c]);
+    }
+    out.set(i, j, mutual_information(joint));
+  }
+  return out;
+}
+
+}  // namespace wfbn

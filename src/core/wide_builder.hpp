@@ -1,0 +1,83 @@
+// Wide-key wait-free table construction + marginalization + all-pairs MI:
+// the same two-stage primitive as core/wait_free_builder.hpp, operating on
+// 128-bit keys so that networks beyond the 2^63 joint-state-space limit
+// (e.g. 100 binary or 60 ternary variables) get the identical wait-free
+// treatment. Ownership is hash-based: owner(key) = wide_key_hash(key) % P.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/thread_pool.hpp"
+#include "core/all_pairs_mi.hpp"
+#include "data/dataset.hpp"
+#include "table/marginal_table.hpp"
+#include "table/wide_key_codec.hpp"
+#include "table/wide_open_hash_table.hpp"
+
+namespace wfbn {
+
+/// Wide-key potential table: codec + P single-writer hashtables + m.
+class WidePotentialTable {
+ public:
+  WidePotentialTable(WideKeyCodec codec, std::vector<WideOpenHashTable> parts,
+                     std::uint64_t samples)
+      : codec_(std::move(codec)), parts_(std::move(parts)), samples_(samples) {}
+
+  [[nodiscard]] const WideKeyCodec& codec() const noexcept { return codec_; }
+  [[nodiscard]] std::size_t partition_count() const noexcept {
+    return parts_.size();
+  }
+  [[nodiscard]] const WideOpenHashTable& partition(std::size_t p) const {
+    return parts_[p];
+  }
+  [[nodiscard]] std::uint64_t sample_count() const noexcept { return samples_; }
+
+  [[nodiscard]] std::size_t distinct_keys() const noexcept {
+    std::size_t total = 0;
+    for (const auto& t : parts_) total += t.size();
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& t : parts_) total += t.total_count();
+    return total;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& t : parts_) t.for_each(fn);
+  }
+
+ private:
+  WideKeyCodec codec_;
+  std::vector<WideOpenHashTable> parts_;
+  std::uint64_t samples_;
+};
+
+struct WideBuilderOptions {
+  std::size_t threads = 1;
+  std::size_t expected_distinct_keys = 0;
+};
+
+class WideWaitFreeBuilder {
+ public:
+  explicit WideWaitFreeBuilder(WideBuilderOptions options = {});
+
+  /// Two-stage wait-free construction over wide keys.
+  [[nodiscard]] WidePotentialTable build(const Dataset& data);
+
+ private:
+  WideBuilderOptions options_;
+};
+
+/// Parallel marginalization over a wide table (Algorithm 3, wide keys).
+[[nodiscard]] MarginalTable wide_marginalize(const WidePotentialTable& table,
+                                             std::span<const std::size_t> variables,
+                                             std::size_t threads = 1);
+
+/// All-pairs MI over a wide table (fused single-sweep schedule).
+[[nodiscard]] MiMatrix wide_all_pairs_mi(const WidePotentialTable& table,
+                                         std::size_t threads = 1);
+
+}  // namespace wfbn

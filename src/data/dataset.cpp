@@ -1,0 +1,38 @@
+#include "data/dataset.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+Dataset::Dataset(std::size_t samples, std::vector<std::uint32_t> cardinalities)
+    : samples_(samples), cardinalities_(std::move(cardinalities)) {
+  WFBN_EXPECT(!cardinalities_.empty(), "dataset needs at least one variable");
+  cells_.assign(samples_ * cardinalities_.size(), 0);
+}
+
+Dataset::Dataset(std::size_t samples, std::vector<std::uint32_t> cardinalities,
+                 std::vector<State> cells)
+    : samples_(samples),
+      cardinalities_(std::move(cardinalities)),
+      cells_(std::move(cells)) {
+  WFBN_EXPECT(!cardinalities_.empty(), "dataset needs at least one variable");
+  if (cells_.size() != samples_ * cardinalities_.size()) {
+    throw DataError("cell buffer size does not match samples × variables");
+  }
+  if (!validate()) throw DataError("dataset contains out-of-range states");
+}
+
+bool Dataset::validate() const noexcept {
+  const std::size_t n = variable_count();
+  for (std::size_t i = 0; i < samples_; ++i) {
+    const State* cells = cells_.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (cells[j] >= cardinalities_[j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,64 @@
+// Training data container: the m × n matrix D of observed states (paper
+// §II-B). Row i is the i-th observation / state string.
+//
+// Stored row-major as uint8 states, since the construction primitive consumes
+// whole rows (encode → route); cardinalities travel with the matrix so every
+// consumer derives the same KeyCodec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "table/key_codec.hpp"
+
+namespace wfbn {
+
+class Dataset {
+ public:
+  /// Zero-initialized dataset of `samples` rows over variables with the given
+  /// cardinalities.
+  Dataset(std::size_t samples, std::vector<std::uint32_t> cardinalities);
+
+  /// Wraps existing row-major cells (cells.size() == samples * n). Throws
+  /// DataError if any state exceeds its cardinality.
+  Dataset(std::size_t samples, std::vector<std::uint32_t> cardinalities,
+          std::vector<State> cells);
+
+  [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t variable_count() const noexcept {
+    return cardinalities_.size();
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& cardinalities() const noexcept {
+    return cardinalities_;
+  }
+
+  [[nodiscard]] std::span<const State> row(std::size_t i) const noexcept {
+    return {cells_.data() + i * variable_count(), variable_count()};
+  }
+  [[nodiscard]] std::span<State> row(std::size_t i) noexcept {
+    return {cells_.data() + i * variable_count(), variable_count()};
+  }
+
+  [[nodiscard]] State at(std::size_t i, std::size_t j) const noexcept {
+    return cells_[i * variable_count() + j];
+  }
+  void set(std::size_t i, std::size_t j, State s) noexcept {
+    cells_[i * variable_count() + j] = s;
+  }
+
+  /// The codec all consumers of this dataset share.
+  [[nodiscard]] KeyCodec codec() const { return KeyCodec(cardinalities_); }
+
+  /// Checks every cell against its cardinality. O(m·n).
+  [[nodiscard]] bool validate() const noexcept;
+
+  [[nodiscard]] std::span<const State> raw() const noexcept { return cells_; }
+
+ private:
+  std::size_t samples_;
+  std::vector<std::uint32_t> cardinalities_;
+  std::vector<State> cells_;
+};
+
+}  // namespace wfbn

@@ -1,0 +1,82 @@
+#include "data/discretize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+State DiscretizationModel::transform_value(std::size_t j, double value) const {
+  const std::vector<double>& cuts = boundaries[j];
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), value);
+  return static_cast<State>(it - cuts.begin());
+}
+
+DiscretizationModel fit_discretizer(std::span<const double> values,
+                                    std::size_t samples, std::size_t columns,
+                                    DiscretizeOptions options) {
+  WFBN_EXPECT(options.bins >= 2 && options.bins <= 255, "bins in [2,255]");
+  WFBN_EXPECT(samples >= 2, "need at least two samples to fit bins");
+  WFBN_EXPECT(values.size() == samples * columns,
+              "value buffer does not match samples × columns");
+  for (const double v : values) {
+    if (!std::isfinite(v)) throw DataError("non-finite value in input");
+  }
+
+  DiscretizationModel model;
+  model.options = options;
+  model.boundaries.resize(columns);
+  std::vector<double> column(samples);
+  for (std::size_t j = 0; j < columns; ++j) {
+    for (std::size_t i = 0; i < samples; ++i) {
+      column[i] = values[i * columns + j];
+    }
+    std::vector<double>& cuts = model.boundaries[j];
+    cuts.reserve(options.bins - 1);
+    if (options.method == DiscretizeMethod::kEqualWidth) {
+      const auto [lo_it, hi_it] = std::minmax_element(column.begin(), column.end());
+      const double lo = *lo_it;
+      const double hi = *hi_it;
+      const double width = (hi - lo) / options.bins;
+      for (std::uint32_t k = 1; k < options.bins; ++k) {
+        cuts.push_back(lo + width * k);
+      }
+    } else {
+      std::sort(column.begin(), column.end());
+      for (std::uint32_t k = 1; k < options.bins; ++k) {
+        const std::size_t rank = k * samples / options.bins;
+        cuts.push_back(column[std::min(rank, samples - 1)]);
+      }
+    }
+    // Degenerate columns (constant value) produce equal cut points; keep
+    // them — every value lands in one bin, which is the honest encoding.
+  }
+  return model;
+}
+
+Dataset discretize(const DiscretizationModel& model,
+                   std::span<const double> values, std::size_t samples,
+                   std::size_t columns) {
+  WFBN_EXPECT(model.boundaries.size() == columns,
+              "model fitted for a different column count");
+  WFBN_EXPECT(values.size() == samples * columns,
+              "value buffer does not match samples × columns");
+  Dataset data(samples,
+               std::vector<std::uint32_t>(columns, model.options.bins));
+  for (std::size_t i = 0; i < samples; ++i) {
+    auto row = data.row(i);
+    for (std::size_t j = 0; j < columns; ++j) {
+      row[j] = model.transform_value(j, values[i * columns + j]);
+    }
+  }
+  return data;
+}
+
+Dataset discretize(std::span<const double> values, std::size_t samples,
+                   std::size_t columns, DiscretizeOptions options) {
+  return discretize(fit_discretizer(values, samples, columns, options), values,
+                    samples, columns);
+}
+
+}  // namespace wfbn

@@ -1,0 +1,51 @@
+// Discretization of continuous observations into the discrete Dataset the
+// primitives consume. Real structure-learning inputs (gene expression,
+// sensor values) are continuous; the paper's machinery assumes discrete
+// states, so this is the standard preprocessing front door.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace wfbn {
+
+enum class DiscretizeMethod {
+  kEqualWidth,      ///< bins of equal value range between per-column min/max
+  kEqualFrequency,  ///< quantile bins (≈ equal sample counts per bin)
+};
+
+struct DiscretizeOptions {
+  DiscretizeMethod method = DiscretizeMethod::kEqualFrequency;
+  std::uint32_t bins = 3;
+};
+
+/// Per-column bin boundaries produced by fit (boundaries[j] has bins−1
+/// ascending cut points; value < cut[k] ⇒ state <= k).
+struct DiscretizationModel {
+  DiscretizeOptions options;
+  std::vector<std::vector<double>> boundaries;
+
+  /// State of a single value for column j.
+  [[nodiscard]] State transform_value(std::size_t j, double value) const;
+};
+
+/// Learns cut points from row-major continuous data (samples × columns).
+[[nodiscard]] DiscretizationModel fit_discretizer(
+    std::span<const double> values, std::size_t samples, std::size_t columns,
+    DiscretizeOptions options = {});
+
+/// Applies a fitted model. Values outside the fitted range clamp to the
+/// first/last bin.
+[[nodiscard]] Dataset discretize(const DiscretizationModel& model,
+                                 std::span<const double> values,
+                                 std::size_t samples, std::size_t columns);
+
+/// fit + transform in one call.
+[[nodiscard]] Dataset discretize(std::span<const double> values,
+                                 std::size_t samples, std::size_t columns,
+                                 DiscretizeOptions options = {});
+
+}  // namespace wfbn

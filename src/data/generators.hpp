@@ -1,0 +1,45 @@
+// Synthetic training-data generators.
+//
+// The paper's evaluation (§V-A) uses "variable instances synthesized from
+// uniform and independent distributions for each variable" — that is
+// generate_uniform(). Correlated and clustered generators are provided so the
+// tests and ablations can also exercise skewed key populations (where e.g.
+// modulo vs. range partitioning behave differently), and BN forward sampling
+// (src/bn/sampling.hpp) gives data with real structure for the end-to-end
+// learning examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace wfbn {
+
+/// Uniform, independent states per variable — the paper's workload.
+/// Deterministic in (samples, cardinalities, seed, threads): block `b` of the
+/// row range is filled from RNG stream `b` (disjoint xoshiro jump streams),
+/// with blocks assigned by ThreadPool::block_range.
+Dataset generate_uniform(std::size_t samples,
+                         std::vector<std::uint32_t> cardinalities,
+                         std::uint64_t seed, std::size_t threads = 1);
+
+/// Uniform with uniform cardinality r over n variables (paper parameters).
+Dataset generate_uniform(std::size_t samples, std::size_t n, std::uint32_t r,
+                         std::uint64_t seed, std::size_t threads = 1);
+
+/// Pairwise-correlated data: variable j copies variable j-1 with probability
+/// `copy_prob`, else samples uniformly. Produces strongly dependent adjacent
+/// pairs — useful to validate that mutual information ranks true edges first.
+Dataset generate_chain_correlated(std::size_t samples, std::size_t n,
+                                  std::uint32_t r, double copy_prob,
+                                  std::uint64_t seed);
+
+/// Skewed keys: rows are drawn from `hot_fraction` of the state space with
+/// probability `hot_mass` (a heavy-hitter distribution). Stresses hashtable
+/// collision handling and partition imbalance.
+Dataset generate_skewed(std::size_t samples, std::size_t n, std::uint32_t r,
+                        double hot_fraction, double hot_mass,
+                        std::uint64_t seed);
+
+}  // namespace wfbn

@@ -1,0 +1,154 @@
+#include "data/io.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+namespace {
+
+std::vector<std::uint32_t> parse_int_line(const std::string& line,
+                                          const char* what) {
+  std::vector<std::uint32_t> out;
+  std::size_t begin = 0;
+  while (begin <= line.size()) {
+    std::size_t end = line.find(',', begin);
+    if (end == std::string::npos) end = line.size();
+    std::uint32_t value = 0;
+    const char* first = line.data() + begin;
+    const char* last = line.data() + end;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last || first == last) {
+      throw DataError(std::string("malformed ") + what + " in CSV: '" + line + "'");
+    }
+    out.push_back(value);
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_csv(const Dataset& data, std::ostream& out) {
+  const auto& cards = data.cardinalities();
+  for (std::size_t j = 0; j < cards.size(); ++j) {
+    out << cards[j] << (j + 1 < cards.size() ? "," : "\n");
+  }
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      out << static_cast<unsigned>(row[j]) << (j + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+void write_csv_file(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw DataError("cannot open for writing: " + path);
+  write_csv(data, out);
+  if (!out) throw DataError("write failed: " + path);
+}
+
+Dataset read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw DataError("CSV is empty");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::uint32_t> cards = parse_int_line(line, "cardinality header");
+  for (const std::uint32_t r : cards) {
+    if (r == 0 || r > 255) {
+      throw DataError("cardinality out of supported range [1,255]");
+    }
+  }
+
+  std::vector<State> cells;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::uint32_t> row = parse_int_line(line, "observation row");
+    if (row.size() != cards.size()) {
+      throw DataError("ragged CSV row: expected " + std::to_string(cards.size()) +
+                      " states, got " + std::to_string(row.size()));
+    }
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (row[j] >= cards[j]) {
+        throw DataError("state " + std::to_string(row[j]) +
+                        " out of range for variable " + std::to_string(j));
+      }
+      cells.push_back(static_cast<State>(row[j]));
+    }
+    ++samples;
+  }
+  return Dataset(samples, std::move(cards), std::move(cells));
+}
+
+Dataset read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DataError("cannot open for reading: " + path);
+  return read_csv(in);
+}
+
+namespace {
+constexpr char kMagic[4] = {'W', 'F', 'B', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw DataError("truncated binary dataset");
+  return value;
+}
+}  // namespace
+
+void write_binary_file(const Dataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw DataError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(data.sample_count()));
+  write_pod(out, static_cast<std::uint32_t>(data.variable_count()));
+  for (const std::uint32_t r : data.cardinalities()) write_pod(out, r);
+  const auto raw = data.raw();
+  out.write(reinterpret_cast<const char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+  if (!out) throw DataError("write failed: " + path);
+}
+
+Dataset read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DataError("cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    throw DataError("not a WFBN binary dataset: " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw DataError("unsupported dataset version " + std::to_string(version));
+  }
+  const auto samples = read_pod<std::uint64_t>(in);
+  const auto n = read_pod<std::uint32_t>(in);
+  if (n == 0) throw DataError("binary dataset has zero variables");
+  std::vector<std::uint32_t> cards(n);
+  for (auto& r : cards) r = read_pod<std::uint32_t>(in);
+  std::vector<State> cells(static_cast<std::size_t>(samples) * n);
+  in.read(reinterpret_cast<char*>(cells.data()),
+          static_cast<std::streamsize>(cells.size()));
+  if (!in) throw DataError("truncated binary dataset: " + path);
+  return Dataset(static_cast<std::size_t>(samples), std::move(cards),
+                 std::move(cells));
+}
+
+}  // namespace wfbn

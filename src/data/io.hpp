@@ -1,0 +1,27 @@
+// Dataset persistence: CSV (human-readable, interoperable with bnlearn-style
+// tooling) and a compact binary format for large synthetic datasets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace wfbn {
+
+/// CSV layout: first line "r_1,r_2,...,r_n" (cardinalities header), then one
+/// observation per line as comma-separated integer states.
+void write_csv(const Dataset& data, std::ostream& out);
+void write_csv_file(const Dataset& data, const std::string& path);
+
+/// Parses the layout produced by write_csv. Throws DataError on malformed
+/// input (ragged rows, non-integers, out-of-range states).
+Dataset read_csv(std::istream& in);
+Dataset read_csv_file(const std::string& path);
+
+/// Binary layout: magic "WFBN" + u32 version + u64 m + u32 n + n×u32
+/// cardinalities + m·n bytes of states. Little-endian, as written.
+void write_binary_file(const Dataset& data, const std::string& path);
+Dataset read_binary_file(const std::string& path);
+
+}  // namespace wfbn

@@ -1,0 +1,186 @@
+#include "learn/cheng.hpp"
+
+#include <algorithm>
+
+#include "core/wait_free_builder.hpp"
+#include "learn/orientation.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace wfbn {
+
+namespace {
+
+using Pair = std::pair<std::size_t, std::size_t>;
+
+Pair ordered(std::size_t a, std::size_t b) { return {std::min(a, b), std::max(a, b)}; }
+
+/// Heuristic cut-set for (x, y) in `graph`: the smaller of the two endpoint
+/// neighborhoods restricted to nodes lying on x–y paths (every true separator
+/// must intersect those paths), truncated to `cap` members.
+std::vector<std::size_t> candidate_cutset(const UndirectedGraph& graph,
+                                          std::size_t x, std::size_t y,
+                                          std::size_t cap) {
+  const std::vector<NodeId> on_paths = graph.nodes_on_paths(x, y);
+  auto neighborhood = [&](std::size_t v) {
+    std::vector<std::size_t> out;
+    for (const NodeId w : graph.neighbors(v)) {
+      if (std::find(on_paths.begin(), on_paths.end(), w) != on_paths.end()) {
+        out.push_back(w);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  std::vector<std::size_t> n_x = neighborhood(x);
+  std::vector<std::size_t> n_y = neighborhood(y);
+  std::vector<std::size_t>& chosen = n_x.size() <= n_y.size() ? n_x : n_y;
+  if (chosen.size() > cap) chosen.resize(cap);
+  return chosen;
+}
+
+/// Greedy cut-set minimization: drop members whose removal keeps the pair
+/// independent. Returns the reduced set (and reports the final decision).
+std::vector<std::size_t> minimize_cutset(const CiTester& tester, std::size_t x,
+                                         std::size_t y,
+                                         std::vector<std::size_t> z) {
+  bool changed = true;
+  while (changed && z.size() > 1) {
+    changed = false;
+    for (std::size_t drop = 0; drop < z.size(); ++drop) {
+      std::vector<std::size_t> reduced;
+      reduced.reserve(z.size() - 1);
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        if (i != drop) reduced.push_back(z[i]);
+      }
+      if (tester.test(x, y, reduced).independent) {
+        z = std::move(reduced);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return z;
+}
+
+}  // namespace
+
+ChengLearner::ChengLearner(ChengOptions options) : options_(options) {
+  WFBN_EXPECT(options_.max_cutset_size >= 1, "cut-set cap must be >= 1");
+}
+
+ChengResult ChengLearner::learn(const Dataset& data) const {
+  Timer timer;
+  WaitFreeBuilderOptions builder_options;
+  builder_options.threads = options_.ci.threads;
+  WaitFreeBuilder builder(builder_options);
+  const PotentialTable table = builder.build(data);
+  ChengResult result = learn(table);
+  result.timings.table_construction = timer.seconds() - result.timings.drafting -
+                                      result.timings.thickening -
+                                      result.timings.thinning -
+                                      result.timings.orientation;
+  return result;
+}
+
+ChengResult ChengLearner::learn(const PotentialTable& table) const {
+  const std::size_t n = table.codec().variable_count();
+  ChengResult result{UndirectedGraph(n), Dag(n), MiMatrix(n), 0, 0, 0,
+                     0, PhaseTimings{}, {}};
+  CiTester tester(table, options_.ci);
+
+  // ---------- Phase 1: drafting ----------
+  Timer phase_timer;
+  AllPairsOptions ap;
+  ap.threads = options_.ci.threads;
+  ap.strategy = options_.all_pairs_strategy;
+  AllPairsMi all_pairs(ap);
+  result.mi = all_pairs.compute(table);
+
+  const double epsilon = options_.ci.method == CiMethod::kMiThreshold
+                             ? options_.ci.mi_threshold
+                             : 0.0;
+  const auto scored = result.mi.pairs_above(epsilon);
+
+  // Pairs below ε are marginally independent with empty separating set.
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = x + 1; y < n; ++y) {
+      if (result.mi.at(x, y) <= epsilon) result.sepsets[ordered(x, y)] = {};
+    }
+  }
+
+  UndirectedGraph& graph = result.skeleton;
+  std::vector<MiMatrix::ScoredPair> deferred;
+  for (const auto& pair : scored) {
+    if (!graph.has_path(pair.i, pair.j)) {
+      graph.add_edge(pair.i, pair.j);
+    } else {
+      deferred.push_back(pair);
+    }
+  }
+  result.draft_edge_count = graph.edge_count();
+  result.timings.drafting = phase_timer.seconds();
+
+  // ---------- Phase 2: thickening ----------
+  phase_timer.reset();
+  for (const auto& pair : deferred) {
+    std::vector<std::size_t> z =
+        candidate_cutset(graph, pair.i, pair.j, options_.max_cutset_size);
+    const CiDecision decision = tester.test(pair.i, pair.j, z);
+    if (!decision.independent) {
+      graph.add_edge(pair.i, pair.j);
+      ++result.thickening_added;
+    } else {
+      if (options_.minimize_cutsets && z.size() > 1) {
+        z = minimize_cutset(tester, pair.i, pair.j, std::move(z));
+      }
+      result.sepsets[ordered(pair.i, pair.j)] = z;
+    }
+  }
+  result.timings.thickening = phase_timer.seconds();
+
+  // ---------- Phase 3: thinning ----------
+  phase_timer.reset();
+  bool removed_any = true;
+  while (removed_any) {
+    removed_any = false;
+    for (const Edge& e : graph.edges()) {
+      graph.remove_edge(e.from, e.to);
+      if (!graph.has_path(e.from, e.to)) {
+        // The edge is the only connection — keep it (its MI cleared ε).
+        graph.add_edge(e.from, e.to);
+        continue;
+      }
+      std::vector<std::size_t> z =
+          candidate_cutset(graph, e.from, e.to, options_.max_cutset_size);
+      const CiDecision decision = tester.test(e.from, e.to, z);
+      if (decision.independent) {
+        ++result.thinning_removed;
+        removed_any = true;
+        if (options_.minimize_cutsets && z.size() > 1) {
+          z = minimize_cutset(tester, e.from, e.to, std::move(z));
+        }
+        result.sepsets[ordered(e.from, e.to)] = z;
+      } else {
+        graph.add_edge(e.from, e.to);
+      }
+    }
+  }
+  result.timings.thinning = phase_timer.seconds();
+
+  // ---------- Orientation ----------
+  phase_timer.reset();
+  if (options_.orient) {
+    result.oriented = orient_skeleton(graph, result.sepsets);
+  } else {
+    // Unoriented fallback: low → high.
+    Dag dag(n);
+    for (const Edge& e : graph.edges()) dag.add_edge(e.from, e.to);
+    result.oriented = std::move(dag);
+  }
+  result.timings.orientation = phase_timer.seconds();
+  result.ci_tests = tester.tests_performed();
+  return result;
+}
+
+}  // namespace wfbn

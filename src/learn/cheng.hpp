@@ -1,0 +1,82 @@
+// Cheng et al. (2002) three-phase constraint-based structure learner —
+// the algorithm whose first phase the paper's primitives initialize
+// (paper §II-C), completed here with thickening, thinning, and v-structure
+// orientation so the library learns full structures end to end.
+//
+// Phase 1, drafting: all-pairs MI via the wait-free table + marginalization
+//   primitives; pairs above ε, in descending MI order, become draft edges
+//   when their endpoints are not yet connected by any path; the rest are
+//   deferred.
+// Phase 2, thickening: every deferred pair is re-examined with a conditional
+//   test given a heuristic cut-set; dependent pairs gain an edge.
+// Phase 3, thinning: every edge whose endpoints stay connected without it is
+//   re-tested given a (greedily minimized) cut-set; independent pairs lose
+//   their edge.
+// Orientation: v-structures from recorded separating sets, then Meek rules.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bn/dag.hpp"
+#include "core/all_pairs_mi.hpp"
+#include "data/dataset.hpp"
+#include "learn/independence.hpp"
+
+namespace wfbn {
+
+struct ChengOptions {
+  CiOptions ci;  ///< threshold/alpha + threads for all statistics tests
+  AllPairsStrategy all_pairs_strategy = AllPairsStrategy::kFused;
+  /// Cut-sets are truncated to this size (keeps conditioning tables dense and
+  /// counts statistically meaningful).
+  std::size_t max_cutset_size = 6;
+  /// Greedily drop cut-set members that are not needed for separation (the
+  /// paper's reference algorithm minimizes cut-sets; costs extra CI tests).
+  bool minimize_cutsets = true;
+  bool orient = true;
+};
+
+struct PhaseTimings {
+  double table_construction = 0.0;
+  double drafting = 0.0;
+  double thickening = 0.0;
+  double thinning = 0.0;
+  double orientation = 0.0;
+};
+
+struct ChengResult {
+  UndirectedGraph skeleton;        ///< final phase-3 skeleton
+  Dag oriented;                    ///< v-structures + Meek closure; remaining
+                                   ///< edges oriented low→high node id
+  MiMatrix mi;                     ///< phase-1 all-pairs MI
+  std::size_t draft_edge_count = 0;
+  std::size_t thickening_added = 0;
+  std::size_t thinning_removed = 0;
+  std::uint64_t ci_tests = 0;      ///< statistics tests beyond the MI matrix
+  PhaseTimings timings;
+  /// Separating sets found for non-adjacent pairs (key: (min,max)) — the
+  /// evidence the orientation step consumes.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>> sepsets;
+};
+
+class ChengLearner {
+ public:
+  explicit ChengLearner(ChengOptions options = {});
+
+  /// Learns from raw data: builds the potential table with the wait-free
+  /// primitive (options().ci.threads workers), then runs the three phases.
+  [[nodiscard]] ChengResult learn(const Dataset& data) const;
+
+  /// Learns from a pre-built potential table.
+  [[nodiscard]] ChengResult learn(const PotentialTable& table) const;
+
+  [[nodiscard]] const ChengOptions& options() const noexcept { return options_; }
+
+ private:
+  ChengOptions options_;
+};
+
+}  // namespace wfbn

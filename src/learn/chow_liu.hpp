@@ -1,0 +1,24 @@
+// Chow–Liu tree (paper reference [6]): the maximum-spanning-tree over
+// pairwise mutual information — the classic consumer of an all-pairs MI
+// matrix, included to show the primitives feeding a second learner.
+#pragma once
+
+#include "bn/dag.hpp"
+#include "core/all_pairs_mi.hpp"
+
+namespace wfbn {
+
+struct ChowLiuResult {
+  UndirectedGraph tree;  ///< the maximum-weight spanning tree/forest
+  Dag rooted;            ///< tree rooted at `root` (edges point away from it)
+  double total_mi = 0.0; ///< sum of MI over chosen edges
+};
+
+/// Builds the maximum-spanning tree of the MI matrix (Prim's algorithm).
+/// Edges with MI <= min_mi are not used, so disconnected variables yield a
+/// forest. `root` selects the orientation root for each component (the
+/// component's lowest node id if `root` is outside the component).
+[[nodiscard]] ChowLiuResult chow_liu_tree(const MiMatrix& mi, double min_mi = 0.0,
+                                          NodeId root = 0);
+
+}  // namespace wfbn

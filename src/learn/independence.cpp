@@ -1,0 +1,45 @@
+#include "learn/independence.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+CiTester::CiTester(const PotentialTable& table, CiOptions options)
+    : table_(table), options_(options), marginalizer_(options.threads) {
+  WFBN_EXPECT(options_.threads >= 1, "need at least one thread");
+  WFBN_EXPECT(options_.mi_threshold >= 0.0, "MI threshold must be >= 0");
+  WFBN_EXPECT(options_.alpha > 0.0 && options_.alpha < 1.0, "alpha in (0,1)");
+}
+
+CiDecision CiTester::test(std::size_t x, std::size_t y,
+                          std::span<const std::size_t> z) const {
+  WFBN_EXPECT(x != y, "x and y must differ");
+  WFBN_EXPECT(std::find(z.begin(), z.end(), x) == z.end(), "x must not be in Z");
+  WFBN_EXPECT(std::find(z.begin(), z.end(), y) == z.end(), "y must not be in Z");
+  ++tests_;
+
+  std::vector<std::size_t> joint_vars{x, y};
+  joint_vars.insert(joint_vars.end(), z.begin(), z.end());
+  const MarginalTable joint = marginalizer_.marginalize(table_, joint_vars);
+
+  CiDecision decision;
+  if (options_.method == CiMethod::kMiThreshold) {
+    decision.statistic = conditional_mutual_information(joint, x, y);
+    decision.independent = decision.statistic < options_.mi_threshold;
+  } else {
+    const GTestResult g = g_test(joint, x, y);
+    decision.statistic = g.g;
+    decision.p_value = g.p_value;
+    decision.independent = g.p_value >= options_.alpha;
+  }
+  return decision;
+}
+
+double CiTester::pair_mi(std::size_t x, std::size_t y) const {
+  const std::size_t vars[] = {x, y};
+  return mutual_information(marginalizer_.marginalize(table_, vars));
+}
+
+}  // namespace wfbn

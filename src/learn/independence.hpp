@@ -1,0 +1,61 @@
+// Conditional-independence testing on a potential table — the statistics
+// tests of Cheng et al.'s algorithm (paper §II-C). A test marginalizes the
+// potential table to {x, y} ∪ Z with the parallel marginalization primitive
+// and then decides (in)dependence either by thresholding conditional mutual
+// information (Cheng's criterion) or by a G-test p-value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "concurrent/thread_pool.hpp"
+#include "core/info_theory.hpp"
+#include "core/marginalizer.hpp"
+#include "table/potential_table.hpp"
+
+namespace wfbn {
+
+enum class CiMethod {
+  kMiThreshold,  ///< dependent ⇔ I(X;Y|Z) ≥ ε (Cheng et al.)
+  kGTest,        ///< dependent ⇔ G-test p-value < α
+};
+
+struct CiOptions {
+  CiMethod method = CiMethod::kMiThreshold;
+  double mi_threshold = 0.01;  ///< ε (nats) for kMiThreshold
+  double alpha = 0.01;         ///< significance level for kGTest
+  std::size_t threads = 1;
+};
+
+struct CiDecision {
+  bool independent = false;
+  double statistic = 0.0;  ///< I(X;Y|Z) in nats (kMiThreshold) or G (kGTest)
+  double p_value = 1.0;    ///< 1.0 for kMiThreshold (not computed)
+};
+
+/// Stateless apart from configuration + the table it tests against; safe to
+/// share across sequential phases. Counts tests for complexity reporting.
+class CiTester {
+ public:
+  CiTester(const PotentialTable& table, CiOptions options);
+
+  /// Tests X ⟂ Y | Z. Z may be empty (marginal independence, Eq. 1).
+  [[nodiscard]] CiDecision test(std::size_t x, std::size_t y,
+                                std::span<const std::size_t> z) const;
+
+  /// Marginal mutual information I(X;Y) — drafting-phase scores.
+  [[nodiscard]] double pair_mi(std::size_t x, std::size_t y) const;
+
+  [[nodiscard]] std::uint64_t tests_performed() const noexcept { return tests_; }
+  [[nodiscard]] const CiOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const PotentialTable& table() const noexcept { return table_; }
+
+ private:
+  const PotentialTable& table_;
+  CiOptions options_;
+  Marginalizer marginalizer_;
+  mutable std::uint64_t tests_ = 0;
+};
+
+}  // namespace wfbn

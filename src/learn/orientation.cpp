@@ -1,0 +1,113 @@
+#include "learn/orientation.hpp"
+
+#include <algorithm>
+
+namespace wfbn {
+
+Dag orient_skeleton(const UndirectedGraph& skeleton, const SepsetMap& sepsets) {
+  const std::size_t n = skeleton.node_count();
+  // directed[u][v]: u → v decided.
+  std::vector<std::vector<bool>> directed(n, std::vector<bool>(n, false));
+  auto is_oriented = [&](NodeId u, NodeId v) {
+    return directed[u][v] || directed[v][u];
+  };
+  auto ordered = [](NodeId a, NodeId b) {
+    return std::make_pair(std::min(a, b), std::max(a, b));
+  };
+
+  // ---- v-structures.
+  for (NodeId x = 0; x < n; ++x) {
+    for (NodeId y = x + 1; y < n; ++y) {
+      if (skeleton.has_edge(x, y)) continue;
+      const auto it = sepsets.find(ordered(x, y));
+      const std::vector<std::size_t>* sep =
+          it == sepsets.end() ? nullptr : &it->second;
+      for (const NodeId w : skeleton.neighbors(x)) {
+        if (!skeleton.has_edge(w, y)) continue;
+        const bool in_sep =
+            sep != nullptr && std::find(sep->begin(), sep->end(), w) != sep->end();
+        if (!in_sep) {
+          if (!directed[w][x]) directed[x][w] = true;
+          if (!directed[w][y]) directed[y][w] = true;
+        }
+      }
+    }
+  }
+
+  // ---- Meek rules 1–4 to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto orient = [&](NodeId u, NodeId v) {
+      if (!is_oriented(u, v)) {
+        directed[u][v] = true;
+        changed = true;
+      }
+    };
+    for (NodeId a = 0; a < n; ++a) {
+      for (const NodeId b : skeleton.neighbors(a)) {
+        if (directed[a][b]) {
+          // Rule 1: a→b, b—c undecided, a and c non-adjacent ⇒ b→c.
+          for (const NodeId c : skeleton.neighbors(b)) {
+            if (c != a && !is_oriented(b, c) && !skeleton.has_edge(a, c)) {
+              orient(b, c);
+            }
+          }
+          // Rule 2: a→b→c with a—c undecided ⇒ a→c.
+          for (const NodeId c : skeleton.neighbors(b)) {
+            if (c != a && directed[b][c] && skeleton.has_edge(a, c)) {
+              orient(a, c);
+            }
+          }
+          continue;
+        }
+        if (is_oriented(a, b)) continue;
+        // a—b undecided. Rule 3: c, d ∈ adj(a), c→b and d→b, c∦d ⇒ a→b.
+        const auto& adj_a = skeleton.neighbors(a);
+        for (std::size_t i = 0; i < adj_a.size(); ++i) {
+          // c must point into b while its own link to a is still undecided.
+          const NodeId c = adj_a[i];
+          if (c == b || !directed[c][b] || is_oriented(a, c)) continue;
+          for (std::size_t j = i + 1; j < adj_a.size(); ++j) {
+            const NodeId d = adj_a[j];
+            if (d == b || !directed[d][b] || is_oriented(a, d)) continue;
+            if (!skeleton.has_edge(c, d)) {
+              orient(a, b);
+            }
+          }
+        }
+        // Rule 4: d ∈ adj(a) with d→c, c→b, and a—c (any orientation state),
+        // a and b adjacent (given), d and b non-adjacent ⇒ a→b.
+        for (const NodeId d : adj_a) {
+          if (d == b || is_oriented(a, d)) continue;
+          for (const NodeId c : skeleton.neighbors(d)) {
+            if (c == a || c == b) continue;
+            if (directed[d][c] && directed[c][b] && skeleton.has_edge(a, c) &&
+                !skeleton.has_edge(d, b)) {
+              orient(a, b);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Materialize as a DAG (conflicting collider evidence can make the
+  // oriented relation cyclic on noisy data; add_edge rejects those, and the
+  // reverse direction is used instead).
+  Dag dag(n);
+  for (const Edge& e : skeleton.edges()) {
+    const NodeId u = e.from;
+    const NodeId v = e.to;
+    if (directed[u][v] && !directed[v][u]) {
+      if (!dag.add_edge(u, v)) dag.add_edge(v, u);
+    } else if (directed[v][u] && !directed[u][v]) {
+      if (!dag.add_edge(v, u)) dag.add_edge(u, v);
+    } else {
+      if (!dag.add_edge(u, v)) dag.add_edge(v, u);
+    }
+  }
+  return dag;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,32 @@
+// Edge orientation shared by the constraint-based learners (Cheng and
+// PC-stable): v-structure detection from recorded separating sets, Meek's
+// rules 1–4 to propagate, then an acyclic low→high completion for edges the
+// evidence leaves undecided.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "bn/dag.hpp"
+
+namespace wfbn {
+
+using SepsetMap =
+    std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>;
+
+/// Orients `skeleton` into a DAG:
+///  1. colliders: non-adjacent (x, y) with common neighbor w ∉ sepset(x, y)
+///     become x → w ← y;
+///  2. Meek rule 1: a→b, b—c, a∦c          ⇒ b→c
+///     Meek rule 2: a→b→c, a—c             ⇒ a→c
+///     Meek rule 3: a—b, a—c, a—d, c→b, d→b, c∦d ⇒ a→b
+///     Meek rule 4: a—b, a—c, a—d(optional), c→d? — implemented in the
+///     standard d→c chain form: a—b, b—c(?), a—d, d→c, c→b ⇒ a→b;
+///  3. undecided edges: low id → high id, flipped if that would close a cycle.
+/// The sepset key is (min(x,y), max(x,y)); pairs missing from the map are
+/// treated as separated by the empty set.
+[[nodiscard]] Dag orient_skeleton(const UndirectedGraph& skeleton,
+                                  const SepsetMap& sepsets);
+
+}  // namespace wfbn

@@ -1,0 +1,106 @@
+#include "learn/pc_stable.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/wait_free_builder.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+
+namespace {
+
+/// Calls fn(subset) for every size-k subset of `pool`; stops early when fn
+/// returns true. Returns whether fn ever returned true.
+bool for_each_subset(const std::vector<std::size_t>& pool, std::size_t k,
+                     const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  if (k > pool.size()) return false;
+  if (k == 0) return fn({});  // the single empty subset
+  std::vector<std::size_t> indices(k);
+  for (std::size_t i = 0; i < k; ++i) indices[i] = i;
+  std::vector<std::size_t> subset(k);
+  for (;;) {
+    for (std::size_t i = 0; i < k; ++i) subset[i] = pool[indices[i]];
+    if (fn(subset)) return true;
+    // Advance the combination (lexicographic).
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (indices[i] != i + pool.size() - k) break;
+      if (i == 0) return false;
+    }
+    if (indices[i] == i + pool.size() - k) return false;
+    ++indices[i];
+    for (std::size_t j = i + 1; j < k; ++j) indices[j] = indices[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+PcStableLearner::PcStableLearner(PcStableOptions options) : options_(options) {}
+
+PcStableResult PcStableLearner::learn(const Dataset& data) const {
+  WaitFreeBuilderOptions builder_options;
+  builder_options.threads = options_.ci.threads;
+  WaitFreeBuilder builder(builder_options);
+  return learn(builder.build(data));
+}
+
+PcStableResult PcStableLearner::learn(const PotentialTable& table) const {
+  const std::size_t n = table.codec().variable_count();
+  PcStableResult result{UndirectedGraph(n), Dag(n), {}, 0, 0};
+  const CiTester tester(table, options_.ci);
+
+  // Start from the complete graph.
+  UndirectedGraph& graph = result.skeleton;
+  for (NodeId x = 0; x < n; ++x) {
+    for (NodeId y = x + 1; y < n; ++y) graph.add_edge(x, y);
+  }
+
+  for (std::size_t level = 0; level <= options_.max_level; ++level) {
+    // Stable variant: freeze all adjacency sets at the start of the level.
+    std::vector<std::vector<NodeId>> frozen_adjacency(n);
+    bool any_candidate = false;
+    for (NodeId v = 0; v < n; ++v) {
+      frozen_adjacency[v] = graph.neighbors(v);
+      std::sort(frozen_adjacency[v].begin(), frozen_adjacency[v].end());
+      if (frozen_adjacency[v].size() > level) any_candidate = true;
+    }
+    if (!any_candidate) break;
+    result.levels_run = level + 1;
+
+    for (NodeId x = 0; x < n; ++x) {
+      for (const NodeId y : frozen_adjacency[x]) {
+        if (!graph.has_edge(x, y)) continue;  // removed earlier this level
+        std::vector<std::size_t> pool;
+        for (const NodeId w : frozen_adjacency[x]) {
+          if (w != y) pool.push_back(w);
+        }
+        if (pool.size() < level) continue;
+        const bool separated = for_each_subset(
+            pool, level, [&](const std::vector<std::size_t>& z) {
+              ++result.ci_tests;
+              if (tester.test(x, y, z).independent) {
+                graph.remove_edge(x, y);
+                result.sepsets[{std::min<std::size_t>(x, y),
+                                std::max<std::size_t>(x, y)}] = z;
+                return true;
+              }
+              return false;
+            });
+        (void)separated;
+      }
+    }
+  }
+
+  if (options_.orient) {
+    result.oriented = orient_skeleton(graph, result.sepsets);
+  } else {
+    Dag dag(n);
+    for (const Edge& e : graph.edges()) dag.add_edge(e.from, e.to);
+    result.oriented = std::move(dag);
+  }
+  return result;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,56 @@
+// PC-stable skeleton learning (Spirtes et al., paper reference [22]; stable
+// adjacency variant of Colombo & Maathuis) — a second constraint-based
+// learner built on the same primitives, demonstrating that the wait-free
+// table + marginalization layer serves the whole algorithm family, not just
+// Cheng's drafting phase.
+//
+// Level ℓ = 0, 1, 2, ...: for every adjacent pair (x, y), test x ⟂ y | Z for
+// each size-ℓ subset Z of adj(x)\{y} (adjacency sets frozen per level — the
+// "stable" part, making results order-independent); remove the edge on the
+// first separating set found. Orientation reuses learn/orientation.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "bn/dag.hpp"
+#include "data/dataset.hpp"
+#include "learn/independence.hpp"
+#include "learn/orientation.hpp"
+#include "table/potential_table.hpp"
+
+namespace wfbn {
+
+struct PcStableOptions {
+  CiOptions ci;
+  /// Largest conditioning-set size to try (caps both runtime and the size of
+  /// the marginal tables the tests build).
+  std::size_t max_level = 3;
+  bool orient = true;
+};
+
+struct PcStableResult {
+  UndirectedGraph skeleton;
+  Dag oriented;
+  SepsetMap sepsets;
+  std::uint64_t ci_tests = 0;
+  std::size_t levels_run = 0;
+};
+
+class PcStableLearner {
+ public:
+  explicit PcStableLearner(PcStableOptions options = {});
+
+  /// Learns from raw data (builds the potential table with the wait-free
+  /// primitive first) or from a pre-built table.
+  [[nodiscard]] PcStableResult learn(const Dataset& data) const;
+  [[nodiscard]] PcStableResult learn(const PotentialTable& table) const;
+
+  [[nodiscard]] const PcStableOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  PcStableOptions options_;
+};
+
+}  // namespace wfbn

@@ -1,0 +1,88 @@
+// Score-based structure learning — the *first* paradigm of paper §III
+// (Chow–Liu [6], Cooper–Herskovits [7], Heckerman [12], Friedman's sparse
+// candidate [9]): BIC-scored greedy hill climbing whose search space is
+// pruned by the all-pairs-MI candidate-parent sets, exactly the use the
+// paper's related-work section proposes for the primitives ("a parallel and
+// efficient tool to help reduce the search space of other structure learning
+// algorithms").
+//
+// The BIC score decomposes over families (node + parent set); family scores
+// are computed by marginalizing the potential table with the parallel
+// primitive and cached, so the climb never touches the raw data twice for
+// the same family.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bn/dag.hpp"
+#include "core/all_pairs_mi.hpp"
+#include "data/dataset.hpp"
+#include "table/potential_table.hpp"
+
+namespace wfbn {
+
+/// Decomposable family score: log-likelihood of X_v given its parents minus
+/// the BIC complexity penalty (0.5 · log m · #free parameters).
+class FamilyScorer {
+ public:
+  /// Borrows `table`; it must outlive the scorer. `threads` parallelizes the
+  /// marginalizations that produce the family counts.
+  FamilyScorer(const PotentialTable& table, std::size_t threads = 1);
+
+  /// BIC score of the family (v | parents). Parents need not be sorted;
+  /// results are cached under the sorted set.
+  [[nodiscard]] double family_score(std::size_t v,
+                                    std::vector<std::size_t> parents) const;
+
+  /// Total BIC of a DAG = Σ_v family_score(v, parents(v)).
+  [[nodiscard]] double total_score(const Dag& dag) const;
+
+  [[nodiscard]] std::uint64_t families_evaluated() const noexcept {
+    return evaluations_;
+  }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+
+ private:
+  const PotentialTable& table_;
+  std::size_t threads_;
+  mutable std::map<std::pair<std::size_t, std::vector<std::size_t>>, double>
+      cache_;
+  mutable std::uint64_t evaluations_ = 0;
+  mutable std::uint64_t cache_hits_ = 0;
+};
+
+struct HillClimbOptions {
+  std::size_t threads = 1;
+  /// Cap on parents per node (keeps family tables dense and counts honest).
+  std::size_t max_parents = 3;
+  /// Per-node candidate parents (e.g. from sparse_candidates()); empty means
+  /// every other node is a candidate (the unpruned search of §III).
+  std::vector<std::vector<std::size_t>> candidate_parents;
+  /// Stop after this many accepted moves (safety valve; greedy search on
+  /// decomposable scores terminates on its own).
+  std::size_t max_moves = 1000;
+};
+
+struct HillClimbResult {
+  Dag dag;
+  double score = 0.0;
+  std::size_t moves = 0;               ///< accepted add/remove/reverse moves
+  std::uint64_t families_evaluated = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+/// Greedy hill climbing over add-edge / remove-edge / reverse-edge moves,
+/// starting from the empty graph.
+[[nodiscard]] HillClimbResult hill_climb(const PotentialTable& table,
+                                         const HillClimbOptions& options = {});
+
+/// Convenience: builds the table with the wait-free primitive, derives
+/// candidate parents from all-pairs MI (top-k per node), then climbs.
+[[nodiscard]] HillClimbResult hill_climb_sparse(const Dataset& data,
+                                                std::size_t candidates_per_node,
+                                                HillClimbOptions options = {});
+
+}  // namespace wfbn

@@ -1,0 +1,31 @@
+#include "learn/sparse_candidate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+std::vector<std::vector<std::size_t>> sparse_candidates(const MiMatrix& mi,
+                                                        std::size_t k) {
+  WFBN_EXPECT(k >= 1, "need at least one candidate per node");
+  const std::size_t n = mi.size();
+  std::vector<std::vector<std::size_t>> out(n);
+  std::vector<std::pair<double, std::size_t>> scored;
+  for (std::size_t v = 0; v < n; ++v) {
+    scored.clear();
+    for (std::size_t w = 0; w < n; ++w) {
+      if (w != v && mi.at(v, w) > 0.0) scored.emplace_back(mi.at(v, w), w);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    const std::size_t take = std::min(k, scored.size());
+    out[v].reserve(take);
+    for (std::size_t i = 0; i < take; ++i) out[v].push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,18 @@
+// Sparse-candidate parent selection (paper reference [9], Friedman et al.
+// 1999): restrict each node's candidate parents to its top-k MI partners.
+// The paper's related-work section positions the all-pairs MI primitive as
+// exactly this kind of search-space pruner for score-based learners.
+#pragma once
+
+#include <vector>
+
+#include "core/all_pairs_mi.hpp"
+
+namespace wfbn {
+
+/// candidates[v] = up to k nodes with the highest I(X_v; X_w), w ≠ v, MI > 0,
+/// sorted by descending MI (ties: lower node id first).
+[[nodiscard]] std::vector<std::vector<std::size_t>> sparse_candidates(
+    const MiMatrix& mi, std::size_t k);
+
+}  // namespace wfbn

@@ -1,0 +1,93 @@
+// Multicore cost model — the substitution for the paper's 32-core AMD
+// Opteron testbed (DESIGN.md §3). This container exposes a single hardware
+// core, so wall-clock runs cannot show parallel speedup; instead we predict
+// the makespan a P-core PRAM-style machine would observe, from
+//
+//   (a) exact per-core operation counts, measured by instrumenting the real
+//       builders (the counts do not depend on how many physical cores ran
+//       the workers), and
+//   (b) per-operation costs calibrated by timing the library's own inner
+//       loops on this host, and
+//   (c) an explicit shared-state contention model for the lock-based
+//       baselines — the one component that cannot be measured on one core.
+//       Its two coefficients (cache-line transfer latency, coherence-storm
+//       quadratic term) are stated constants, not fits to the paper's curves.
+//
+// Wait-free makespan:  T(P) = max_p S1_p + barrier(P) + max_p S2_p, with
+//   S1_p = rows_p·n·t_enc + local_p·t_upd + foreign_p·t_push
+//   S2_p = pops_p·(t_pop + t_upd)
+// which is exactly the paper's O(m·n/P) analysis with constants attached.
+//
+// Lock-based makespan: every update acquires a lock word shared by P writers:
+//   t_lock(P) = t_mutex + (P−1)/P·t_line + q·(P−1)²   (q = coherence term)
+//   T(P) = (m/P)·(n·t_enc + t_upd + t_lock(P)) [+ saturation via stripes]
+// producing the flattening-then-regressing curve the paper reports for TBB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wait_free_builder.hpp"
+
+namespace wfbn {
+
+struct MachineModel {
+  // Calibrated on the host (seconds per operation).
+  double t_encode_per_var = 1e-9;  ///< one mixed-radix multiply-add
+  double t_update = 2e-8;          ///< private hashtable increment
+  double t_push = 8e-9;            ///< SPSC enqueue
+  double t_pop = 6e-9;             ///< SPSC dequeue
+  double t_project_per_var = 3e-9; ///< one Eq.-4 leg in KeyProjector
+  double t_entry_visit = 4e-9;     ///< hash iteration overhead per entry
+  double t_mutex = 2e-8;           ///< uncontended lock/unlock round trip
+  double t_barrier_per_core = 1.5e-7;
+
+  // Modeled (cross-core effects unobservable on a single core; values are
+  // typical published figures for multi-socket x86 — see DESIGN.md §3).
+  double t_line_transfer = 6e-8;      ///< remote cache-line transfer
+  double coherence_quadratic = 4e-10; ///< per (P−1)² per locked op
+
+  /// Measures the calibrated entries by timing the library's own inner loops
+  /// (encode, table update, queue push/pop, projection, mutex, barrier).
+  /// `samples` trades calibration time for stability.
+  static MachineModel calibrate(std::size_t samples = 200000,
+                                std::uint64_t seed = 7);
+};
+
+/// One point of a predicted scaling curve.
+struct ScalingPoint {
+  std::size_t cores = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;  ///< T(1)/T(P), filled by the curve builders
+};
+
+/// Predicted makespan of the wait-free construction from measured per-worker
+/// counts (`stats` from a build with P workers) on a P-core machine.
+[[nodiscard]] double predict_wait_free_seconds(const MachineModel& model,
+                                               const BuildStats& stats,
+                                               std::size_t variables);
+
+/// Predicted makespan of a lock-per-update shared-table build (the TBB-like
+/// baseline) with P cores, `stripes` lock stripes, m rows of n variables.
+[[nodiscard]] double predict_locked_seconds(const MachineModel& model,
+                                            std::uint64_t rows,
+                                            std::size_t variables,
+                                            std::size_t cores,
+                                            std::size_t stripes);
+
+/// Predicted makespan of a CAS-per-update shared-table build (atomic
+/// baseline): no lock, but every update still transfers the slot's line.
+[[nodiscard]] double predict_atomic_seconds(const MachineModel& model,
+                                            std::uint64_t rows,
+                                            std::size_t variables,
+                                            std::size_t cores);
+
+/// Predicted makespan of one parallel marginalization / all-pairs-MI sweep:
+/// `per_core_entries[p]` hash entries visited by core p, each decoding
+/// `projected_vars` variables; `sweeps` repetitions (e.g. number of pairs).
+[[nodiscard]] double predict_sweep_seconds(const MachineModel& model,
+                                           const std::vector<std::uint64_t>& per_core_entries,
+                                           std::size_t projected_vars,
+                                           double sweeps);
+
+}  // namespace wfbn

@@ -1,0 +1,63 @@
+// Dense array-backed count table for small joint state spaces.
+//
+// Paper §IV-A: when the key space is small (or the data is not sparse in it),
+// an array indexed directly by the key beats a hashtable. The builders accept
+// either representation through the same increment/for_each surface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "table/key_codec.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+
+class DenseTable {
+ public:
+  /// Allocates `state_space` zero counts. Throws PreconditionError when the
+  /// space is too large to materialize densely (guard against accidental
+  /// r^n blowups; use the hashtable representation instead).
+  explicit DenseTable(std::uint64_t state_space) {
+    WFBN_EXPECT(state_space > 0, "empty state space");
+    WFBN_EXPECT(state_space <= (1ULL << 32),
+                "state space too large for a dense table — use OpenHashTable");
+    counts_.assign(static_cast<std::size_t>(state_space), 0);
+  }
+
+  void increment(Key key, std::uint64_t delta = 1) {
+    counts_[static_cast<std::size_t>(key)] += delta;
+  }
+
+  [[nodiscard]] std::uint64_t count(Key key) const {
+    return counts_[static_cast<std::size_t>(key)];
+  }
+
+  /// Number of distinct observed keys (non-zero cells).
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const std::uint64_t c : counts_) n += (c != 0);
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t state_space() const noexcept { return counts_.size(); }
+
+  [[nodiscard]] std::uint64_t total_count() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts_) total += c;
+    return total;
+  }
+
+  /// Visits every non-zero (key, count) pair in key order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t key = 0; key < counts_.size(); ++key) {
+      if (counts_[key] != 0) fn(static_cast<Key>(key), counts_[key]);
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace wfbn

@@ -1,0 +1,131 @@
+// Single-writer open-addressing count table: Key -> uint64 occurrence count.
+//
+// This is each core's private hashtable in the partitioned potential-table
+// representation. Because the wait-free construction primitive guarantees
+// exclusive ownership (core p is the only writer of table p in both stages),
+// the table needs no synchronization at all — which is precisely where the
+// primitive's speedup over shared concurrent maps comes from.
+//
+// Linear probing + Fibonacci hashing; grows at 0.7 load factor. Only insert/
+// increment, lookup and iteration are supported (count tables never erase).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "table/key_codec.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+
+class OpenHashTable {
+ public:
+  static constexpr Key kEmptyKey = ~0ULL;
+
+  explicit OpenHashTable(std::size_t expected_entries = 16) { rehash_for(expected_entries); }
+
+  /// Adds `delta` to `key`'s count (inserting the key if new).
+  /// Precondition: key != kEmptyKey (guaranteed by KeyCodec's 2^63 bound).
+  void increment(Key key, std::uint64_t delta = 1) {
+    std::size_t index = slot_of(key);
+    for (;;) {
+      Entry& entry = entries_[index];
+      if (entry.key == key) {
+        entry.count += delta;
+        return;
+      }
+      if (entry.key == kEmptyKey) {
+        entry.key = key;
+        entry.count = delta;
+        if (++size_ * 10 > capacity() * 7) grow();
+        return;
+      }
+      index = (index + 1) & mask_;
+    }
+  }
+
+  /// Occurrence count of `key`; 0 when absent.
+  [[nodiscard]] std::uint64_t count(Key key) const noexcept {
+    std::size_t index = slot_of(key);
+    for (;;) {
+      const Entry& entry = entries_[index];
+      if (entry.key == key) return entry.count;
+      if (entry.key == kEmptyKey) return 0;
+      index = (index + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] bool contains(Key key) const noexcept { return count(key) != 0; }
+
+  /// Number of distinct keys.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return entries_.size(); }
+
+  /// Sum of all counts (number of represented observations).
+  [[nodiscard]] std::uint64_t total_count() const noexcept {
+    std::uint64_t total = 0;
+    for (const Entry& e : entries_) {
+      if (e.key != kEmptyKey) total += e.count;
+    }
+    return total;
+  }
+
+  /// Visits every (key, count) pair in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      if (e.key != kEmptyKey) fn(e.key, e.count);
+    }
+  }
+
+  /// Moves all entries of `other` into this table, leaving `other` empty.
+  void merge_from(OpenHashTable& other) {
+    other.for_each([this](Key key, std::uint64_t c) { increment(key, c); });
+    other.clear();
+  }
+
+  void clear() noexcept {
+    for (Entry& e : entries_) e = Entry{};
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `expected_entries` distinct keys.
+  void reserve(std::size_t expected_entries) {
+    if (expected_entries * 10 > capacity() * 7) {
+      rehash_for(expected_entries);
+    }
+  }
+
+ private:
+  struct Entry {
+    Key key = kEmptyKey;
+    std::uint64_t count = 0;
+  };
+
+  [[nodiscard]] std::size_t slot_of(Key key) const noexcept {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 24) & mask_;
+  }
+
+  void rehash_for(std::size_t expected_entries) {
+    // Capacity at >= 10/7 of the population keeps the load factor under 0.7.
+    const std::size_t wanted =
+        std::bit_ceil(std::max<std::size_t>(expected_entries * 10 / 7 + 1, 16));
+    std::vector<Entry> old = std::exchange(entries_, std::vector<Entry>(wanted));
+    mask_ = wanted - 1;
+    size_ = 0;
+    for (const Entry& e : old) {
+      if (e.key != kEmptyKey) increment(e.key, e.count);
+    }
+  }
+
+  void grow() { rehash_for(size_ * 2); }
+
+  std::vector<Entry> entries_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wfbn

@@ -1,0 +1,103 @@
+// The paper's distributed potential-table representation: P single-writer
+// hashtables, each owning a disjoint slice of the key space.
+//
+// Ownership during construction follows a partition function (paper Alg. 1
+// uses key % P; contiguous-range ownership is provided as an ablation — see
+// DESIGN.md §6.1). After construction the ownership invariant is only needed
+// by further wait-free updates; marginalization treats the partitions as an
+// arbitrary disjoint cover, which is why rebalance() (paper §IV-C) is legal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "table/key_codec.hpp"
+#include "table/open_hash_table.hpp"
+
+namespace wfbn {
+
+/// How encoded keys map to owning partitions.
+enum class PartitionScheme {
+  kModulo,  ///< owner = key % P (paper Algorithm 1, line 9)
+  kRange,   ///< owner = floor(key * P / state_space) — contiguous key ranges
+};
+
+class PartitionedTable {
+ public:
+  /// `partitions` = P. `state_space` is the codec's joint state-space size
+  /// (needed for range partitioning). `expected_entries_per_partition`
+  /// pre-sizes each hashtable.
+  PartitionedTable(std::size_t partitions, std::uint64_t state_space,
+                   PartitionScheme scheme = PartitionScheme::kModulo,
+                   std::size_t expected_entries_per_partition = 16);
+
+  [[nodiscard]] std::size_t partition_count() const noexcept {
+    return tables_.size();
+  }
+
+  /// Which partition owns `key` under the construction-time scheme.
+  [[nodiscard]] std::size_t owner_of(Key key) const noexcept {
+    if (scheme_ == PartitionScheme::kModulo) {
+      return static_cast<std::size_t>(key % tables_.size());
+    }
+    // Range partitioning via 128-bit multiply avoids a per-key division by a
+    // runtime state-space value.
+    return static_cast<std::size_t>(
+        (static_cast<__uint128_t>(key) * tables_.size()) / state_space_);
+  }
+
+  [[nodiscard]] PartitionScheme scheme() const noexcept { return scheme_; }
+  [[nodiscard]] std::uint64_t state_space() const noexcept { return state_space_; }
+
+  [[nodiscard]] OpenHashTable& partition(std::size_t p) { return tables_[p]; }
+  [[nodiscard]] const OpenHashTable& partition(std::size_t p) const {
+    return tables_[p];
+  }
+
+  /// Total distinct keys across partitions.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Total observation count across partitions (= m after construction).
+  [[nodiscard]] std::uint64_t total_count() const noexcept;
+
+  /// Count of one key, routed via the ownership function. Only valid while
+  /// the ownership invariant holds (i.e. before rebalance()).
+  [[nodiscard]] std::uint64_t count(Key key) const noexcept {
+    return tables_[owner_of(key)].count(key);
+  }
+
+  /// Count of one key regardless of which partition holds it.
+  [[nodiscard]] std::uint64_t count_anywhere(Key key) const noexcept;
+
+  /// Visits all (key, count) pairs across all partitions (single-threaded).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const OpenHashTable& t : tables_) t.for_each(fn);
+  }
+
+  /// True while every key is stored in the partition owner_of(key) names.
+  [[nodiscard]] bool ownership_invariant_holds() const;
+
+  /// Moves entries between partitions so that distinct-key populations differ
+  /// by at most one (paper §IV-C: marginalization does not need the ownership
+  /// invariant, so unbalanced tables may be rebalanced for better load
+  /// balance). Returns the number of moved entries.
+  std::size_t rebalance();
+
+  /// True once rebalance() has run: the construction-time ownership function
+  /// may no longer route keys to their partitions, so further wait-free
+  /// updates (WaitFreeBuilder::append) are rejected.
+  [[nodiscard]] bool rebalanced() const noexcept { return rebalanced_; }
+
+  /// Largest / smallest partition populations — the load-imbalance measure
+  /// driving the simulator's makespan.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> population_extremes() const;
+
+ private:
+  std::vector<OpenHashTable> tables_;
+  std::uint64_t state_space_;
+  PartitionScheme scheme_;
+  bool rebalanced_ = false;
+};
+
+}  // namespace wfbn

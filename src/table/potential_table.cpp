@@ -1,0 +1,39 @@
+#include "table/potential_table.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+PotentialTable::PotentialTable(KeyCodec codec, PartitionedTable partitions,
+                               std::uint64_t sample_count)
+    : codec_(std::move(codec)),
+      partitions_(std::move(partitions)),
+      samples_(sample_count) {}
+
+std::uint64_t PotentialTable::count_of(std::span<const State> states) const {
+  const Key key = codec_.encode_checked(states);
+  return partitions_.count_anywhere(key);
+}
+
+MarginalTable PotentialTable::marginalize_sequential(
+    std::span<const std::size_t> variables) const {
+  const KeyProjector projector(codec_, variables);
+  MarginalTable out(projector.variables(), projector.cardinalities());
+  partitions_.for_each([&](Key key, std::uint64_t count) {
+    out.add(projector.project(key), count);
+  });
+  return out;
+}
+
+bool PotentialTable::validate() const {
+  if (partitions_.total_count() != samples_) return false;
+  bool in_range = true;
+  partitions_.for_each([&](Key key, std::uint64_t count) {
+    if (key >= codec_.state_space_size() || count == 0) in_range = false;
+  });
+  return in_range;
+}
+
+}  // namespace wfbn

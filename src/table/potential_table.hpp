@@ -1,0 +1,64 @@
+// The potential table: the joint occurrence-count representation of a
+// training dataset (paper §IV-A), i.e. the codec plus the P partitioned
+// hashtables plus the sample count.
+//
+// This is the object the construction primitives produce and the
+// marginalization primitive consumes. It intentionally exposes its
+// PartitionedTable: the primitives are data-parallel over the partitions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "table/key_codec.hpp"
+#include "table/marginal_table.hpp"
+#include "table/partitioned_table.hpp"
+
+namespace wfbn {
+
+class PotentialTable {
+ public:
+  PotentialTable(KeyCodec codec, PartitionedTable partitions,
+                 std::uint64_t sample_count);
+
+  [[nodiscard]] const KeyCodec& codec() const noexcept { return codec_; }
+  [[nodiscard]] const PartitionedTable& partitions() const noexcept {
+    return partitions_;
+  }
+  [[nodiscard]] PartitionedTable& partitions() noexcept { return partitions_; }
+
+  /// Number of observations the table represents (m).
+  [[nodiscard]] std::uint64_t sample_count() const noexcept { return samples_; }
+
+  /// Bumps the sample count after an incremental batch was folded into the
+  /// partitions (WaitFreeBuilder::append is the only intended caller).
+  void record_additional_samples(std::uint64_t count) noexcept {
+    samples_ += count;
+  }
+
+  /// Number of distinct observed state strings.
+  [[nodiscard]] std::size_t distinct_keys() const noexcept {
+    return partitions_.size();
+  }
+
+  /// Occurrence count of a full state string.
+  [[nodiscard]] std::uint64_t count_of(std::span<const State> states) const;
+
+  /// Sequential reference marginalization (the O(#entries · |V|) sweep of
+  /// Algorithm 3 run on one core). The parallel version lives in
+  /// core/marginalizer.hpp; tests compare the two.
+  [[nodiscard]] MarginalTable marginalize_sequential(
+      std::span<const std::size_t> variables) const;
+
+  /// Internal consistency checks (counts sum to m; keys within state space).
+  /// Used by tests and debug assertions; O(#entries).
+  [[nodiscard]] bool validate() const;
+
+ private:
+  KeyCodec codec_;
+  PartitionedTable partitions_;
+  std::uint64_t samples_;
+};
+
+}  // namespace wfbn

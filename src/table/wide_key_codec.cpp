@@ -1,0 +1,84 @@
+#include "table/wide_key_codec.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+namespace {
+constexpr std::uint64_t kWordLimit = 1ULL << 63;
+}
+
+WideKeyCodec::WideKeyCodec(std::vector<std::uint32_t> cardinalities)
+    : cardinalities_(std::move(cardinalities)) {
+  WFBN_EXPECT(!cardinalities_.empty(), "codec needs at least one variable");
+  words_.reserve(cardinalities_.size());
+  strides_.reserve(cardinalities_.size());
+  std::uint64_t extent[2] = {1, 1};
+  for (const std::uint32_t r : cardinalities_) {
+    if (r == 0) throw DataError("variable cardinality must be >= 1");
+    // First-fit into the lo word, spilling to hi.
+    // A word may hold up to 2^63 joint states (all keys then stay <= 2^63−1,
+    // clear of the all-ones hashtable sentinel).
+    unsigned word = 2;
+    for (unsigned w = 0; w < 2; ++w) {
+      if (extent[w] <= kWordLimit / r) {
+        word = w;
+        break;
+      }
+    }
+    if (word == 2) {
+      throw DataError(
+          "joint state space exceeds 2^126 — even wide keys cannot encode it");
+    }
+    words_.push_back(word);
+    strides_.push_back(extent[word]);
+    extent[word] *= r;
+  }
+}
+
+WideKeyCodec WideKeyCodec::uniform(std::size_t n, std::uint32_t r) {
+  return WideKeyCodec(std::vector<std::uint32_t>(n, r));
+}
+
+WideKey WideKeyCodec::encode(std::span<const State> states) const noexcept {
+  WideKey key;
+  const std::size_t n = cardinalities_.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t term = static_cast<std::uint64_t>(states[j]) * strides_[j];
+    if (words_[j] == 0) {
+      key.lo += term;
+    } else {
+      key.hi += term;
+    }
+  }
+  return key;
+}
+
+void WideKeyCodec::decode_all(WideKey key, std::span<State> out) const noexcept {
+  for (std::size_t j = 0; j < cardinalities_.size(); ++j) {
+    out[j] = decode(key, j);
+  }
+}
+
+WideKeyProjector::WideKeyProjector(const WideKeyCodec& codec,
+                                   std::span<const std::size_t> variables) {
+  WFBN_EXPECT(!variables.empty(), "projection needs at least one variable");
+  std::unordered_set<std::size_t> seen;
+  legs_.reserve(variables.size());
+  variables_.assign(variables.begin(), variables.end());
+  cardinalities_.reserve(variables.size());
+  for (const std::size_t v : variables) {
+    WFBN_EXPECT(v < codec.variable_count(), "projection variable out of range");
+    WFBN_EXPECT(seen.insert(v).second, "duplicate projection variable");
+    const std::uint64_t r = codec.cardinality(v);
+    legs_.push_back(Leg{codec.word_of(v), codec.stride(v), r, range_});
+    cardinalities_.push_back(codec.cardinality(v));
+    range_ *= r;
+    WFBN_EXPECT(range_ <= (1ULL << 30), "marginal table too large to be dense");
+  }
+}
+
+}  // namespace wfbn

@@ -1,0 +1,146 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace wfbn {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_flag("help", "Print this help text and exit");
+}
+
+void CliParser::add_option(std::string name, std::string default_value,
+                           std::string help) {
+  WFBN_EXPECT(find(name) == nullptr, "duplicate option: " + name);
+  options_.push_back(Option{std::move(name), "", std::move(default_value),
+                            std::move(help), /*is_flag=*/false, false});
+}
+
+void CliParser::add_flag(std::string name, std::string help) {
+  WFBN_EXPECT(find(name) == nullptr, "duplicate flag: " + name);
+  options_.push_back(Option{std::move(name), "", "false", std::move(help),
+                            /*is_flag=*/true, false});
+}
+
+CliParser::Option* CliParser::find(std::string_view name) {
+  auto it = std::find_if(options_.begin(), options_.end(),
+                         [&](const Option& o) { return o.name == name; });
+  return it == options_.end() ? nullptr : &*it;
+}
+
+const CliParser::Option* CliParser::find(std::string_view name) const {
+  auto it = std::find_if(options_.begin(), options_.end(),
+                         [&](const Option& o) { return o.name == name; });
+  return it == options_.end() ? nullptr : &*it;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name(arg);
+    std::optional<std::string> inline_value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+    }
+    Option* opt = find(name);
+    if (opt == nullptr) throw DataError("unknown option --" + name);
+    opt->seen = true;
+    if (opt->is_flag) {
+      opt->value = inline_value.value_or("true");
+    } else if (inline_value) {
+      opt->value = *inline_value;
+    } else {
+      if (i + 1 >= argc) throw DataError("missing value for --" + name);
+      opt->value = argv[++i];
+    }
+  }
+  if (get_bool("help")) {
+    std::fputs(help_text().c_str(), stdout);
+    return false;
+  }
+  return true;
+}
+
+std::string CliParser::get(std::string_view name) const {
+  const Option* opt = find(name);
+  WFBN_EXPECT(opt != nullptr, "option not registered: " + std::string(name));
+  return opt->seen ? opt->value : opt->default_value;
+}
+
+std::int64_t CliParser::get_int(std::string_view name) const {
+  const std::string v = get(name);
+  std::int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    throw DataError("option --" + std::string(name) + " expects an integer, got '" +
+                    v + "'");
+  }
+  return out;
+}
+
+double CliParser::get_double(std::string_view name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw DataError("");
+    return out;
+  } catch (const std::exception&) {
+    throw DataError("option --" + std::string(name) + " expects a number, got '" +
+                    v + "'");
+  }
+}
+
+bool CliParser::get_bool(std::string_view name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> CliParser::get_int_list(std::string_view name) const {
+  const std::string v = get(name);
+  std::vector<std::int64_t> out;
+  std::size_t begin = 0;
+  while (begin <= v.size()) {
+    std::size_t end = v.find(',', begin);
+    if (end == std::string::npos) end = v.size();
+    const std::string_view piece(v.data() + begin, end - begin);
+    if (!piece.empty()) {
+      std::int64_t item = 0;
+      auto [ptr, ec] = std::from_chars(piece.data(), piece.data() + piece.size(), item);
+      if (ec != std::errc{} || ptr != piece.data() + piece.size()) {
+        throw DataError("option --" + std::string(name) +
+                        " expects comma-separated integers, got '" + v + "'");
+      }
+      out.push_back(item);
+    }
+    begin = end + 1;
+  }
+  return out;
+}
+
+std::string CliParser::help_text() const {
+  std::string out = description_ + "\n\nOptions:\n";
+  for (const Option& opt : options_) {
+    out += "  --" + opt.name;
+    if (!opt.is_flag) out += " <value>";
+    out += "\n      " + opt.help;
+    if (!opt.is_flag && !opt.default_value.empty()) {
+      out += " (default: " + opt.default_value + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wfbn

@@ -1,0 +1,63 @@
+// Tiny command-line option parser shared by examples and bench binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` options, with
+// typed accessors and an auto-generated --help. Not a general-purpose CLI
+// library — just enough for reproducible experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfbn {
+
+class CliParser {
+ public:
+  /// `program_description` is printed at the top of --help output.
+  explicit CliParser(std::string program_description);
+
+  /// Registers an option before parse(). `help` documents it; `default_value`
+  /// is returned by the typed getters when the flag is absent.
+  void add_option(std::string name, std::string default_value, std::string help);
+  void add_flag(std::string name, std::string help);
+
+  /// Parses argv. Returns false (after printing help) if --help was given.
+  /// Throws DataError on unknown options or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  /// Comma-separated integer list, e.g. "--cores 1,2,4,8".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(std::string_view name) const;
+
+  /// Positional arguments left over after option parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  Option* find(std::string_view name);
+  [[nodiscard]] const Option* find(std::string_view name) const;
+
+  std::string description_;
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wfbn

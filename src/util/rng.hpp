@@ -1,0 +1,116 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The library never uses std::mt19937 internally: benchmark workload
+// generation is on the critical path (hundreds of millions of draws for the
+// paper-scale datasets), and reproducibility across platforms matters for the
+// test suite. xoshiro256** is small, fast, and has well-understood quality;
+// splitmix64 turns a single user seed into independent streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace wfbn {
+
+/// splitmix64: used to expand one 64-bit seed into a full generator state.
+/// Advances `state` and returns the next output.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies UniformRandomBitGenerator,
+/// so it can be handed to <random> distributions when convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via splitmix64 so that nearby
+  /// seeds still yield uncorrelated streams.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x6a09e667f3bcc908ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls to operator(); used to derive per-thread
+  /// non-overlapping streams from a common seed.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> s{};
+    for (std::uint64_t jump_word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (jump_word & (1ULL << bit)) {
+          s[0] ^= state_[0];
+          s[1] ^= state_[1];
+          s[2] ^= state_[2];
+          s[3] ^= state_[3];
+        }
+        (*this)();
+      }
+    }
+    state_ = s;
+  }
+
+  /// A generator whose stream is disjoint from this one: copy + `n_jumps`
+  /// jump() calls. Stream 0 is the generator itself.
+  [[nodiscard]] constexpr Xoshiro256 split(unsigned n_jumps) const noexcept {
+    Xoshiro256 g = *this;
+    for (unsigned i = 0; i < n_jumps; ++i) g.jump();
+    return g;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+    // Multiply-shift: maps a 64-bit draw onto [0, bound) nearly uniformly;
+    // the rejection loop removes the residual bias.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  constexpr double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace wfbn

@@ -1,0 +1,35 @@
+// Aligned-column text tables for benchmark output. The bench binaries print
+// the same rows/series as the paper's figures; this keeps them readable and
+// machine-parseable (also emits CSV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wfbn {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt(std::uint64_t value);
+
+  /// Renders an aligned ASCII table (with header separator).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our content).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints to stdout, prefixed by `title` if non-empty.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wfbn

@@ -1,0 +1,36 @@
+// Minimal wall-clock timing helpers used by benchmarks and the scaling
+// simulator's calibration pass.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace wfbn {
+
+/// Steady-clock stopwatch. Started on construction.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+  [[nodiscard]] std::uint64_t nanoseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace wfbn

@@ -1,0 +1,77 @@
+// Umbrella header: the full public API of the wfbn library.
+//
+// Fine-grained headers remain the preferred includes for library consumers
+// who care about compile times; this header exists for quick experiments and
+// notebooks-style usage:
+//
+//   #include "wfbn.hpp"
+//   using namespace wfbn;
+#pragma once
+
+// util — RNG, timing, CLI, tables, error policy
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+// concurrency substrate
+#include "concurrent/affinity.hpp"
+#include "concurrent/atomic_hash_map.hpp"
+#include "concurrent/barrier.hpp"
+#include "concurrent/spsc_queue.hpp"
+#include "concurrent/striped_hash_map.hpp"
+#include "concurrent/thread_pool.hpp"
+
+// potential-table representation
+#include "table/dense_table.hpp"
+#include "table/key_codec.hpp"
+#include "table/marginal_table.hpp"
+#include "table/open_hash_table.hpp"
+#include "table/partitioned_table.hpp"
+#include "table/potential_table.hpp"
+#include "table/wide_key_codec.hpp"
+#include "table/wide_open_hash_table.hpp"
+
+// the paper's primitives + statistics + queries
+#include "core/all_pairs_mi.hpp"
+#include "core/info_theory.hpp"
+#include "core/marginalizer.hpp"
+#include "core/query.hpp"
+#include "core/wait_free_builder.hpp"
+#include "core/wide_builder.hpp"
+
+// baselines
+#include "baselines/builders.hpp"
+
+// data handling
+#include "data/dataset.hpp"
+#include "data/discretize.hpp"
+#include "data/generators.hpp"
+#include "data/io.hpp"
+
+// Bayesian networks
+#include "bn/cpt.hpp"
+#include "bn/d_separation.hpp"
+#include "bn/dag.hpp"
+#include "bn/inference.hpp"
+#include "bn/io.hpp"
+#include "bn/metrics.hpp"
+#include "bn/network.hpp"
+#include "bn/random_dag.hpp"
+#include "bn/repository.hpp"
+#include "bn/sampling.hpp"
+
+// structure learning
+#include "learn/bootstrap.hpp"
+#include "learn/cheng.hpp"
+#include "learn/chow_liu.hpp"
+#include "learn/independence.hpp"
+#include "learn/orientation.hpp"
+#include "learn/pc_stable.hpp"
+#include "learn/score.hpp"
+#include "learn/sparse_candidate.hpp"
+
+// multicore scaling simulation
+#include "sim/cost_model.hpp"
+#include "sim/scaling_sim.hpp"

@@ -1,0 +1,256 @@
+// Tests for CPTs, BayesianNetwork, forward sampling and structure metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/metrics.hpp"
+#include "bn/network.hpp"
+#include "bn/sampling.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+namespace {
+
+// ------------------------------------------------------------------------ Cpt
+
+TEST(Cpt, DefaultsToUniform) {
+  Cpt cpt(4, {});
+  EXPECT_TRUE(cpt.is_normalized());
+  for (State s = 0; s < 4; ++s) EXPECT_DOUBLE_EQ(cpt.probability(s, 0), 0.25);
+}
+
+TEST(Cpt, ConfigIndexIsMixedRadixFirstParentFastest) {
+  Cpt cpt(2, {2, 3});
+  const State p00[] = {0, 0};
+  const State p10[] = {1, 0};
+  const State p01[] = {0, 1};
+  const State p12[] = {1, 2};
+  EXPECT_EQ(cpt.config_index(p00), 0u);
+  EXPECT_EQ(cpt.config_index(p10), 1u);
+  EXPECT_EQ(cpt.config_index(p01), 2u);
+  EXPECT_EQ(cpt.config_index(p12), 5u);
+  EXPECT_EQ(cpt.config_count(), 6u);
+}
+
+TEST(Cpt, FromProbabilitiesValidates) {
+  EXPECT_NO_THROW(Cpt::from_probabilities(2, {}, {0.3, 0.7}));
+  EXPECT_THROW(Cpt::from_probabilities(2, {}, {0.3, 0.6}), DataError);
+  EXPECT_THROW(Cpt::from_probabilities(2, {}, {0.3, 0.7, 0.0}), DataError);
+  EXPECT_THROW(Cpt::from_probabilities(2, {}, {-0.1, 1.1}), DataError);
+}
+
+TEST(Cpt, RandomCptsAreNormalizedAndSeedStable) {
+  Xoshiro256 rng_a(5);
+  Xoshiro256 rng_b(5);
+  const Cpt a = Cpt::random(3, {2, 2}, rng_a, 0.5);
+  const Cpt b = Cpt::random(3, {2, 2}, rng_b, 0.5);
+  EXPECT_TRUE(a.is_normalized());
+  EXPECT_EQ(a.raw(), b.raw());
+  Xoshiro256 rng_c(6);
+  const Cpt c = Cpt::random(3, {2, 2}, rng_c, 0.5);
+  EXPECT_NE(a.raw(), c.raw());
+}
+
+TEST(Cpt, SampleFollowsDistribution) {
+  const Cpt cpt = Cpt::from_probabilities(3, {}, {0.2, 0.5, 0.3});
+  Xoshiro256 rng(8);
+  std::vector<int> histogram(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[cpt.sample(0, rng)];
+  EXPECT_NEAR(histogram[0] / double(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(histogram[1] / double(kDraws), 0.5, 0.01);
+  EXPECT_NEAR(histogram[2] / double(kDraws), 0.3, 0.01);
+}
+
+TEST(Cpt, SampleRespectsParentConfig) {
+  const Cpt cpt = Cpt::from_probabilities(2, {2}, {1.0, 0.0, 0.0, 1.0});
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(cpt.sample(0, rng), 0);
+    EXPECT_EQ(cpt.sample(1, rng), 1);
+  }
+}
+
+// -------------------------------------------------------------- BayesianNetwork
+
+BayesianNetwork tiny_network() {
+  Dag dag(3);  // 0 → 2 ← 1
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  BayesianNetwork bn(std::move(dag), {2, 2, 2});
+  bn.set_cpt(0, Cpt::from_probabilities(2, {}, {0.6, 0.4}));
+  bn.set_cpt(1, Cpt::from_probabilities(2, {}, {0.3, 0.7}));
+  bn.set_cpt(2, Cpt::from_probabilities(
+                    2, {2, 2},
+                    {0.9, 0.1, 0.5, 0.5, 0.4, 0.6, 0.05, 0.95}));
+  return bn;
+}
+
+TEST(BayesianNetwork, JointProbabilityFactorizes) {
+  const BayesianNetwork bn = tiny_network();
+  const State s[] = {0, 1, 0};
+  // P = P(X0=0)·P(X1=1)·P(X2=0 | X0=0, X1=1) = 0.6 · 0.7 · 0.4
+  EXPECT_NEAR(bn.joint_probability(s), 0.6 * 0.7 * 0.4, 1e-12);
+}
+
+TEST(BayesianNetwork, JointProbabilitySumsToOne) {
+  const BayesianNetwork bn = tiny_network();
+  double total = 0.0;
+  for (State a = 0; a < 2; ++a) {
+    for (State b = 0; b < 2; ++b) {
+      for (State c = 0; c < 2; ++c) {
+        const State s[] = {a, b, c};
+        total += bn.joint_probability(s);
+      }
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BayesianNetwork, SetCptRejectsWrongShape) {
+  BayesianNetwork bn = tiny_network();
+  EXPECT_THROW(bn.set_cpt(0, Cpt(3, {})), DataError);          // wrong r
+  EXPECT_THROW(bn.set_cpt(2, Cpt(2, {2})), DataError);         // wrong parents
+  EXPECT_THROW(bn.set_cpt(9, Cpt(2, {})), PreconditionError);  // bad node
+}
+
+TEST(BayesianNetwork, NamesResolve) {
+  const BayesianNetwork bn = tiny_network();
+  EXPECT_EQ(bn.name(0), "X0");
+  EXPECT_EQ(bn.node_by_name("X2"), 2u);
+  EXPECT_THROW((void)bn.node_by_name("nope"), DataError);
+}
+
+TEST(BayesianNetwork, ValidateChecksEveryCpt) {
+  BayesianNetwork bn = tiny_network();
+  EXPECT_TRUE(bn.validate());
+}
+
+TEST(BayesianNetwork, RandomizeCptsIsSeedDeterministic) {
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  dag.add_edge(1, 3);
+  BayesianNetwork a(dag, {2, 3, 2, 2});
+  BayesianNetwork b(dag, {2, 3, 2, 2});
+  a.randomize_cpts(123);
+  b.randomize_cpts(123);
+  EXPECT_TRUE(a.validate());
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(a.cpt(v).raw(), b.cpt(v).raw());
+}
+
+// ------------------------------------------------------------ forward sampling
+
+TEST(ForwardSample, MarginalsMatchRootPriors) {
+  const BayesianNetwork bn = tiny_network();
+  const Dataset data = forward_sample(bn, 100000, 55);
+  std::size_t x0_zero = 0;
+  std::size_t x1_zero = 0;
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    x0_zero += data.at(i, 0) == 0;
+    x1_zero += data.at(i, 1) == 0;
+  }
+  EXPECT_NEAR(static_cast<double>(x0_zero) / 100000.0, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(x1_zero) / 100000.0, 0.3, 0.01);
+}
+
+TEST(ForwardSample, ConditionalFrequenciesMatchCpt) {
+  const BayesianNetwork bn = tiny_network();
+  const Dataset data = forward_sample(bn, 200000, 56);
+  // P(X2=0 | X0=0, X1=0) should be 0.9.
+  std::size_t matching_config = 0;
+  std::size_t x2_zero = 0;
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    if (data.at(i, 0) == 0 && data.at(i, 1) == 0) {
+      ++matching_config;
+      x2_zero += data.at(i, 2) == 0;
+    }
+  }
+  ASSERT_GT(matching_config, 10000u);
+  EXPECT_NEAR(static_cast<double>(x2_zero) / static_cast<double>(matching_config),
+              0.9, 0.01);
+}
+
+TEST(ForwardSample, DeterministicInSeedAndThreads) {
+  const BayesianNetwork bn = tiny_network();
+  const Dataset a = forward_sample(bn, 5000, 57, 3);
+  const Dataset b = forward_sample(bn, 5000, 57, 3);
+  EXPECT_TRUE(std::equal(a.raw().begin(), a.raw().end(), b.raw().begin()));
+  const Dataset c = forward_sample(bn, 5000, 58, 3);
+  EXPECT_FALSE(std::equal(a.raw().begin(), a.raw().end(), c.raw().begin()));
+}
+
+TEST(ForwardSample, WorksWithNonTopologicalNodeNumbering) {
+  Dag dag(3);  // 2 → 1 → 0: samplers must follow topological order, not ids
+  dag.add_edge(2, 1);
+  dag.add_edge(1, 0);
+  BayesianNetwork bn(std::move(dag), {2, 2, 2});
+  bn.set_cpt(2, Cpt::from_probabilities(2, {}, {1.0, 0.0}));
+  bn.set_cpt(1, Cpt::from_probabilities(2, {2}, {0.0, 1.0, 1.0, 0.0}));
+  bn.set_cpt(0, Cpt::from_probabilities(2, {2}, {0.0, 1.0, 1.0, 0.0}));
+  const Dataset data = forward_sample(bn, 100, 59);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(data.at(i, 2), 0);  // deterministic root
+    EXPECT_EQ(data.at(i, 1), 1);  // flips parent
+    EXPECT_EQ(data.at(i, 0), 0);  // flips again
+  }
+}
+
+// --------------------------------------------------------------------- metrics
+
+TEST(Metrics, SkeletonComparisonCountsCorrectly) {
+  UndirectedGraph learned(4);
+  learned.add_edge(0, 1);  // true positive
+  learned.add_edge(1, 2);  // true positive
+  learned.add_edge(0, 3);  // false positive
+  UndirectedGraph truth(4);
+  truth.add_edge(0, 1);
+  truth.add_edge(1, 2);
+  truth.add_edge(2, 3);    // missed
+  const SkeletonMetrics m = compare_skeletons(learned, truth);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, PerfectRecoveryScoresOne) {
+  UndirectedGraph g(3);
+  g.add_edge(0, 1);
+  const SkeletonMetrics m = compare_skeletons(g, g);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(Metrics, EmptyGraphsScorePerfect) {
+  UndirectedGraph a(3);
+  UndirectedGraph b(3);
+  const SkeletonMetrics m = compare_skeletons(a, b);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(Metrics, ShdCountsMissingExtraAndReversed) {
+  Dag truth(4);
+  truth.add_edge(0, 1);
+  truth.add_edge(1, 2);
+  truth.add_edge(2, 3);
+  Dag learned(4);
+  learned.add_edge(0, 1);  // exact match: 0
+  learned.add_edge(2, 1);  // reversed: 1
+  learned.add_edge(0, 3);  // extra: 1, and missing 2→3: 1
+  EXPECT_EQ(structural_hamming_distance(learned, truth), 3u);
+  EXPECT_EQ(structural_hamming_distance(truth, truth), 0u);
+}
+
+TEST(Metrics, MismatchedNodeSetsRejected) {
+  UndirectedGraph a(3);
+  UndirectedGraph b(4);
+  EXPECT_THROW((void)compare_skeletons(a, b), PreconditionError);
+}
+
+}  // namespace
+}  // namespace wfbn

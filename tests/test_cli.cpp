@@ -1,0 +1,121 @@
+// Unit tests for the CLI option parser used by benches and examples.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("test tool");
+  cli.add_option("samples", "1000", "sample count");
+  cli.add_option("label", "default", "a string");
+  cli.add_option("ratio", "0.5", "a double");
+  cli.add_option("cores", "1,2,4", "core list");
+  cli.add_flag("verbose", "chatty output");
+  return cli;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> out{"prog"};
+  out.insert(out.end(), args.begin(), args.end());
+  return out;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("samples"), 1000);
+  EXPECT_EQ(cli.get("label"), "default");
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 0.5);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"--samples", "250", "--label", "hello"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("samples"), 250);
+  EXPECT_EQ(cli.get("label"), "hello");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"--samples=99", "--ratio=0.25"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("samples"), 99);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 0.25);
+}
+
+TEST(Cli, FlagsToggle) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, IntListParsing) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"--cores", "1,2,8,32"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int_list("cores"),
+            (std::vector<std::int64_t>{1, 2, 8, 32}));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"input.csv", "--samples", "5", "out.csv"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.positional(),
+            (std::vector<std::string>{"input.csv", "out.csv"}));
+}
+
+TEST(Cli, HelpReturnsFalseAndPrints) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"--help"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(cli.help_text().find("--samples"), std::string::npos);
+  EXPECT_NE(cli.help_text().find("sample count"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"--bogus", "1"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()), DataError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"--samples"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()), DataError);
+}
+
+TEST(Cli, NonIntegerValueThrows) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"--samples", "abc"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)cli.get_int("samples"), DataError);
+}
+
+TEST(Cli, MalformedListThrows) {
+  CliParser cli = make_parser();
+  auto argv = argv_of({"--cores", "1,x,3"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_int_list("cores"), DataError);
+}
+
+TEST(Cli, DuplicateRegistrationIsAProgrammingError) {
+  CliParser cli("t");
+  cli.add_option("x", "1", "");
+  EXPECT_THROW(cli.add_option("x", "2", ""), PreconditionError);
+}
+
+TEST(Cli, UnregisteredGetIsAProgrammingError) {
+  CliParser cli("t");
+  EXPECT_THROW(cli.get("nope"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace wfbn

@@ -1,0 +1,257 @@
+// Tests for the execution substrate: ThreadPool, SpinBarrier, and the two
+// shared concurrent maps used by the baseline builders.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
+
+#include "concurrent/atomic_hash_map.hpp"
+#include "concurrent/barrier.hpp"
+#include "concurrent/striped_hash_map.hpp"
+#include "concurrent/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wfbn {
+namespace {
+
+// ------------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, RunsKernelOnEveryWorkerExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(8);
+  pool.run([&](std::size_t p) { hits[p].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, IsReusableAcrossRounds) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run([&](std::size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeDisjointly) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWithFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 3, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      sum.fetch_add(static_cast<int>(i));
+    }
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([](std::size_t p) {
+    if (p == 2) throw DataError("worker 2 exploded");
+  }),
+               DataError);
+  // The pool must survive the exception.
+  std::atomic<int> counter{0};
+  pool.run([&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPool, ZeroWorkersIsRejected) {
+  EXPECT_THROW(ThreadPool(0), PreconditionError);
+}
+
+class BlockRangeProperty : public ::testing::TestWithParam<
+                               std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BlockRangeProperty, PartitionIsCompleteDisjointAndBalanced) {
+  const auto [count, parts] = GetParam();
+  std::size_t covered = 0;
+  std::size_t previous_end = 0;
+  std::size_t min_size = count + 1;
+  std::size_t max_size = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const auto [lo, hi] = ThreadPool::block_range(count, parts, p);
+    EXPECT_EQ(lo, previous_end);  // contiguous, in order
+    EXPECT_LE(lo, hi);
+    covered += hi - lo;
+    previous_end = hi;
+    min_size = std::min(min_size, hi - lo);
+    max_size = std::max(max_size, hi - lo);
+  }
+  EXPECT_EQ(covered, count);
+  EXPECT_EQ(previous_end, count);
+  EXPECT_LE(max_size - min_size, 1u);  // paper's uniform-division assumption
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockRangeProperty,
+    ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{7}, std::size_t{64},
+                                         std::size_t{1000}, std::size_t{12345}),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{7}, std::size_t{32})),
+    [](const auto& param_info) {
+      return "count" + std::to_string(std::get<0>(param_info.param)) + "_parts" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// ------------------------------------------------------------------ SpinBarrier
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPhases = 200;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> violation{false};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        phase_counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, every participant of this phase has arrived.
+        if (phase_counter.load() < (phase + 1) * static_cast<int>(kThreads)) {
+          violation.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase_counter.load(), kPhases * static_cast<int>(kThreads));
+}
+
+TEST(SpinBarrier, SingleParticipantNeverBlocks) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 1000; ++i) barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, ZeroParticipantsRejected) {
+  EXPECT_THROW(SpinBarrier(0), PreconditionError);
+}
+
+// -------------------------------------------------------------- StripedHashMap
+
+TEST(StripedHashMap, SingleThreadedCorrectness) {
+  StripedHashMap map(100);
+  map.increment(5);
+  map.increment(5, 4);
+  map.increment(7);
+  EXPECT_EQ(map.count(5), 5u);
+  EXPECT_EQ(map.count(7), 1u);
+  EXPECT_EQ(map.count(8), 0u);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.lock_acquisitions(), 3u);
+}
+
+TEST(StripedHashMap, ForEachVisitsAll) {
+  StripedHashMap map(64);
+  for (std::uint64_t key = 0; key < 500; ++key) map.increment(key, key + 1);
+  std::unordered_map<std::uint64_t, std::uint64_t> seen;
+  map.for_each([&](std::uint64_t key, std::uint64_t c) { seen[key] = c; });
+  EXPECT_EQ(seen.size(), 500u);
+  for (std::uint64_t key = 0; key < 500; ++key) EXPECT_EQ(seen[key], key + 1);
+}
+
+TEST(StripedHashMap, ConcurrentIncrementsAreLinearizable) {
+  StripedHashMap map(1024, 16);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      Xoshiro256 rng(t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        map.increment(rng.bounded(256));  // heavy collisions on purpose
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::uint64_t total = 0;
+  map.for_each([&](std::uint64_t, std::uint64_t c) { total += c; });
+  EXPECT_EQ(total, kThreads * kPerThread);
+  EXPECT_EQ(map.lock_acquisitions(), kThreads * kPerThread);
+}
+
+// --------------------------------------------------------------- AtomicHashMap
+
+TEST(AtomicHashMap, SingleThreadedCorrectness) {
+  AtomicHashMap map(100);
+  map.increment(3);
+  map.increment(3, 9);
+  EXPECT_EQ(map.count(3), 10u);
+  EXPECT_EQ(map.count(4), 0u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(AtomicHashMap, ReservedKeyRejected) {
+  AtomicHashMap map(16);
+  EXPECT_THROW(map.increment(AtomicHashMap::kEmptyKey), PreconditionError);
+}
+
+TEST(AtomicHashMap, ThrowsWhenFull) {
+  AtomicHashMap map(4);  // capacity rounds up, but is finite
+  const std::size_t capacity = map.capacity();
+  EXPECT_THROW(
+      [&] {
+        for (std::uint64_t key = 0; key <= capacity; ++key) {
+          map.increment(key * 131);
+        }
+      }(),
+      DataError);
+}
+
+TEST(AtomicHashMap, ConcurrentIncrementsAreExact) {
+  AtomicHashMap map(4096);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      Xoshiro256 rng(1000 + t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        map.increment(rng.bounded(512));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::uint64_t total = 0;
+  map.for_each([&](std::uint64_t, std::uint64_t c) { total += c; });
+  EXPECT_EQ(total, kThreads * kPerThread);
+  EXPECT_LE(map.size(), 512u);
+}
+
+TEST(AtomicHashMap, ConcurrentDistinctKeyInsertsClaimUniqueSlots) {
+  AtomicHashMap map(1 << 15);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 8000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        map.increment(t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(map.size(), kThreads * kPerThread);
+  for (std::uint64_t key = 0; key < kThreads * kPerThread; ++key) {
+    ASSERT_EQ(map.count(key), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace wfbn

@@ -1,0 +1,184 @@
+// Tests for the DAG and undirected-graph substrate.
+#include <gtest/gtest.h>
+
+#include "bn/dag.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+namespace {
+
+TEST(Dag, AddAndQueryEdges) {
+  Dag dag(4);
+  EXPECT_TRUE(dag.add_edge(0, 1));
+  EXPECT_TRUE(dag.add_edge(1, 2));
+  EXPECT_TRUE(dag.has_edge(0, 1));
+  EXPECT_FALSE(dag.has_edge(1, 0));
+  EXPECT_EQ(dag.edge_count(), 2u);
+  EXPECT_FALSE(dag.add_edge(0, 1));  // duplicate
+  EXPECT_EQ(dag.edge_count(), 2u);
+}
+
+TEST(Dag, RejectsCycles) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  EXPECT_TRUE(dag.would_create_cycle(2, 0));
+  EXPECT_FALSE(dag.add_edge(2, 0));
+  EXPECT_EQ(dag.edge_count(), 2u);
+  EXPECT_FALSE(dag.would_create_cycle(0, 2));
+  EXPECT_TRUE(dag.add_edge(0, 2));
+}
+
+TEST(Dag, RejectsSelfLoopsAndBadNodes) {
+  Dag dag(3);
+  EXPECT_THROW(dag.add_edge(1, 1), PreconditionError);
+  EXPECT_THROW(dag.add_edge(0, 5), PreconditionError);
+  EXPECT_THROW((void)dag.has_edge(5, 0), PreconditionError);
+}
+
+TEST(Dag, RemoveEdgeMaintainsAdjacency) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  EXPECT_TRUE(dag.remove_edge(0, 1));
+  EXPECT_FALSE(dag.remove_edge(0, 1));
+  EXPECT_FALSE(dag.has_edge(0, 1));
+  EXPECT_EQ(dag.parents(1).size(), 0u);
+  EXPECT_EQ(dag.children(0).size(), 1u);
+  // Removing re-enables what would have been a cycle.
+  EXPECT_TRUE(dag.add_edge(1, 0));
+}
+
+TEST(Dag, ParentsAndChildrenTrackEdges) {
+  Dag dag(5);
+  dag.add_edge(0, 3);
+  dag.add_edge(1, 3);
+  dag.add_edge(3, 4);
+  EXPECT_EQ(dag.parents(3), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(dag.children(3), (std::vector<NodeId>{4}));
+  EXPECT_TRUE(dag.parents(0).empty());
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag dag(6);
+  dag.add_edge(5, 0);
+  dag.add_edge(0, 3);
+  dag.add_edge(3, 1);
+  dag.add_edge(5, 1);
+  dag.add_edge(2, 4);
+  const std::vector<NodeId> order = dag.topological_order();
+  ASSERT_EQ(order.size(), 6u);
+  std::vector<std::size_t> position(6);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const Edge& e : dag.edges()) {
+    EXPECT_LT(position[e.from], position[e.to]);
+  }
+}
+
+TEST(Dag, EdgesAreSorted) {
+  Dag dag(4);
+  dag.add_edge(2, 3);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  const std::vector<Edge> edges = dag.edges();
+  EXPECT_EQ(edges, (std::vector<Edge>{{0, 1}, {0, 2}, {2, 3}}));
+}
+
+TEST(Dag, AncestorsOfCollectsTransitively) {
+  Dag dag(6);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  dag.add_edge(3, 2);
+  dag.add_edge(4, 5);
+  const std::vector<bool> anc = dag.ancestors_of({2});
+  EXPECT_TRUE(anc[0]);
+  EXPECT_TRUE(anc[1]);
+  EXPECT_TRUE(anc[3]);
+  EXPECT_FALSE(anc[2]);  // not its own ancestor (no path back)
+  EXPECT_FALSE(anc[4]);
+  EXPECT_FALSE(anc[5]);
+}
+
+TEST(Dag, SkeletonDropsDirections) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(2, 1);
+  const UndirectedGraph skeleton = dag.skeleton();
+  EXPECT_TRUE(skeleton.has_edge(0, 1));
+  EXPECT_TRUE(skeleton.has_edge(1, 0));
+  EXPECT_TRUE(skeleton.has_edge(1, 2));
+  EXPECT_EQ(skeleton.edge_count(), 2u);
+}
+
+TEST(UndirectedGraph, EdgesAreSymmetric) {
+  UndirectedGraph g(4);
+  EXPECT_TRUE(g.add_edge(0, 2));
+  EXPECT_FALSE(g.add_edge(2, 0));  // same edge
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_TRUE(g.remove_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(UndirectedGraph, HasPathFindsIndirectConnections) {
+  UndirectedGraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.has_path(0, 2));
+  EXPECT_FALSE(g.has_path(0, 3));
+  EXPECT_TRUE(g.has_path(3, 4));
+  EXPECT_FALSE(g.has_path(0, 5));
+}
+
+TEST(UndirectedGraph, HasPathRespectsBlockedNodes) {
+  UndirectedGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 2);
+  std::vector<bool> blocked(5, false);
+  blocked[1] = true;
+  EXPECT_TRUE(g.has_path(0, 2, &blocked));  // via 3
+  blocked[3] = true;
+  EXPECT_FALSE(g.has_path(0, 2, &blocked));
+  // A direct edge is never blocked.
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_path(0, 2, &blocked));
+}
+
+TEST(UndirectedGraph, NodesOnPathsFindsIntermediaries) {
+  //   0 - 1 - 2
+  //    \     /
+  //     3 --/     4 isolated, 5 pendant off 1, 6 pendant off 0
+  UndirectedGraph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 2);
+  g.add_edge(1, 5);
+  g.add_edge(0, 6);
+  const std::vector<NodeId> on_paths = g.nodes_on_paths(0, 2);
+  // 1 and 3 lie on simple 0–2 paths. 5 is included too: the documented
+  // contract is an over-approximation (it reaches both endpoints), which is
+  // safe for cut-set search. 4 (isolated) and 6 (pendant off the *endpoint*)
+  // must be excluded.
+  EXPECT_EQ(on_paths, (std::vector<NodeId>{1, 3, 5}));
+}
+
+TEST(UndirectedGraph, ComponentsLabelsConnectedPieces) {
+  UndirectedGraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const std::vector<std::size_t> label = g.components();
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_NE(label[5], label[0]);
+  EXPECT_NE(label[5], label[3]);
+}
+
+}  // namespace
+}  // namespace wfbn

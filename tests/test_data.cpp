@@ -1,0 +1,221 @@
+// Tests for Dataset, the synthetic generators, and CSV/binary IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "data/dataset.hpp"
+#include "data/generators.hpp"
+#include "data/io.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+namespace {
+
+// -------------------------------------------------------------------- Dataset
+
+TEST(Dataset, ZeroInitialized) {
+  Dataset data(10, {2, 3});
+  EXPECT_EQ(data.sample_count(), 10u);
+  EXPECT_EQ(data.variable_count(), 2u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(data.at(i, 0), 0);
+    EXPECT_EQ(data.at(i, 1), 0);
+  }
+  EXPECT_TRUE(data.validate());
+}
+
+TEST(Dataset, RowAccessAndMutation) {
+  Dataset data(3, {2, 2, 4});
+  data.set(1, 2, 3);
+  EXPECT_EQ(data.at(1, 2), 3);
+  auto row = data.row(1);
+  EXPECT_EQ(row[2], 3);
+  row[0] = 1;
+  EXPECT_EQ(data.at(1, 0), 1);
+}
+
+TEST(Dataset, WrappingConstructorValidates) {
+  EXPECT_THROW(Dataset(2, {2, 2}, {0, 1, 0}), DataError);      // wrong size
+  EXPECT_THROW(Dataset(1, {2, 2}, {0, 2}), DataError);         // out of range
+  EXPECT_NO_THROW(Dataset(2, {2, 2}, {0, 1, 1, 0}));
+}
+
+TEST(Dataset, CodecMatchesCardinalities) {
+  Dataset data(1, {2, 5, 3});
+  const KeyCodec codec = data.codec();
+  EXPECT_EQ(codec.variable_count(), 3u);
+  EXPECT_EQ(codec.state_space_size(), 30u);
+}
+
+// ------------------------------------------------------------------ generators
+
+TEST(Generators, UniformIsDeterministicInSeed) {
+  const Dataset a = generate_uniform(1000, 10, 3, 91);
+  const Dataset b = generate_uniform(1000, 10, 3, 91);
+  const Dataset c = generate_uniform(1000, 10, 3, 92);
+  EXPECT_TRUE(std::equal(a.raw().begin(), a.raw().end(), b.raw().begin()));
+  EXPECT_FALSE(std::equal(a.raw().begin(), a.raw().end(), c.raw().begin()));
+}
+
+TEST(Generators, UniformMarginalsAreBalanced) {
+  const Dataset data = generate_uniform(60000, 5, 3, 93);
+  for (std::size_t j = 0; j < 5; ++j) {
+    std::vector<int> histogram(3, 0);
+    for (std::size_t i = 0; i < data.sample_count(); ++i) {
+      ++histogram[data.at(i, j)];
+    }
+    for (const int h : histogram) {
+      EXPECT_NEAR(h / 60000.0, 1.0 / 3.0, 0.01);
+    }
+  }
+}
+
+TEST(Generators, UniformParallelGenerationIsValid) {
+  const Dataset data = generate_uniform(10000, 8, 2, 94, /*threads=*/4);
+  EXPECT_TRUE(data.validate());
+  EXPECT_EQ(data.sample_count(), 10000u);
+  // Thread count changes block boundaries, hence content — but determinism
+  // within a fixed thread count must hold.
+  const Dataset again = generate_uniform(10000, 8, 2, 94, /*threads=*/4);
+  EXPECT_TRUE(std::equal(data.raw().begin(), data.raw().end(),
+                         again.raw().begin()));
+}
+
+TEST(Generators, ChainCorrelationStrength) {
+  const Dataset data = generate_chain_correlated(50000, 4, 2, 0.9, 95);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    agree += data.at(i, 1) == data.at(i, 0);
+  }
+  // P(agree) = copy + (1-copy)/r = 0.9 + 0.05 = 0.95.
+  EXPECT_NEAR(static_cast<double>(agree) / 50000.0, 0.95, 0.01);
+}
+
+TEST(Generators, ChainWithZeroCopyIsIndependent) {
+  const Dataset data = generate_chain_correlated(50000, 3, 2, 0.0, 96);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    agree += data.at(i, 1) == data.at(i, 0);
+  }
+  EXPECT_NEAR(static_cast<double>(agree) / 50000.0, 0.5, 0.015);
+}
+
+TEST(Generators, SkewedConcentratesMass) {
+  const Dataset data = generate_skewed(20000, 16, 2, 1e-4, 0.9, 97);
+  EXPECT_TRUE(data.validate());
+  const KeyCodec codec = data.codec();
+  // ~90% of rows fall in the tiny hot prefix of the key space.
+  const std::uint64_t hot_bound = static_cast<std::uint64_t>(
+      1e-4 * static_cast<double>(codec.state_space_size()));
+  std::size_t hot = 0;
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    hot += codec.encode(data.row(i)) < std::max<std::uint64_t>(hot_bound, 1);
+  }
+  EXPECT_GT(static_cast<double>(hot) / 20000.0, 0.85);
+}
+
+TEST(Generators, ValidateArguments) {
+  EXPECT_THROW(generate_uniform(10, 4, 2, 1, 0), PreconditionError);
+  EXPECT_THROW(generate_chain_correlated(10, 4, 2, 1.5, 1), PreconditionError);
+  EXPECT_THROW(generate_skewed(10, 4, 2, 0.0, 0.5, 1), PreconditionError);
+  EXPECT_THROW(generate_skewed(10, 4, 2, 0.5, 1.5, 1), PreconditionError);
+}
+
+// -------------------------------------------------------------------------- IO
+
+TEST(Io, CsvRoundTrip) {
+  const Dataset original = generate_uniform(200, std::vector<std::uint32_t>{2, 4, 3}, 98);
+  std::stringstream stream;
+  write_csv(original, stream);
+  const Dataset loaded = read_csv(stream);
+  EXPECT_EQ(loaded.sample_count(), original.sample_count());
+  EXPECT_EQ(loaded.cardinalities(), original.cardinalities());
+  EXPECT_TRUE(std::equal(original.raw().begin(), original.raw().end(),
+                         loaded.raw().begin()));
+}
+
+TEST(Io, CsvHandlesCrlfAndBlankLines) {
+  std::stringstream stream("2,2\r\n0,1\r\n\r\n1,0\r\n");
+  const Dataset loaded = read_csv(stream);
+  EXPECT_EQ(loaded.sample_count(), 2u);
+  EXPECT_EQ(loaded.at(0, 1), 1);
+  EXPECT_EQ(loaded.at(1, 0), 1);
+}
+
+class CsvRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CsvRejects, MalformedInputThrows) {
+  std::stringstream stream(GetParam());
+  EXPECT_THROW((void)read_csv(stream), DataError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, CsvRejects,
+    ::testing::Values("",                  // empty file
+                      "2,x\n0,0\n",        // bad header
+                      "2,2\n0\n",          // ragged row
+                      "2,2\n0,2\n",        // state out of range
+                      "2,2\n0,a\n",        // non-integer state
+                      "0,2\n0,0\n",        // zero cardinality
+                      "2,999\n0,0\n"));    // cardinality above uint8
+
+TEST(Io, BinaryRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "wfbn_test_roundtrip.bin";
+  const Dataset original =
+      generate_uniform(500, std::vector<std::uint32_t>{3, 2, 5}, 99);
+  write_binary_file(original, path);
+  const Dataset loaded = read_binary_file(path);
+  EXPECT_EQ(loaded.sample_count(), original.sample_count());
+  EXPECT_EQ(loaded.cardinalities(), original.cardinalities());
+  EXPECT_TRUE(std::equal(original.raw().begin(), original.raw().end(),
+                         loaded.raw().begin()));
+  std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRejectsGarbage) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "wfbn_test_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a dataset";
+  }
+  EXPECT_THROW((void)read_binary_file(path), DataError);
+  std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRejectsTruncation) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "wfbn_test_trunc.bin";
+  const Dataset original = generate_uniform(100, 4, 2, 100);
+  write_binary_file(original, path);
+  // Truncate the file to half its size.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW((void)read_binary_file(path), DataError);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFilesThrow) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/x.csv"), DataError);
+  EXPECT_THROW((void)read_binary_file("/nonexistent/x.bin"), DataError);
+  const Dataset d = generate_uniform(10, 2, 2, 101);
+  EXPECT_THROW(write_csv_file(d, "/nonexistent/dir/x.csv"), DataError);
+  EXPECT_THROW(write_binary_file(d, "/nonexistent/dir/x.bin"), DataError);
+}
+
+TEST(Io, CsvFileRoundTrip) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "wfbn_test_roundtrip.csv";
+  const Dataset original = generate_uniform(100, 3, 2, 102);
+  write_csv_file(original, path);
+  const Dataset loaded = read_csv_file(path);
+  EXPECT_TRUE(std::equal(original.raw().begin(), original.raw().end(),
+                         loaded.raw().begin()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wfbn

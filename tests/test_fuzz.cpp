@@ -1,0 +1,159 @@
+// Bounded randomized fuzzing of the whole pipeline: random dataset shapes,
+// random thread counts, random variable subsets — every configuration must
+// satisfy the core invariants (exact counts, marginal consistency, MI
+// symmetry, query normalization). Seeded, so failures are reproducible.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "core/all_pairs_mi.hpp"
+#include "core/info_theory.hpp"
+#include "core/marginalizer.hpp"
+#include "core/query.hpp"
+#include "core/wait_free_builder.hpp"
+#include "data/generators.hpp"
+#include "util/rng.hpp"
+
+namespace wfbn {
+namespace {
+
+struct FuzzConfig {
+  std::size_t samples;
+  std::vector<std::uint32_t> cardinalities;
+  std::size_t build_threads;
+  PartitionScheme scheme;
+  bool pipelined;
+  std::uint64_t data_seed;
+};
+
+FuzzConfig random_config(Xoshiro256& rng) {
+  FuzzConfig config;
+  config.samples = 500 + rng.bounded(8000);
+  const std::size_t n = 2 + rng.bounded(14);
+  config.cardinalities.resize(n);
+  for (auto& r : config.cardinalities) {
+    r = 2 + static_cast<std::uint32_t>(rng.bounded(4));
+  }
+  config.build_threads = 1 + rng.bounded(12);
+  config.scheme = rng.bounded(2) == 0 ? PartitionScheme::kModulo
+                                      : PartitionScheme::kRange;
+  config.pipelined = rng.bounded(2) == 0;
+  config.data_seed = rng();
+  return config;
+}
+
+TEST(Fuzz, PipelineInvariantsHoldForRandomConfigurations) {
+  Xoshiro256 meta_rng(0xF00D);
+  for (int round = 0; round < 25; ++round) {
+    const FuzzConfig config = random_config(meta_rng);
+    SCOPED_TRACE("round " + std::to_string(round) + ": m=" +
+                 std::to_string(config.samples) + " n=" +
+                 std::to_string(config.cardinalities.size()) + " threads=" +
+                 std::to_string(config.build_threads) +
+                 (config.pipelined ? " pipelined" : " phased"));
+    const Dataset data =
+        generate_uniform(config.samples, config.cardinalities, config.data_seed);
+
+    // ---- construction is exact.
+    WaitFreeBuilderOptions options;
+    options.threads = config.build_threads;
+    options.scheme = config.scheme;
+    options.pipelined = config.pipelined;
+    WaitFreeBuilder builder(options);
+    const PotentialTable table = builder.build(data);
+    ASSERT_EQ(table.partitions().total_count(), config.samples);
+    ASSERT_TRUE(table.validate());
+    ASSERT_TRUE(table.partitions().ownership_invariant_holds());
+
+    std::map<Key, std::uint64_t> reference;
+    const KeyCodec codec = data.codec();
+    for (std::size_t i = 0; i < config.samples; ++i) {
+      ++reference[codec.encode(data.row(i))];
+    }
+    ASSERT_EQ(table.distinct_keys(), reference.size());
+
+    // ---- a random marginal equals the brute-force count.
+    Xoshiro256 pick(config.data_seed ^ 0x5EED);
+    const std::size_t n = config.cardinalities.size();
+    const std::size_t subset_size = 1 + pick.bounded(std::min<std::uint64_t>(3, n));
+    std::vector<std::size_t> vars;
+    while (vars.size() < subset_size) {
+      const std::size_t v = static_cast<std::size_t>(pick.bounded(n));
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) vars.push_back(v);
+    }
+    const Marginalizer marginalizer(1 + pick.bounded(6));
+    const MarginalTable marginal = marginalizer.marginalize(table, vars);
+    ASSERT_EQ(marginal.total(), config.samples);
+
+    std::vector<std::uint64_t> brute(marginal.cell_count(), 0);
+    std::vector<State> sub(vars.size());
+    for (std::size_t i = 0; i < config.samples; ++i) {
+      const auto row = data.row(i);
+      for (std::size_t k = 0; k < vars.size(); ++k) sub[k] = row[vars[k]];
+      ++brute[marginal.index_of(sub)];
+    }
+    for (std::uint64_t cell = 0; cell < marginal.cell_count(); ++cell) {
+      ASSERT_EQ(marginal.count_at(cell), brute[cell]) << "cell " << cell;
+    }
+
+    // ---- MI matrix: symmetric, non-negative, bounded by min entropy.
+    if (n <= 10) {
+      AllPairsMi all_pairs(
+          AllPairsOptions{1 + pick.bounded(4), AllPairsStrategy::kFused});
+      const MiMatrix mi = all_pairs.compute(table);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t iv[] = {i};
+        const double h_i = entropy(marginalizer.marginalize(table, iv));
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_DOUBLE_EQ(mi.at(i, j), mi.at(j, i));
+          ASSERT_GE(mi.at(i, j), 0.0);
+          if (i != j) {
+            ASSERT_LE(mi.at(i, j), h_i + 1e-9);
+          }
+        }
+      }
+    }
+
+    // ---- queries normalize.
+    const QueryEngine engine(table, 1 + pick.bounded(4));
+    const std::vector<double> p = engine.marginal(vars);
+    const double total = std::accumulate(p.begin(), p.end(), 0.0);
+    ASSERT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Fuzz, AppendMatchesMonolithicBuildForRandomSplits) {
+  Xoshiro256 meta_rng(0xBEEF);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t n = 3 + meta_rng.bounded(8);
+    const std::size_t m = 2000 + meta_rng.bounded(6000);
+    const Dataset all = generate_uniform(m, n, 2, meta_rng());
+    const std::size_t cut = 1 + meta_rng.bounded(m - 1);
+    SCOPED_TRACE("round " + std::to_string(round) + " cut=" + std::to_string(cut));
+
+    const auto split = static_cast<std::ptrdiff_t>(cut * n);
+    std::vector<State> head(all.raw().begin(), all.raw().begin() + split);
+    std::vector<State> tail(all.raw().begin() + split, all.raw().end());
+    const Dataset first(cut, all.cardinalities(), std::move(head));
+    const Dataset second(m - cut, all.cardinalities(), std::move(tail));
+
+    WaitFreeBuilderOptions options;
+    options.threads = 1 + meta_rng.bounded(8);
+    WaitFreeBuilder builder(options);
+    PotentialTable incremental = builder.build(first);
+    builder.append(second, incremental);
+    const PotentialTable monolithic = builder.build(all);
+
+    ASSERT_EQ(incremental.sample_count(), monolithic.sample_count());
+    ASSERT_EQ(incremental.distinct_keys(), monolithic.distinct_keys());
+    bool all_match = true;
+    monolithic.partitions().for_each([&](Key key, std::uint64_t c) {
+      if (incremental.partitions().count_anywhere(key) != c) all_match = false;
+    });
+    ASSERT_TRUE(all_match);
+  }
+}
+
+}  // namespace
+}  // namespace wfbn

@@ -1,0 +1,195 @@
+// Tests for entropy, mutual information, conditional MI, the G-test and the
+// chi-squared machinery (paper §II-C, Definitions 2–3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/info_theory.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+namespace {
+
+MarginalTable pair_table(std::uint64_t c00, std::uint64_t c10, std::uint64_t c01,
+                         std::uint64_t c11) {
+  MarginalTable t({0, 1}, {2, 2});
+  t.add(0, c00);
+  t.add(1, c10);
+  t.add(2, c01);
+  t.add(3, c11);
+  return t;
+}
+
+TEST(Entropy, UniformDistributionIsLogK) {
+  MarginalTable t({0}, {4});
+  for (std::uint64_t cell = 0; cell < 4; ++cell) t.add(cell, 25);
+  EXPECT_NEAR(entropy(t), std::log(4.0), 1e-12);
+}
+
+TEST(Entropy, DegenerateDistributionIsZero) {
+  MarginalTable t({0}, {3});
+  t.add(1, 1000);
+  EXPECT_DOUBLE_EQ(entropy(t), 0.0);
+}
+
+TEST(Entropy, EmptyTableIsZero) {
+  MarginalTable t({0}, {2});
+  EXPECT_DOUBLE_EQ(entropy(t), 0.0);
+}
+
+TEST(Entropy, BinaryEntropyFormula) {
+  MarginalTable t({0}, {2});
+  t.add(0, 25);
+  t.add(1, 75);
+  const double expected = -0.25 * std::log(0.25) - 0.75 * std::log(0.75);
+  EXPECT_NEAR(entropy(t), expected, 1e-12);
+}
+
+TEST(MutualInformation, IndependentVariablesHaveZeroMi) {
+  // P(x,y) = P(x)P(y): counts proportional to outer product.
+  const MarginalTable t = pair_table(30 * 2, 70 * 2, 30 * 8, 70 * 8);
+  EXPECT_NEAR(mutual_information(t), 0.0, 1e-12);
+}
+
+TEST(MutualInformation, PerfectlyCorrelatedVariablesShareFullEntropy) {
+  const MarginalTable t = pair_table(500, 0, 0, 500);
+  EXPECT_NEAR(mutual_information(t), std::log(2.0), 1e-12);
+}
+
+TEST(MutualInformation, MatchesHandComputedExample) {
+  // Joint counts: (0,0)=40 (1,0)=10 (0,1)=10 (1,1)=40, m=100.
+  const MarginalTable t = pair_table(40, 10, 10, 40);
+  double expected = 0.0;
+  const double joint[2][2] = {{0.4, 0.1}, {0.1, 0.4}};
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      expected += joint[a][b] * std::log(joint[a][b] / 0.25);
+    }
+  }
+  EXPECT_NEAR(mutual_information(t), expected, 1e-12);
+}
+
+TEST(MutualInformation, IsSymmetricInTheTwoVariables) {
+  MarginalTable xy({0, 1}, {2, 3});
+  MarginalTable yx({1, 0}, {3, 2});
+  const std::uint64_t counts[2][3] = {{5, 17, 40}, {33, 2, 3}};
+  for (State a = 0; a < 2; ++a) {
+    for (State b = 0; b < 3; ++b) {
+      const State s_xy[] = {a, b};
+      const State s_yx[] = {b, a};
+      xy.add(xy.index_of(s_xy), counts[a][b]);
+      yx.add(yx.index_of(s_yx), counts[a][b]);
+    }
+  }
+  EXPECT_NEAR(mutual_information(xy), mutual_information(yx), 1e-12);
+}
+
+TEST(MutualInformation, RequiresPairTable) {
+  MarginalTable t({0, 1, 2}, {2, 2, 2});
+  EXPECT_THROW((void)mutual_information(t), PreconditionError);
+}
+
+TEST(ConditionalMi, ReducesToMiWithNoConditioningVariables) {
+  const MarginalTable t = pair_table(40, 10, 10, 40);
+  EXPECT_NEAR(conditional_mutual_information(t, 0, 1), mutual_information(t),
+              1e-12);
+}
+
+TEST(ConditionalMi, ScreensOffCommonCause) {
+  // X ← Z → Y with X, Y deterministic copies of Z: I(X;Y) large but
+  // I(X;Y|Z) = 0.
+  MarginalTable t({0, 1, 2}, {2, 2, 2});  // layout (X, Y, Z)
+  const State z0[] = {0, 0, 0};
+  const State z1[] = {1, 1, 1};
+  t.add(t.index_of(z0), 500);
+  t.add(t.index_of(z1), 500);
+  EXPECT_NEAR(conditional_mutual_information(t, 0, 1), 0.0, 1e-12);
+  const std::size_t keep[] = {0, 1};
+  EXPECT_NEAR(mutual_information(t.sum_out_to(keep)), std::log(2.0), 1e-12);
+}
+
+TEST(ConditionalMi, DetectsConditionalDependenceOfCollider) {
+  // X, Y independent coins; Z = X XOR Y. I(X;Y) = 0 but I(X;Y|Z) = ln 2.
+  MarginalTable t({0, 1, 2}, {2, 2, 2});
+  for (State x = 0; x < 2; ++x) {
+    for (State y = 0; y < 2; ++y) {
+      const State s[] = {x, y, static_cast<State>(x ^ y)};
+      t.add(t.index_of(s), 250);
+    }
+  }
+  const std::size_t keep[] = {0, 1};
+  EXPECT_NEAR(mutual_information(t.sum_out_to(keep)), 0.0, 1e-12);
+  EXPECT_NEAR(conditional_mutual_information(t, 0, 1), std::log(2.0), 1e-12);
+}
+
+TEST(ConditionalMi, ValidatesArguments) {
+  MarginalTable t({0, 1, 2}, {2, 2, 2});
+  EXPECT_THROW((void)conditional_mutual_information(t, 0, 0), PreconditionError);
+  EXPECT_THROW((void)conditional_mutual_information(t, 0, 9), PreconditionError);
+}
+
+TEST(GammaFunctions, MatchKnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+    EXPECT_NEAR(regularized_gamma_q(1.0, x), std::exp(-x), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(3.0, 0.0), 1.0);
+  // P + Q = 1 across regimes (series vs continued fraction).
+  for (const double a : {0.5, 2.0, 10.0, 50.0}) {
+    for (const double x : {0.01, 0.5, 1.0, 5.0, 20.0, 100.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-10);
+    }
+  }
+}
+
+TEST(ChiSquared, MatchesTabulatedCriticalValues) {
+  // Standard chi-squared table: P(X >= x) = 0.05.
+  EXPECT_NEAR(chi_squared_sf(3.841, 1), 0.05, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(5.991, 2), 0.05, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(7.815, 3), 0.05, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(18.307, 10), 0.05, 2e-4);
+  // And the 0.01 column.
+  EXPECT_NEAR(chi_squared_sf(6.635, 1), 0.01, 1e-4);
+  EXPECT_NEAR(chi_squared_sf(23.209, 10), 0.01, 1e-4);
+}
+
+TEST(ChiSquared, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(chi_squared_sf(0.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(chi_squared_sf(-1.0, 5), 1.0);
+  EXPECT_LT(chi_squared_sf(1000.0, 5), 1e-100);
+  EXPECT_THROW((void)chi_squared_sf(1.0, 0), PreconditionError);
+}
+
+TEST(GTest, IndependentDataYieldsHighPValue) {
+  const MarginalTable t = pair_table(250, 250, 250, 250);
+  const GTestResult r = g_test(t, 0, 1);
+  EXPECT_EQ(r.dof, 1u);
+  EXPECT_NEAR(r.g, 0.0, 1e-9);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(GTest, DependentDataYieldsLowPValue) {
+  const MarginalTable t = pair_table(400, 100, 100, 400);
+  const GTestResult r = g_test(t, 0, 1);
+  EXPECT_GT(r.g, 100.0);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(GTest, ConditionalDofScalesWithConditioningSpace) {
+  MarginalTable t({0, 1, 2, 3}, {2, 3, 4, 2});  // X=0 (r=2), Y=1 (r=3), Z={2,3}
+  t.add(0, 10);  // any content; dof depends only on shape
+  const GTestResult r = g_test(t, 0, 1);
+  EXPECT_EQ(r.dof, (2u - 1) * (3u - 1) * 4u * 2u);
+}
+
+TEST(GTest, EqualsTwoMTimesMi) {
+  const MarginalTable t = pair_table(300, 200, 100, 400);
+  const GTestResult r = g_test(t, 0, 1);
+  EXPECT_NEAR(r.g, 2.0 * 1000.0 * mutual_information(t), 1e-9);
+}
+
+}  // namespace
+}  // namespace wfbn

@@ -1,0 +1,216 @@
+// Unit + property tests for the mixed-radix key codec (paper Eq. 3/4) and
+// the KeyProjector used by the marginalization primitive.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "table/key_codec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wfbn {
+namespace {
+
+TEST(KeyCodec, EncodesPaperExample) {
+  // key = sum s_j * r^(j-1) with r = 3: (2, 0, 1) -> 2 + 0*3 + 1*9 = 11.
+  const KeyCodec codec = KeyCodec::uniform(3, 3);
+  const State states[] = {2, 0, 1};
+  EXPECT_EQ(codec.encode(states), 11u);
+}
+
+TEST(KeyCodec, DecodeRecoversEachVariable) {
+  const KeyCodec codec = KeyCodec::uniform(4, 3);
+  const State states[] = {1, 2, 0, 2};
+  const Key key = codec.encode(states);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(codec.decode(key, j), states[j]);
+}
+
+TEST(KeyCodec, MixedRadixStrides) {
+  const KeyCodec codec({2, 3, 4});
+  EXPECT_EQ(codec.stride(0), 1u);
+  EXPECT_EQ(codec.stride(1), 2u);
+  EXPECT_EQ(codec.stride(2), 6u);
+  EXPECT_EQ(codec.state_space_size(), 24u);
+}
+
+TEST(KeyCodec, EveryKeyRoundTripsInSmallSpace) {
+  const KeyCodec codec({2, 3, 2, 4});
+  std::vector<State> states(4);
+  for (Key key = 0; key < codec.state_space_size(); ++key) {
+    codec.decode_all(key, states);
+    EXPECT_EQ(codec.encode(states), key);
+  }
+}
+
+TEST(KeyCodec, RandomStateStringsRoundTrip) {
+  Xoshiro256 rng(17);
+  const std::vector<std::uint32_t> cards = {2, 5, 3, 2, 7, 4, 2, 3};
+  const KeyCodec codec(cards);
+  std::vector<State> states(cards.size());
+  std::vector<State> decoded(cards.size());
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (std::size_t j = 0; j < cards.size(); ++j) {
+      states[j] = static_cast<State>(rng.bounded(cards[j]));
+    }
+    const Key key = codec.encode(states);
+    codec.decode_all(key, decoded);
+    EXPECT_EQ(decoded, states);
+    for (std::size_t j = 0; j < cards.size(); ++j) {
+      EXPECT_EQ(codec.decode(key, j), states[j]);
+    }
+  }
+}
+
+TEST(KeyCodec, EncodingIsInjective) {
+  const KeyCodec codec({3, 2, 3});
+  std::vector<bool> seen(codec.state_space_size(), false);
+  std::vector<State> states(3);
+  for (State a = 0; a < 3; ++a) {
+    for (State b = 0; b < 2; ++b) {
+      for (State c = 0; c < 3; ++c) {
+        states = {a, b, c};
+        const Key key = codec.encode(states);
+        ASSERT_LT(key, codec.state_space_size());
+        EXPECT_FALSE(seen[key]) << "collision at key " << key;
+        seen[key] = true;
+      }
+    }
+  }
+}
+
+TEST(KeyCodec, PaperScaleFitsSixtyFourBits) {
+  // The paper evaluates up to n=50, r=2: 2^50 states must be representable.
+  const KeyCodec codec = KeyCodec::uniform(50, 2);
+  EXPECT_EQ(codec.state_space_size(), 1ULL << 50);
+  std::vector<State> all_ones(50, 1);
+  EXPECT_EQ(codec.encode(all_ones), (1ULL << 50) - 1);
+}
+
+TEST(KeyCodec, OverflowingStateSpaceThrows) {
+  EXPECT_THROW(KeyCodec::uniform(64, 2), DataError);   // 2^64 > 2^63
+  EXPECT_THROW(KeyCodec::uniform(41, 3), DataError);   // 3^41 > 2^63
+  EXPECT_NO_THROW(KeyCodec::uniform(63, 2));           // 2^63 boundary
+}
+
+TEST(KeyCodec, ZeroCardinalityThrows) {
+  EXPECT_THROW(KeyCodec({2, 0, 2}), DataError);
+}
+
+TEST(KeyCodec, EmptyVariableListThrows) {
+  EXPECT_THROW(KeyCodec({}), PreconditionError);
+}
+
+TEST(KeyCodec, EncodeCheckedValidates) {
+  const KeyCodec codec({2, 3});
+  const State bad_state[] = {1, 3};
+  EXPECT_THROW((void)codec.encode_checked(bad_state), DataError);
+  const State short_string[] = {1};
+  EXPECT_THROW((void)codec.encode_checked(short_string), DataError);
+  const State good[] = {1, 2};
+  EXPECT_EQ(codec.encode_checked(good), codec.encode(good));
+}
+
+TEST(KeyProjector, ProjectsSingleVariable) {
+  const KeyCodec codec = KeyCodec::uniform(5, 3);
+  const State states[] = {0, 2, 1, 0, 2};
+  const Key key = codec.encode(states);
+  for (std::size_t v = 0; v < 5; ++v) {
+    const std::size_t vars[] = {v};
+    const KeyProjector projector(codec, vars);
+    EXPECT_EQ(projector.project(key), states[v]);
+    EXPECT_EQ(projector.range_size(), 3u);
+  }
+}
+
+TEST(KeyProjector, PairProjectionMatchesManualIndex) {
+  const KeyCodec codec({2, 3, 4, 5});
+  Xoshiro256 rng(23);
+  std::vector<State> states(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      states[j] = static_cast<State>(rng.bounded(codec.cardinality(j)));
+    }
+    const Key key = codec.encode(states);
+    const std::size_t vars[] = {1, 3};
+    const KeyProjector projector(codec, vars);
+    EXPECT_EQ(projector.project(key),
+              states[1] + 3u * static_cast<std::uint64_t>(states[3]));
+  }
+}
+
+TEST(KeyProjector, VariableOrderDefinesLayout) {
+  const KeyCodec codec = KeyCodec::uniform(3, 2);
+  const State states[] = {1, 0, 1};
+  const Key key = codec.encode(states);
+  const std::size_t fwd[] = {0, 2};
+  const std::size_t rev[] = {2, 0};
+  EXPECT_EQ(KeyProjector(codec, fwd).project(key), 1u + 2u * 1u);
+  EXPECT_EQ(KeyProjector(codec, rev).project(key), 1u + 2u * 1u);
+  const State states2[] = {1, 0, 0};
+  const Key key2 = codec.encode(states2);
+  EXPECT_EQ(KeyProjector(codec, fwd).project(key2), 1u);
+  EXPECT_EQ(KeyProjector(codec, rev).project(key2), 2u);
+}
+
+TEST(KeyProjector, DuplicateVariableThrows) {
+  const KeyCodec codec = KeyCodec::uniform(3, 2);
+  const std::size_t vars[] = {1, 1};
+  EXPECT_THROW(KeyProjector(codec, vars), PreconditionError);
+}
+
+TEST(KeyProjector, OutOfRangeVariableThrows) {
+  const KeyCodec codec = KeyCodec::uniform(3, 2);
+  const std::size_t vars[] = {3};
+  EXPECT_THROW(KeyProjector(codec, vars), PreconditionError);
+}
+
+// Property sweep: projecting any subset equals decoding and re-encoding that
+// subset, over a grid of codec shapes.
+class KeyProjectorProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t>> {};
+
+TEST_P(KeyProjectorProperty, ProjectionEqualsSubsetReencoding) {
+  const auto [n, r] = GetParam();
+  const KeyCodec codec = KeyCodec::uniform(n, r);
+  Xoshiro256 rng(1000 + n * 10 + r);
+  std::vector<State> states(n);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (std::size_t j = 0; j < n; ++j) {
+      states[j] = static_cast<State>(rng.bounded(r));
+    }
+    const Key key = codec.encode(states);
+    // Random subset of 1..min(4, n) variables.
+    const std::size_t size = 1 + rng.bounded(std::min<std::uint64_t>(4, n));
+    std::vector<std::size_t> vars;
+    while (vars.size() < size) {
+      const std::size_t v = static_cast<std::size_t>(rng.bounded(n));
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) vars.push_back(v);
+    }
+    const KeyProjector projector(codec, vars);
+    std::uint64_t expected = 0;
+    std::uint64_t stride = 1;
+    for (const std::size_t v : vars) {
+      expected += states[v] * stride;
+      stride *= r;
+    }
+    EXPECT_EQ(projector.project(key), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KeyProjectorProperty,
+    ::testing::Values(std::make_tuple(std::size_t{1}, 2u),
+                      std::make_tuple(std::size_t{2}, 3u),
+                      std::make_tuple(std::size_t{8}, 3u),
+                      std::make_tuple(std::size_t{30}, 2u),
+                      std::make_tuple(std::size_t{30}, 3u),
+                      std::make_tuple(std::size_t{39}, 3u),
+                      std::make_tuple(std::size_t{50}, 2u)),
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_r" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace wfbn

@@ -1,0 +1,133 @@
+// Tests for the secondary MI consumers: Chow–Liu trees and sparse-candidate
+// parent selection (paper §III).
+#include <gtest/gtest.h>
+
+#include "core/all_pairs_mi.hpp"
+#include "core/wait_free_builder.hpp"
+#include "data/generators.hpp"
+#include "learn/chow_liu.hpp"
+#include "learn/sparse_candidate.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+namespace {
+
+MiMatrix mi_of(const Dataset& data) {
+  WaitFreeBuilderOptions options;
+  options.threads = 4;
+  WaitFreeBuilder builder(options);
+  const PotentialTable table = builder.build(data);
+  return AllPairsMi(AllPairsOptions{4, AllPairsStrategy::kFused}).compute(table);
+}
+
+TEST(ChowLiu, RecoversChainFromChainData) {
+  const Dataset data = generate_chain_correlated(60000, 6, 2, 0.85, 81);
+  const ChowLiuResult result = chow_liu_tree(mi_of(data));
+  EXPECT_EQ(result.tree.edge_count(), 5u);
+  for (NodeId v = 0; v + 1 < 6; ++v) {
+    EXPECT_TRUE(result.tree.has_edge(v, v + 1))
+        << "missing chain edge " << v << "-" << v + 1;
+  }
+  EXPECT_GT(result.total_mi, 0.5);
+}
+
+TEST(ChowLiu, RootedTreePointsAwayFromRoot) {
+  const Dataset data = generate_chain_correlated(40000, 5, 2, 0.85, 82);
+  const ChowLiuResult result = chow_liu_tree(mi_of(data), 0.0, /*root=*/2);
+  // Rooted at 2 on a chain: edges 2→1, 1→0, 2→3, 3→4.
+  EXPECT_TRUE(result.rooted.has_edge(2, 1));
+  EXPECT_TRUE(result.rooted.has_edge(1, 0));
+  EXPECT_TRUE(result.rooted.has_edge(2, 3));
+  EXPECT_TRUE(result.rooted.has_edge(3, 4));
+  EXPECT_EQ(result.rooted.edge_count(), 4u);
+  EXPECT_EQ(result.rooted.topological_order().front(), 2u);
+}
+
+TEST(ChowLiu, MinMiThresholdYieldsForest) {
+  // Two independent correlated pairs: (0,1) and (2,3).
+  MiMatrix mi(4);
+  mi.set(0, 1, 0.5);
+  mi.set(2, 3, 0.4);
+  mi.set(0, 2, 0.0001);  // below threshold noise
+  const ChowLiuResult result = chow_liu_tree(mi, /*min_mi=*/0.01);
+  EXPECT_EQ(result.tree.edge_count(), 2u);
+  EXPECT_TRUE(result.tree.has_edge(0, 1));
+  EXPECT_TRUE(result.tree.has_edge(2, 3));
+  EXPECT_FALSE(result.tree.has_path(0, 2));
+  EXPECT_NEAR(result.total_mi, 0.9, 1e-12);
+}
+
+TEST(ChowLiu, TreeIsSpanningOnConnectedMi) {
+  MiMatrix mi(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      mi.set(i, j, 0.01 + 0.01 * static_cast<double>(i + j));
+    }
+  }
+  const ChowLiuResult result = chow_liu_tree(mi);
+  EXPECT_EQ(result.tree.edge_count(), 4u);  // |V| - 1: a spanning tree
+  const auto labels = result.tree.components();
+  for (const std::size_t l : labels) EXPECT_EQ(l, labels[0]);
+}
+
+TEST(ChowLiu, MaximizesWeightAgainstAlternatives) {
+  // Star data: 0 strongly tied to 1,2,3; weak 1-2, 1-3, 2-3 links must lose.
+  MiMatrix mi(4);
+  mi.set(0, 1, 0.5);
+  mi.set(0, 2, 0.45);
+  mi.set(0, 3, 0.4);
+  mi.set(1, 2, 0.2);
+  mi.set(1, 3, 0.15);
+  mi.set(2, 3, 0.1);
+  const ChowLiuResult result = chow_liu_tree(mi);
+  EXPECT_TRUE(result.tree.has_edge(0, 1));
+  EXPECT_TRUE(result.tree.has_edge(0, 2));
+  EXPECT_TRUE(result.tree.has_edge(0, 3));
+  EXPECT_NEAR(result.total_mi, 1.35, 1e-12);
+}
+
+TEST(SparseCandidate, SelectsTopKPartners) {
+  MiMatrix mi(4);
+  mi.set(0, 1, 0.5);
+  mi.set(0, 2, 0.3);
+  mi.set(0, 3, 0.1);
+  mi.set(1, 2, 0.05);
+  const auto candidates = sparse_candidates(mi, 2);
+  ASSERT_EQ(candidates.size(), 4u);
+  EXPECT_EQ(candidates[0], (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(candidates[1], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(candidates[3], (std::vector<std::size_t>{0}));  // only one > 0
+}
+
+TEST(SparseCandidate, ZeroMiPartnersExcluded) {
+  MiMatrix mi(3);
+  const auto candidates = sparse_candidates(mi, 5);
+  for (const auto& c : candidates) EXPECT_TRUE(c.empty());
+}
+
+TEST(SparseCandidate, CoversTrueChainNeighbors) {
+  const Dataset data = generate_chain_correlated(40000, 8, 2, 0.85, 83);
+  const auto candidates = sparse_candidates(mi_of(data), 2);
+  for (NodeId v = 1; v + 1 < 8; ++v) {
+    // Interior chain nodes: both neighbors are the top-2 MI partners.
+    EXPECT_TRUE(std::find(candidates[v].begin(), candidates[v].end(), v - 1) !=
+                candidates[v].end());
+    EXPECT_TRUE(std::find(candidates[v].begin(), candidates[v].end(), v + 1) !=
+                candidates[v].end());
+  }
+}
+
+TEST(SparseCandidate, RejectsZeroK) {
+  MiMatrix mi(3);
+  EXPECT_THROW((void)sparse_candidates(mi, 0), PreconditionError);
+}
+
+TEST(ChowLiu, RejectsEmptyMatrix) {
+  // MiMatrix cannot be empty in practice, but the API contract is explicit.
+  MiMatrix mi(1);
+  const ChowLiuResult result = chow_liu_tree(mi);
+  EXPECT_EQ(result.tree.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace wfbn

@@ -1,0 +1,124 @@
+// Tests for Bayesian-network serialization (src/bn/io).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "bn/io.hpp"
+#include "bn/repository.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+namespace {
+
+void expect_equal_networks(const BayesianNetwork& a, const BayesianNetwork& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.cardinalities(), b.cardinalities());
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    EXPECT_EQ(a.name(v), b.name(v));
+    EXPECT_EQ(a.dag().parents(v), b.dag().parents(v));
+    ASSERT_EQ(a.cpt(v).raw().size(), b.cpt(v).raw().size());
+    for (std::size_t i = 0; i < a.cpt(v).raw().size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.cpt(v).raw()[i], b.cpt(v).raw()[i]) << "cpt of node " << v;
+    }
+  }
+}
+
+class NetworkRoundTrip : public ::testing::TestWithParam<RepositoryNetwork> {};
+
+TEST_P(NetworkRoundTrip, StreamRoundTripPreservesEverything) {
+  const BayesianNetwork original = load_network(GetParam());
+  std::stringstream stream;
+  write_network(original, stream);
+  const BayesianNetwork loaded = read_network(stream);
+  expect_equal_networks(original, loaded);
+  EXPECT_TRUE(loaded.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRepositoryNetworks, NetworkRoundTrip,
+                         ::testing::ValuesIn(all_repository_networks()),
+                         [](const auto& param_info) {
+                           return repository_network_name(param_info.param);
+                         });
+
+TEST(NetworkIo, FileRoundTrip) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "wfbn_test_net.txt";
+  const BayesianNetwork original = load_network(RepositoryNetwork::kAsia);
+  write_network_file(original, path);
+  const BayesianNetwork loaded = read_network_file(path);
+  expect_equal_networks(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIo, RejectsWrongMagic) {
+  std::stringstream stream("not-a-network 1\n");
+  EXPECT_THROW((void)read_network(stream), DataError);
+}
+
+TEST(NetworkIo, RejectsWrongVersion) {
+  std::stringstream stream("wfbn-network 99\nnodes 1\nnode a 2\nparents a 0\n");
+  EXPECT_THROW((void)read_network(stream), DataError);
+}
+
+TEST(NetworkIo, RejectsTruncation) {
+  const BayesianNetwork original = load_network(RepositoryNetwork::kCancer);
+  std::stringstream full;
+  write_network(original, full);
+  const std::string text = full.str();
+  // Any prefix cut inside the body must fail loudly, not mis-parse.
+  for (const double fraction : {0.2, 0.5, 0.9}) {
+    std::stringstream cut(text.substr(0, static_cast<std::size_t>(
+                                             fraction * static_cast<double>(text.size()))));
+    EXPECT_THROW((void)read_network(cut), DataError);
+  }
+}
+
+TEST(NetworkIo, RejectsCyclicParentLists) {
+  std::stringstream stream(
+      "wfbn-network 1\nnodes 2\nnode a 2\nnode b 2\n"
+      "parents a 1 b\nparents b 1 a\n");
+  EXPECT_THROW((void)read_network(stream), DataError);
+}
+
+TEST(NetworkIo, RejectsUnknownParentName) {
+  std::stringstream stream(
+      "wfbn-network 1\nnodes 1\nnode a 2\nparents a 1 ghost\n");
+  EXPECT_THROW((void)read_network(stream), DataError);
+}
+
+TEST(NetworkIo, RejectsUnnormalizedCpt) {
+  std::stringstream stream(
+      "wfbn-network 1\nnodes 1\nnode a 2\nparents a 0\n"
+      "cpt a 2 0.9 0.9\nend\n");
+  EXPECT_THROW((void)read_network(stream), DataError);
+}
+
+TEST(NetworkIo, RejectsZeroCardinality) {
+  std::stringstream stream("wfbn-network 1\nnodes 1\nnode a 0\nparents a 0\n");
+  EXPECT_THROW((void)read_network(stream), DataError);
+}
+
+TEST(NetworkIo, ParentOrderSurvivesRoundTrip) {
+  // Build a node whose parents are deliberately NOT in ascending id order —
+  // the CPT layout depends on it.
+  Dag dag(3);
+  dag.add_edge(2, 0);  // parents(0) = [2, 1]
+  dag.add_edge(1, 0);
+  BayesianNetwork bn(std::move(dag), {2, 2, 2}, {"child", "p1", "p2"});
+  bn.set_cpt(0, Cpt::from_probabilities(
+                    2, {2, 2}, {0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6}));
+  std::stringstream stream;
+  write_network(bn, stream);
+  const BayesianNetwork loaded = read_network(stream);
+  EXPECT_EQ(loaded.dag().parents(0), (std::vector<NodeId>{2, 1}));
+  EXPECT_DOUBLE_EQ(loaded.cpt(0).probability(0, 1), 0.2);
+}
+
+TEST(NetworkIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_network_file("/nonexistent/net.txt"), DataError);
+}
+
+}  // namespace
+}  // namespace wfbn

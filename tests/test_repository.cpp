@@ -1,0 +1,125 @@
+// Tests for the built-in benchmark networks (paper reference [1]).
+#include <gtest/gtest.h>
+
+#include "bn/d_separation.hpp"
+#include "bn/repository.hpp"
+#include "bn/sampling.hpp"
+
+namespace wfbn {
+namespace {
+
+struct ExpectedShape {
+  RepositoryNetwork which;
+  std::size_t nodes;
+  std::size_t edges;
+};
+
+class RepositoryShapes : public ::testing::TestWithParam<ExpectedShape> {};
+
+TEST_P(RepositoryShapes, HasPublishedStructureAndValidCpts) {
+  const auto [which, nodes, edges] = GetParam();
+  const BayesianNetwork bn = load_network(which);
+  EXPECT_EQ(bn.node_count(), nodes);
+  EXPECT_EQ(bn.dag().edge_count(), edges);
+  EXPECT_TRUE(bn.validate());
+  // DAG invariant: a topological order exists over all nodes.
+  EXPECT_EQ(bn.dag().topological_order().size(), nodes);
+  // Names are unique and resolvable.
+  for (NodeId v = 0; v < bn.node_count(); ++v) {
+    EXPECT_EQ(bn.node_by_name(bn.name(v)), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, RepositoryShapes,
+    ::testing::Values(ExpectedShape{RepositoryNetwork::kAsia, 8, 8},
+                      ExpectedShape{RepositoryNetwork::kCancer, 5, 4},
+                      ExpectedShape{RepositoryNetwork::kEarthquake, 5, 4},
+                      ExpectedShape{RepositoryNetwork::kSurvey, 6, 6},
+                      ExpectedShape{RepositoryNetwork::kSachs, 11, 17},
+                      ExpectedShape{RepositoryNetwork::kChild, 20, 25},
+                      ExpectedShape{RepositoryNetwork::kAlarm, 37, 46}),
+    [](const auto& param_info) {
+      return repository_network_name(param_info.param.which);
+    });
+
+TEST(Repository, AllNetworksAreSampleable) {
+  for (const RepositoryNetwork which : all_repository_networks()) {
+    const BayesianNetwork bn = load_network(which);
+    const Dataset data = forward_sample(bn, 200, 1);
+    EXPECT_EQ(data.sample_count(), 200u);
+    EXPECT_EQ(data.variable_count(), bn.node_count());
+    EXPECT_TRUE(data.validate());
+  }
+}
+
+TEST(Repository, AsiaCptsMatchLauritzenSpiegelhalter) {
+  const BayesianNetwork asia = load_network(RepositoryNetwork::kAsia);
+  const NodeId A = asia.node_by_name("asia");
+  const NodeId S = asia.node_by_name("smoke");
+  const NodeId T = asia.node_by_name("tub");
+  EXPECT_DOUBLE_EQ(asia.cpt(A).probability(0, 0), 0.01);
+  EXPECT_DOUBLE_EQ(asia.cpt(S).probability(0, 0), 0.5);
+  // P(tub = yes | asia = yes) = 0.05, | asia = no) = 0.01.
+  EXPECT_DOUBLE_EQ(asia.cpt(T).probability(0, 0), 0.05);
+  EXPECT_DOUBLE_EQ(asia.cpt(T).probability(0, 1), 0.01);
+}
+
+TEST(Repository, AsiaEitherIsDeterministicOr) {
+  const BayesianNetwork asia = load_network(RepositoryNetwork::kAsia);
+  const NodeId E = asia.node_by_name("either");
+  // Configs: (tub, lung) with tub fastest; state 0 = yes.
+  EXPECT_DOUBLE_EQ(asia.cpt(E).probability(0, 0), 1.0);  // yes,yes
+  EXPECT_DOUBLE_EQ(asia.cpt(E).probability(0, 1), 1.0);  // no,yes
+  EXPECT_DOUBLE_EQ(asia.cpt(E).probability(0, 2), 1.0);  // yes,no
+  EXPECT_DOUBLE_EQ(asia.cpt(E).probability(0, 3), 0.0);  // no,no
+}
+
+TEST(Repository, EarthquakeAlarmProbabilities) {
+  const BayesianNetwork eq = load_network(RepositoryNetwork::kEarthquake);
+  const NodeId A = eq.node_by_name("Alarm");
+  EXPECT_DOUBLE_EQ(eq.cpt(A).probability(0, 0), 0.95);   // b, e
+  EXPECT_DOUBLE_EQ(eq.cpt(A).probability(0, 3), 0.001);  // ¬b, ¬e
+}
+
+TEST(Repository, AlarmContainsKnownPathways) {
+  const BayesianNetwork alarm = load_network(RepositoryNetwork::kAlarm);
+  const NodeId hr = alarm.node_by_name("HR");
+  const NodeId catechol = alarm.node_by_name("CATECHOL");
+  const NodeId co = alarm.node_by_name("CO");
+  EXPECT_TRUE(alarm.dag().has_edge(catechol, hr));
+  EXPECT_TRUE(alarm.dag().has_edge(hr, co));
+  // LVFAILURE influences BP only through intermediate hemodynamics.
+  const NodeId lvf = alarm.node_by_name("LVFAILURE");
+  const NodeId bp = alarm.node_by_name("BP");
+  EXPECT_FALSE(alarm.dag().has_edge(lvf, bp));
+  EXPECT_FALSE(d_separated(alarm.dag(), lvf, bp, {}));
+  const NodeId sv = alarm.node_by_name("STROKEVOLUME");
+  const NodeId tpr = alarm.node_by_name("TPR");
+  EXPECT_TRUE(d_separated(alarm.dag(), lvf, bp, {sv, co, tpr}));
+}
+
+TEST(Repository, DifferentCptSeedsChangeRandomNetworks) {
+  const BayesianNetwork a = load_network(RepositoryNetwork::kSachs, 1);
+  const BayesianNetwork b = load_network(RepositoryNetwork::kSachs, 2);
+  bool any_difference = false;
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    if (a.cpt(v).raw() != b.cpt(v).raw()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+  // Canonical-CPT networks ignore the seed.
+  const BayesianNetwork asia1 = load_network(RepositoryNetwork::kAsia, 1);
+  const BayesianNetwork asia2 = load_network(RepositoryNetwork::kAsia, 2);
+  for (NodeId v = 0; v < asia1.node_count(); ++v) {
+    EXPECT_EQ(asia1.cpt(v).raw(), asia2.cpt(v).raw());
+  }
+}
+
+TEST(Repository, NamesRoundTrip) {
+  for (const RepositoryNetwork which : all_repository_networks()) {
+    EXPECT_FALSE(repository_network_name(which).empty());
+  }
+}
+
+}  // namespace
+}  // namespace wfbn

@@ -1,0 +1,128 @@
+// Tests for the wait-free SPSC queue — including a true concurrent
+// producer/consumer stress test (the pipelined builder's usage pattern).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "concurrent/spsc_queue.hpp"
+
+namespace wfbn {
+namespace {
+
+TEST(SpscQueue, StartsEmpty) {
+  SpscQueue<std::uint64_t> queue;
+  std::uint64_t out = 0;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.try_pop(out));
+  EXPECT_EQ(queue.pushed(), 0u);
+}
+
+TEST(SpscQueue, FifoWithinOneChunk) {
+  SpscQueue<std::uint64_t> queue;
+  for (std::uint64_t i = 0; i < 100; ++i) queue.push(i);
+  EXPECT_EQ(queue.pushed(), 100u);
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SpscQueue, FifoAcrossChunkBoundaries) {
+  // Small chunks force many chunk transitions.
+  SpscQueue<std::uint64_t, 4> queue;
+  constexpr std::uint64_t kCount = 1000;
+  for (std::uint64_t i = 0; i < kCount; ++i) queue.push(i);
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(queue.try_pop(out));
+    ASSERT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(SpscQueue, InterleavedPushPop) {
+  SpscQueue<std::uint64_t, 8> queue;
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  std::uint64_t out = 0;
+  for (int round = 0; round < 500; ++round) {
+    for (int i = 0; i < 3; ++i) queue.push(next_push++);
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(queue.try_pop(out));
+      ASSERT_EQ(out, next_pop++);
+    }
+  }
+  while (queue.try_pop(out)) {
+    ASSERT_EQ(out, next_pop++);
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscQueue, EmptyReflectsConsumerView) {
+  SpscQueue<std::uint64_t, 4> queue;
+  EXPECT_TRUE(queue.empty());
+  queue.push(1);
+  EXPECT_FALSE(queue.empty());
+  std::uint64_t out = 0;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_TRUE(queue.empty());
+  // Fill exactly one chunk, drain it, then cross into the next.
+  for (std::uint64_t i = 0; i < 4; ++i) queue.push(i);
+  queue.push(99);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SpscQueue, StoresArbitraryTrivialTypes) {
+  struct Item {
+    std::uint32_t a;
+    float b;
+  };
+  SpscQueue<Item> queue;
+  queue.push(Item{7, 2.5f});
+  Item out{};
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out.a, 7u);
+  EXPECT_FLOAT_EQ(out.b, 2.5f);
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumerDeliversEverythingInOrder) {
+  SpscQueue<std::uint64_t, 256> queue;
+  constexpr std::uint64_t kCount = 2000000;
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) queue.push(i);
+  });
+
+  std::uint64_t expected = 0;
+  std::uint64_t out = 0;
+  while (expected < kCount) {
+    if (queue.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(queue.try_pop(out));
+  EXPECT_EQ(queue.pushed(), kCount);
+}
+
+TEST(SpscQueue, DestructorReleasesUnconsumedChunks) {
+  // Leak-checked implicitly under ASan builds; here we just exercise the
+  // path where many chunks are still linked at destruction.
+  auto queue = std::make_unique<SpscQueue<std::uint64_t, 16>>();
+  for (std::uint64_t i = 0; i < 10000; ++i) queue->push(i);
+  std::uint64_t out = 0;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(queue->try_pop(out));
+  queue.reset();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wfbn

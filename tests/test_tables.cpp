@@ -1,0 +1,261 @@
+// Tests for DenseTable, PartitionedTable, MarginalTable and PotentialTable —
+// the layered potential-table representation of paper §IV-A.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "table/dense_table.hpp"
+#include "table/marginal_table.hpp"
+#include "table/partitioned_table.hpp"
+#include "table/potential_table.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wfbn {
+namespace {
+
+// ---------------------------------------------------------------- DenseTable
+
+TEST(DenseTable, CountsByDirectIndex) {
+  DenseTable table(8);
+  table.increment(3);
+  table.increment(3, 4);
+  table.increment(0);
+  EXPECT_EQ(table.count(3), 5u);
+  EXPECT_EQ(table.count(0), 1u);
+  EXPECT_EQ(table.count(7), 0u);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.total_count(), 6u);
+}
+
+TEST(DenseTable, ForEachSkipsZerosInKeyOrder) {
+  DenseTable table(10);
+  table.increment(7, 2);
+  table.increment(2, 1);
+  std::vector<Key> keys;
+  table.for_each([&](Key key, std::uint64_t) { keys.push_back(key); });
+  EXPECT_EQ(keys, (std::vector<Key>{2, 7}));
+}
+
+TEST(DenseTable, RejectsHugeStateSpaces) {
+  EXPECT_THROW(DenseTable(1ULL << 40), PreconditionError);
+  EXPECT_THROW(DenseTable(0), PreconditionError);
+}
+
+// ----------------------------------------------------------- PartitionedTable
+
+TEST(PartitionedTable, ModuloOwnershipMatchesPaperAlgorithm1) {
+  PartitionedTable table(4, 1000);
+  for (Key key = 0; key < 100; ++key) {
+    EXPECT_EQ(table.owner_of(key), key % 4);
+  }
+}
+
+TEST(PartitionedTable, RangeOwnershipIsContiguousAndComplete) {
+  PartitionedTable table(4, 1000, PartitionScheme::kRange);
+  std::size_t previous = 0;
+  std::vector<std::size_t> hits(4, 0);
+  for (Key key = 0; key < 1000; ++key) {
+    const std::size_t owner = table.owner_of(key);
+    ASSERT_LT(owner, 4u);
+    ASSERT_GE(owner, previous);  // non-decreasing over the key range
+    previous = owner;
+    ++hits[owner];
+  }
+  for (const std::size_t h : hits) EXPECT_EQ(h, 250u);  // even split
+}
+
+TEST(PartitionedTable, CountRoutesThroughOwner) {
+  PartitionedTable table(3, 300);
+  table.partition(table.owner_of(17)).increment(17, 5);
+  EXPECT_EQ(table.count(17), 5u);
+  EXPECT_EQ(table.count_anywhere(17), 5u);
+  EXPECT_EQ(table.count(18), 0u);
+}
+
+TEST(PartitionedTable, OwnershipInvariantDetection) {
+  PartitionedTable table(2, 100);
+  table.partition(0).increment(2);  // 2 % 2 == 0 ✓
+  table.partition(1).increment(3);  // 3 % 2 == 1 ✓
+  EXPECT_TRUE(table.ownership_invariant_holds());
+  table.partition(0).increment(5);  // 5 % 2 == 1 ✗
+  EXPECT_FALSE(table.ownership_invariant_holds());
+}
+
+TEST(PartitionedTable, RebalanceEqualizesPopulationsAndPreservesCounts) {
+  PartitionedTable table(4, 100000);
+  // Stuff everything into partition 0 (legal after construction — the
+  // marginalization primitive doesn't need ownership; see paper §IV-C).
+  Xoshiro256 rng(3);
+  std::map<Key, std::uint64_t> reference;
+  for (int i = 0; i < 1000; ++i) {
+    const Key key = rng.bounded(100000);
+    const std::uint64_t delta = 1 + rng.bounded(3);
+    table.partition(0).increment(key, delta);
+    reference[key] += delta;
+  }
+  const std::uint64_t total_before = table.total_count();
+  const std::size_t moved = table.rebalance();
+  EXPECT_GT(moved, 0u);
+  const auto [largest, smallest] = table.population_extremes();
+  EXPECT_LE(largest - smallest, 1u);
+  EXPECT_EQ(table.total_count(), total_before);
+  for (const auto& [key, count] : reference) {
+    EXPECT_EQ(table.count_anywhere(key), count);
+  }
+}
+
+TEST(PartitionedTable, RebalanceOnBalancedTableIsANoOp) {
+  PartitionedTable table(2, 100);
+  table.partition(0).increment(0);
+  table.partition(1).increment(1);
+  EXPECT_EQ(table.rebalance(), 0u);
+}
+
+TEST(PartitionedTable, SinglePartitionDegeneratesGracefully) {
+  PartitionedTable table(1, 50);
+  for (Key key = 0; key < 50; ++key) {
+    EXPECT_EQ(table.owner_of(key), 0u);
+  }
+  table.partition(0).increment(10);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.rebalance(), 0u);
+}
+
+// -------------------------------------------------------------- MarginalTable
+
+TEST(MarginalTable, IndexOfIsRowMajorFirstVariableFastest) {
+  MarginalTable table({4, 9}, {2, 3});
+  const State s00[] = {0, 0};
+  const State s10[] = {1, 0};
+  const State s01[] = {0, 1};
+  const State s12[] = {1, 2};
+  EXPECT_EQ(table.index_of(s00), 0u);
+  EXPECT_EQ(table.index_of(s10), 1u);
+  EXPECT_EQ(table.index_of(s01), 2u);
+  EXPECT_EQ(table.index_of(s12), 5u);
+  EXPECT_EQ(table.cell_count(), 6u);
+}
+
+TEST(MarginalTable, ProbabilitiesNormalize) {
+  MarginalTable table({0}, {2});
+  table.add(0, 30);
+  table.add(1, 70);
+  EXPECT_DOUBLE_EQ(table.probability(0), 0.3);
+  EXPECT_DOUBLE_EQ(table.probability(1), 0.7);
+  EXPECT_EQ(table.total(), 100u);
+}
+
+TEST(MarginalTable, MergeAddsCellwise) {
+  MarginalTable a({0}, {3});
+  MarginalTable b({0}, {3});
+  a.add(0, 1);
+  a.add(2, 2);
+  b.add(1, 5);
+  b.add(2, 1);
+  a.merge(b);
+  EXPECT_EQ(a.count_at(0), 1u);
+  EXPECT_EQ(a.count_at(1), 5u);
+  EXPECT_EQ(a.count_at(2), 3u);
+}
+
+TEST(MarginalTable, MergeShapeMismatchThrows) {
+  MarginalTable a({0}, {3});
+  MarginalTable b({1}, {3});
+  MarginalTable c({0}, {2});
+  EXPECT_THROW(a.merge(b), PreconditionError);
+  EXPECT_THROW(a.merge(c), PreconditionError);
+}
+
+TEST(MarginalTable, SumOutToComputesCorrectMarginal) {
+  // P(X0, X1) counts; summing out X1 must give row sums.
+  MarginalTable joint({0, 1}, {2, 3});
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> expected_x0(2, 0);
+  for (std::uint64_t cell = 0; cell < 6; ++cell) {
+    const std::uint64_t c = rng.bounded(100);
+    joint.add(cell, c);
+    expected_x0[cell % 2] += c;
+  }
+  const std::size_t keep[] = {0};
+  const MarginalTable x0 = joint.sum_out_to(keep);
+  EXPECT_EQ(x0.count_at(0), expected_x0[0]);
+  EXPECT_EQ(x0.count_at(1), expected_x0[1]);
+  EXPECT_EQ(x0.total(), joint.total());
+}
+
+TEST(MarginalTable, SumOutToReordersVariables) {
+  MarginalTable joint({3, 7}, {2, 2});
+  const State s01[] = {0, 1};
+  joint.add(joint.index_of(s01), 10);
+  const std::size_t keep[] = {7, 3};
+  const MarginalTable swapped = joint.sum_out_to(keep);
+  const State t10[] = {1, 0};
+  EXPECT_EQ(swapped.count_of(t10), 10u);
+  EXPECT_EQ(swapped.variables(), (std::vector<std::size_t>{7, 3}));
+}
+
+TEST(MarginalTable, SumOutToUnknownVariableThrows) {
+  MarginalTable joint({0, 1}, {2, 2});
+  const std::size_t keep[] = {5};
+  EXPECT_THROW((void)joint.sum_out_to(keep), PreconditionError);
+}
+
+// -------------------------------------------------------------- PotentialTable
+
+PotentialTable small_potential() {
+  KeyCodec codec({2, 3});
+  PartitionedTable parts(2, codec.state_space_size());
+  // Observations: (0,0) ×3, (1,2) ×2, (0,1) ×1  → m = 6.
+  const State a[] = {0, 0};
+  const State b[] = {1, 2};
+  const State c[] = {0, 1};
+  for (int i = 0; i < 3; ++i) {
+    const Key k = codec.encode(a);
+    parts.partition(parts.owner_of(k)).increment(k);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const Key k = codec.encode(b);
+    parts.partition(parts.owner_of(k)).increment(k);
+  }
+  const Key k = codec.encode(c);
+  parts.partition(parts.owner_of(k)).increment(k);
+  return PotentialTable(std::move(codec), std::move(parts), 6);
+}
+
+TEST(PotentialTable, CountsAndValidation) {
+  const PotentialTable table = small_potential();
+  EXPECT_TRUE(table.validate());
+  EXPECT_EQ(table.sample_count(), 6u);
+  EXPECT_EQ(table.distinct_keys(), 3u);
+  const State a[] = {0, 0};
+  const State b[] = {1, 2};
+  const State missing[] = {1, 1};
+  EXPECT_EQ(table.count_of(a), 3u);
+  EXPECT_EQ(table.count_of(b), 2u);
+  EXPECT_EQ(table.count_of(missing), 0u);
+}
+
+TEST(PotentialTable, SequentialMarginalizationMatchesHandComputation) {
+  const PotentialTable table = small_potential();
+  const std::size_t keep0[] = {0};
+  const MarginalTable x0 = table.marginalize_sequential(keep0);
+  EXPECT_EQ(x0.count_at(0), 4u);  // (0,0)×3 + (0,1)×1
+  EXPECT_EQ(x0.count_at(1), 2u);  // (1,2)×2
+  const std::size_t keep1[] = {1};
+  const MarginalTable x1 = table.marginalize_sequential(keep1);
+  EXPECT_EQ(x1.count_at(0), 3u);
+  EXPECT_EQ(x1.count_at(1), 1u);
+  EXPECT_EQ(x1.count_at(2), 2u);
+}
+
+TEST(PotentialTable, ValidateCatchesSampleCountMismatch) {
+  KeyCodec codec({2, 2});
+  PartitionedTable parts(1, 4);
+  parts.partition(0).increment(0, 3);
+  const PotentialTable table(std::move(codec), std::move(parts), 99);
+  EXPECT_FALSE(table.validate());
+}
+
+}  // namespace
+}  // namespace wfbn

@@ -1,0 +1,82 @@
+// Unit tests for TablePrinter, Timer and the error-handling macros.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+namespace wfbn {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name         value"), std::string::npos);
+  EXPECT_NE(out.find("longer-name  22"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TablePrinter, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter({}), PreconditionError);
+}
+
+TEST(TablePrinter, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt(std::uint64_t{42}), "42");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(timer.milliseconds(), timer.seconds() * 1e3,
+              timer.seconds() * 100);
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.01);
+}
+
+TEST(Error, ExpectThrowsWithContext) {
+  try {
+    WFBN_EXPECT(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Error, ExpectPassesSilently) {
+  WFBN_EXPECT(true, "never seen");
+  SUCCEED();
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  EXPECT_THROW(throw DataError("bad file"), std::runtime_error);
+  EXPECT_THROW(throw PreconditionError("bad call"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wfbn

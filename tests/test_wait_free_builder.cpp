@@ -1,0 +1,276 @@
+// Correctness tests for the wait-free table-construction primitive
+// (Algorithms 1–2): the parallel build must produce exactly the counts a
+// sequential scan produces, for every thread count, partition scheme, data
+// shape, and the pipelined variant.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/wait_free_builder.hpp"
+#include "data/generators.hpp"
+#include "util/error.hpp"
+
+namespace wfbn {
+namespace {
+
+std::map<Key, std::uint64_t> reference_counts(const Dataset& data) {
+  const KeyCodec codec = data.codec();
+  std::map<Key, std::uint64_t> counts;
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    ++counts[codec.encode(data.row(i))];
+  }
+  return counts;
+}
+
+void expect_equal_counts(const PotentialTable& table,
+                         const std::map<Key, std::uint64_t>& reference) {
+  EXPECT_EQ(table.distinct_keys(), reference.size());
+  std::uint64_t visited = 0;
+  bool all_match = true;
+  table.partitions().for_each([&](Key key, std::uint64_t c) {
+    ++visited;
+    const auto it = reference.find(key);
+    if (it == reference.end() || it->second != c) all_match = false;
+  });
+  EXPECT_TRUE(all_match);
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(WaitFreeBuilder, SingleThreadMatchesReference) {
+  const Dataset data = generate_uniform(5000, 10, 2, 1);
+  WaitFreeBuilder builder;
+  const PotentialTable table = builder.build(data);
+  expect_equal_counts(table, reference_counts(data));
+  EXPECT_TRUE(table.validate());
+}
+
+// The central property, swept over thread counts × schemes × variants.
+struct BuilderConfig {
+  std::size_t threads;
+  PartitionScheme scheme;
+  bool pipelined;
+};
+
+class BuilderEquivalence : public ::testing::TestWithParam<BuilderConfig> {};
+
+TEST_P(BuilderEquivalence, ParallelBuildEqualsSequentialCounts) {
+  const BuilderConfig config = GetParam();
+  const Dataset data = generate_uniform(20000, 12, 3, 77);
+  WaitFreeBuilderOptions options;
+  options.threads = config.threads;
+  options.scheme = config.scheme;
+  options.pipelined = config.pipelined;
+  WaitFreeBuilder builder(options);
+  const PotentialTable table = builder.build(data);
+
+  expect_equal_counts(table, reference_counts(data));
+  EXPECT_EQ(table.sample_count(), 20000u);
+  EXPECT_TRUE(table.validate());
+  EXPECT_TRUE(table.partitions().ownership_invariant_holds());
+
+  // Instrumentation must account for every row exactly once.
+  const BuildStats& stats = builder.stats();
+  ASSERT_EQ(stats.workers.size(), config.threads);
+  std::uint64_t rows = 0;
+  std::uint64_t local = 0;
+  std::uint64_t foreign = 0;
+  std::uint64_t pops = 0;
+  for (const WorkerStats& w : stats.workers) {
+    rows += w.rows_encoded;
+    local += w.local_updates;
+    foreign += w.foreign_pushes;
+    pops += w.stage2_pops;
+  }
+  EXPECT_EQ(rows, 20000u);
+  EXPECT_EQ(local + foreign, 20000u);
+  EXPECT_EQ(pops, foreign);  // every routed key is drained exactly once
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuilderEquivalence,
+    ::testing::Values(
+        BuilderConfig{1, PartitionScheme::kModulo, false},
+        BuilderConfig{2, PartitionScheme::kModulo, false},
+        BuilderConfig{3, PartitionScheme::kModulo, false},
+        BuilderConfig{8, PartitionScheme::kModulo, false},
+        BuilderConfig{32, PartitionScheme::kModulo, false},
+        BuilderConfig{2, PartitionScheme::kRange, false},
+        BuilderConfig{8, PartitionScheme::kRange, false},
+        BuilderConfig{32, PartitionScheme::kRange, false},
+        BuilderConfig{1, PartitionScheme::kModulo, true},
+        BuilderConfig{2, PartitionScheme::kModulo, true},
+        BuilderConfig{8, PartitionScheme::kModulo, true},
+        BuilderConfig{32, PartitionScheme::kModulo, true},
+        BuilderConfig{8, PartitionScheme::kRange, true}),
+    [](const auto& param_info) {
+      return std::to_string(param_info.param.threads) + "threads_" +
+             (param_info.param.scheme == PartitionScheme::kModulo ? "modulo"
+                                                            : "range") +
+             (param_info.param.pipelined ? "_pipelined" : "_phased");
+    });
+
+TEST(WaitFreeBuilder, SkewedDataStillExact) {
+  const Dataset data = generate_skewed(30000, 16, 2, 1e-4, 0.9, 5);
+  WaitFreeBuilderOptions options;
+  options.threads = 8;
+  WaitFreeBuilder builder(options);
+  const PotentialTable table = builder.build(data);
+  expect_equal_counts(table, reference_counts(data));
+}
+
+TEST(WaitFreeBuilder, CorrelatedDataStillExact) {
+  const Dataset data = generate_chain_correlated(30000, 14, 2, 0.95, 6);
+  WaitFreeBuilderOptions options;
+  options.threads = 6;
+  options.pipelined = true;
+  WaitFreeBuilder builder(options);
+  const PotentialTable table = builder.build(data);
+  expect_equal_counts(table, reference_counts(data));
+}
+
+TEST(WaitFreeBuilder, MixedCardinalitiesSupported) {
+  const Dataset data =
+      generate_uniform(10000, std::vector<std::uint32_t>{2, 5, 3, 7, 2, 4}, 8);
+  WaitFreeBuilderOptions options;
+  options.threads = 4;
+  WaitFreeBuilder builder(options);
+  const PotentialTable table = builder.build(data);
+  expect_equal_counts(table, reference_counts(data));
+}
+
+TEST(WaitFreeBuilder, MoreThreadsThanRows) {
+  const Dataset data = generate_uniform(5, 4, 2, 9);
+  WaitFreeBuilderOptions options;
+  options.threads = 16;
+  WaitFreeBuilder builder(options);
+  const PotentialTable table = builder.build(data);
+  expect_equal_counts(table, reference_counts(data));
+  EXPECT_EQ(table.sample_count(), 5u);
+}
+
+TEST(WaitFreeBuilder, SingleRowDataset) {
+  Dataset data(1, {2, 2, 2});
+  data.set(0, 1, 1);
+  WaitFreeBuilderOptions options;
+  options.threads = 4;
+  WaitFreeBuilder builder(options);
+  const PotentialTable table = builder.build(data);
+  const State row[] = {0, 1, 0};
+  EXPECT_EQ(table.count_of(row), 1u);
+  EXPECT_EQ(table.distinct_keys(), 1u);
+}
+
+TEST(WaitFreeBuilder, EmptyDatasetRejected) {
+  Dataset data(0, {2, 2});
+  WaitFreeBuilder builder;
+  EXPECT_THROW((void)builder.build(data), PreconditionError);
+}
+
+TEST(WaitFreeBuilder, DeterministicAcrossRepetitionsAndThreadCounts) {
+  const Dataset data = generate_uniform(10000, 20, 2, 10);
+  const auto reference = reference_counts(data);
+  for (const std::size_t threads : {1u, 2u, 5u, 16u}) {
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      WaitFreeBuilderOptions options;
+      options.threads = threads;
+      WaitFreeBuilder builder(options);
+      expect_equal_counts(builder.build(data), reference);
+    }
+  }
+}
+
+TEST(WaitFreeBuilder, ReusedAcrossBuilds) {
+  WaitFreeBuilderOptions options;
+  options.threads = 4;
+  WaitFreeBuilder builder(options);
+  const Dataset first = generate_uniform(5000, 8, 2, 11);
+  const Dataset second = generate_uniform(7000, 8, 2, 12);
+  expect_equal_counts(builder.build(first), reference_counts(first));
+  expect_equal_counts(builder.build(second), reference_counts(second));
+  EXPECT_EQ(builder.stats().workers.size(), 4u);
+}
+
+TEST(WaitFreeBuilder, ExternalPoolOverridesConfiguredThreads) {
+  const Dataset data = generate_uniform(4000, 8, 2, 13);
+  WaitFreeBuilderOptions options;
+  options.threads = 2;
+  WaitFreeBuilder builder(options);
+  ThreadPool pool(6);
+  const PotentialTable table = builder.build(data, pool);
+  EXPECT_EQ(table.partitions().partition_count(), 6u);
+  EXPECT_EQ(builder.stats().workers.size(), 6u);
+  expect_equal_counts(table, reference_counts(data));
+}
+
+TEST(WaitFreeBuilder, StatsExposeWaitFreeWorkSplit) {
+  // With P partitions and uniform keys, ~1/P of rows are local: check the
+  // foreign fraction is in a plausible band for P=4 (expected 75%).
+  const Dataset data = generate_uniform(40000, 16, 2, 14);
+  WaitFreeBuilderOptions options;
+  options.threads = 4;
+  WaitFreeBuilder builder(options);
+  (void)builder.build(data);
+  const double foreign_fraction =
+      static_cast<double>(builder.stats().total_foreign_pushes()) / 40000.0;
+  EXPECT_NEAR(foreign_fraction, 0.75, 0.05);
+  EXPECT_GT(builder.stats().critical_path_seconds(), 0.0);
+  EXPECT_GT(builder.stats().total_seconds, 0.0);
+}
+
+TEST(WaitFreeBuilder, AppendFoldsBatchesExactly) {
+  // Building in two batches must equal building everything at once.
+  const Dataset all = generate_uniform(30000, 10, 2, 15);
+  std::vector<State> first_half(all.raw().begin(),
+                                all.raw().begin() + 15000 * 10);
+  std::vector<State> second_half(all.raw().begin() + 15000 * 10,
+                                 all.raw().end());
+  const Dataset batch1(15000, all.cardinalities(), std::move(first_half));
+  const Dataset batch2(15000, all.cardinalities(), std::move(second_half));
+
+  WaitFreeBuilderOptions options;
+  options.threads = 4;
+  WaitFreeBuilder builder(options);
+  PotentialTable incremental = builder.build(batch1);
+  builder.append(batch2, incremental);
+  EXPECT_EQ(incremental.sample_count(), 30000u);
+  EXPECT_TRUE(incremental.validate());
+  expect_equal_counts(incremental, reference_counts(all));
+  EXPECT_TRUE(incremental.partitions().ownership_invariant_holds());
+
+  // Append stats account for the batch.
+  std::uint64_t rows = 0;
+  for (const WorkerStats& w : builder.stats().workers) rows += w.rows_encoded;
+  EXPECT_EQ(rows, 15000u);
+}
+
+TEST(WaitFreeBuilder, AppendRejectsMismatchedCardinalities) {
+  const Dataset base = generate_uniform(1000, 6, 2, 16);
+  const Dataset bad = generate_uniform(1000, 6, 3, 16);
+  WaitFreeBuilderOptions options;
+  options.threads = 2;
+  WaitFreeBuilder builder(options);
+  PotentialTable table = builder.build(base);
+  EXPECT_THROW(builder.append(bad, table), DataError);
+}
+
+TEST(WaitFreeBuilder, AppendRejectsRebalancedTable) {
+  const Dataset base = generate_uniform(5000, 8, 2, 17);
+  WaitFreeBuilderOptions options;
+  options.threads = 4;
+  WaitFreeBuilder builder(options);
+  PotentialTable table = builder.build(base);
+  table.partitions().rebalance();
+  EXPECT_THROW(builder.append(base, table), DataError);
+}
+
+TEST(WaitFreeBuilder, InvalidOptionsRejected) {
+  WaitFreeBuilderOptions zero_threads;
+  zero_threads.threads = 0;
+  EXPECT_THROW(WaitFreeBuilder{zero_threads}, PreconditionError);
+  WaitFreeBuilderOptions zero_batch;
+  zero_batch.pipeline_batch = 0;
+  EXPECT_THROW(WaitFreeBuilder{zero_batch}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace wfbn
