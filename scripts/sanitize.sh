@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build and run the test suite under a sanitizer.
+#
+#   scripts/sanitize.sh thread                # TSan
+#   scripts/sanitize.sh address,undefined     # ASan + UBSan
+#   scripts/sanitize.sh thread test_fault_injection test_fuzz
+#
+# The first argument is passed to -DWFBN_SANITIZE; any further arguments
+# select specific test binaries (default: the full ctest suite). Each
+# sanitizer gets its own build tree (build-<sanitizer>) so configurations
+# don't clobber each other.
+set -euo pipefail
+
+SANITIZER="${1:?usage: scripts/sanitize.sh <thread|address,undefined|...> [test ...]}"
+shift || true
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-${SANITIZER//,/-}"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DWFBN_SANITIZE="${SANITIZER}"
+
+if [[ $# -eq 0 ]]; then
+  cmake --build "${BUILD}" -j
+  ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
+else
+  cmake --build "${BUILD}" -j --target "$@"
+  for test in "$@"; do
+    "${BUILD}/tests/${test}"
+  done
+fi

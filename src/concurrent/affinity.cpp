@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "util/fault_injection.hpp"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -15,6 +17,9 @@ std::size_t hardware_cores() noexcept {
 }
 
 bool pin_current_thread([[maybe_unused]] std::size_t index) noexcept {
+  if (fault::enabled() && fault::should_fail(fault::Point::kPinThread)) {
+    return false;  // injected pin refusal: callers must degrade, not throw
+  }
 #if defined(__linux__)
   cpu_set_t set;
   CPU_ZERO(&set);

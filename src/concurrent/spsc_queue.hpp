@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "util/fault_injection.hpp"
+
 namespace wfbn {
 
 template <typename T, std::size_t kChunkCapacity = 2048>
@@ -46,11 +48,13 @@ class SpscQueue {
   }
 
   /// Producer side. Never blocks; allocates a fresh chunk when the current
-  /// one fills up.
+  /// one fills up. If the allocation throws (OOM or an injected fault), the
+  /// queue is untouched: the item is not enqueued and both ends stay valid.
   void push(const T& item) {
     Chunk* chunk = tail_chunk_;
     const std::size_t fill = chunk->count.load(std::memory_order_relaxed);
     if (fill == kChunkCapacity) {
+      WFBN_FAULT_POINT(fault::Point::kSpscChunkAlloc);
       auto* fresh = new Chunk;
       fresh->items[0] = item;
       fresh->count.store(1, std::memory_order_relaxed);

@@ -1,15 +1,38 @@
 #include "concurrent/thread_pool.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace wfbn {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   WFBN_EXPECT(threads >= 1, "thread pool needs at least one worker");
+  degradation_.requested_threads = threads;
   workers_.reserve(threads);
   for (std::size_t id = 0; id < threads; ++id) {
-    workers_.emplace_back([this, id] { worker_loop(id); });
+    if (fault::enabled() &&
+        fault::should_fail(fault::Point::kThreadSpawn)) {
+      // Injected spawn failure: degrade exactly like a real one, except when
+      // it would leave the pool empty (nothing to degrade to).
+      ++degradation_.failed_spawns;
+      if (workers_.empty()) {
+        throw InjectedFault("injected fault at pool.spawn (first worker)");
+      }
+      break;
+    }
+    try {
+      workers_.emplace_back([this, id] { worker_loop(id); });
+    } catch (const std::system_error&) {
+      // The OS refused a thread. Run degraded on what we have; rethrow only
+      // if even the first worker could not start.
+      ++degradation_.failed_spawns;
+      if (workers_.empty()) throw;
+      break;
+    }
   }
+  degradation_.spawned_threads = workers_.size();
 }
 
 ThreadPool::~ThreadPool() {
@@ -30,7 +53,11 @@ void ThreadPool::run(const std::function<void(std::size_t)>& kernel) {
   work_ready_.notify_all();
   round_done_.wait(lock, [this] { return remaining_ == 0; });
   kernel_ = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
+  // Move the error out before throwing so the pool's round state is pristine
+  // for the next run() (and the exception object does not outlive the round).
+  if (std::exception_ptr error = std::exchange(first_error_, nullptr)) {
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t id) {

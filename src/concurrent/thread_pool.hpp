@@ -19,10 +19,31 @@
 
 namespace wfbn {
 
+/// What a component did when the environment refused a resource. Degradation
+/// is the deliberate alternative to throwing for resources the algorithms can
+/// run without: fewer workers still compute the exact same table, unpinned
+/// workers are merely slower. Consumers surface the report (BuildStats) so
+/// callers can tell requested from effective parallelism.
+struct DegradationReport {
+  std::size_t requested_threads = 0;  ///< what the caller asked for
+  std::size_t spawned_threads = 0;    ///< what the OS actually granted
+  std::size_t failed_spawns = 0;      ///< spawn attempts that failed
+  std::size_t pin_failures = 0;       ///< workers left unpinned (filled by users)
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return spawned_threads < requested_threads || pin_failures > 0;
+  }
+};
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers (>= 1). The calling thread does not participate;
   /// run() blocks it until the kernel completes everywhere.
+  ///
+  /// Spawn failures degrade instead of aborting: if the OS (or an injected
+  /// fault) refuses a thread mid-construction, the pool keeps the workers it
+  /// got and records the shortfall in degradation(). Only a pool that cannot
+  /// spawn a single worker rethrows the spawn error.
   explicit ThreadPool(std::size_t threads);
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,9 +53,16 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Requested vs. actually spawned workers (see constructor).
+  [[nodiscard]] const DegradationReport& degradation() const noexcept {
+    return degradation_;
+  }
+
   /// Executes kernel(p) on worker p for every p in [0, size()). Blocks until
   /// all workers finish. If any kernel throws, the first exception is
-  /// rethrown on the caller after all workers have finished the round.
+  /// rethrown on the caller after all workers have finished the round. The
+  /// pool's round state (kernel slot, error slot, worker counters) is fully
+  /// reset before the rethrow, so the pool stays usable for further run()s.
   void run(const std::function<void(std::size_t)>& kernel);
 
   /// Block-partitions [begin, end) over the workers and calls
@@ -63,6 +91,7 @@ class ThreadPool {
   std::size_t remaining_ = 0;     // workers yet to finish the current round
   bool shutting_down_ = false;
   std::exception_ptr first_error_;
+  DegradationReport degradation_;
 };
 
 }  // namespace wfbn

@@ -6,6 +6,7 @@
 #include "core/info_theory.hpp"
 #include "core/marginalizer.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/timer.hpp"
 
 namespace wfbn {
@@ -120,6 +121,7 @@ MiMatrix AllPairsMi::compute_pair_parallel(const PotentialTable& table,
     Timer timer;
     std::uint64_t visited = 0;
     for (std::size_t k = lo; k < hi; ++k) {
+      WFBN_FAULT_POINT(fault::Point::kMiSweep);
       const auto [i, j] = pairs[k];
       const std::uint32_t r_i = codec.cardinality(i);
       const std::uint32_t r_j = codec.cardinality(j);
@@ -184,6 +186,7 @@ MiMatrix AllPairsMi::compute_fused(const PotentialTable& table,
     std::vector<State> states(n);
     const auto [lo, hi] = ThreadPool::block_range(parts, pool.size(), w);
     for (std::size_t p = lo; p < hi; ++p) {
+      WFBN_FAULT_POINT(fault::Point::kMiSweep);
       table.partitions().partition(p).for_each([&](Key key, std::uint64_t c) {
         codec.decode_all(key, states);
         ++visited;

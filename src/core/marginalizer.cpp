@@ -1,6 +1,7 @@
 #include "core/marginalizer.hpp"
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/timer.hpp"
 
 namespace wfbn {
@@ -27,12 +28,16 @@ MarginalTable Marginalizer::marginalize(const PotentialTable& table,
   std::vector<MarginalTable> partials(
       workers, MarginalTable(projector.variables(), projector.cardinalities()));
 
+  // Workers write only their private partials, so a throw anywhere in the
+  // sweep (including an injected fault) leaves the input table untouched and
+  // no output escapes — marginalize() has the strong guarantee for free.
   pool.run([&](std::size_t w) {
     Timer timer;
     MarginalizeWorkerStats& ws = worker_stats_[w];
     MarginalTable& partial = partials[w];
     const auto [lo, hi] = ThreadPool::block_range(parts, workers, w);
     for (std::size_t p = lo; p < hi; ++p) {
+      WFBN_FAULT_POINT(fault::Point::kMarginalizeSweep);
       table.partitions().partition(p).for_each([&](Key key, std::uint64_t c) {
         partial.add(projector.project(key), c);
         ++ws.entries_visited;

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <utility>
 
 #include "concurrent/affinity.hpp"
 #include "concurrent/barrier.hpp"
 #include "concurrent/spsc_queue.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/timer.hpp"
 
 namespace wfbn {
@@ -35,6 +37,26 @@ class QueueFabric {
  private:
   std::size_t workers_;
   std::vector<std::unique_ptr<KeyQueue>> cells_;
+};
+
+/// Which worker writes each partition. With workers == partitions this is the
+/// identity map (the paper's one-core-per-hashtable configuration); with a
+/// degraded pool each worker owns a contiguous block of partitions, which
+/// preserves the one-writer-per-memory-word invariant at reduced parallelism.
+std::vector<std::size_t> partition_owners(std::size_t parts,
+                                          std::size_t workers) {
+  std::vector<std::size_t> owner(parts);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const auto [lo, hi] = ThreadPool::block_range(parts, workers, w);
+    for (std::size_t p = lo; p < hi; ++p) owner[p] = w;
+  }
+  return owner;
+}
+
+/// Per-worker progress counter on its own cache line (the stall watchdog sums
+/// these; sharing a line would make every bump a coherence miss).
+struct alignas(64) ProgressCell {
+  std::atomic<std::uint64_t> value{0};
 };
 
 }  // namespace
@@ -65,6 +87,8 @@ WaitFreeBuilder::WaitFreeBuilder(WaitFreeBuilderOptions options)
     : options_(options) {
   WFBN_EXPECT(options_.threads >= 1, "builder needs at least one thread");
   WFBN_EXPECT(options_.pipeline_batch >= 1, "pipeline batch must be >= 1");
+  WFBN_EXPECT(options_.stall_timeout_seconds >= 0.0,
+              "stall timeout cannot be negative");
 }
 
 std::size_t WaitFreeBuilder::expected_entries_per_partition(
@@ -101,9 +125,35 @@ void WaitFreeBuilder::append(const Dataset& data, PotentialTable& table) {
         "table was rebalanced — construction-time ownership no longer holds, "
         "rebuild instead of appending");
   }
-  ThreadPool pool(table.partitions().partition_count());
+  const std::size_t parts = table.partitions().partition_count();
   Timer total_timer;
-  run_phased(data, table.codec(), table.partitions(), pool);
+  // A degraded pool (spawn failures) yields fewer workers than partitions;
+  // run_phased block-assigns partitions to whatever workers exist.
+  ThreadPool pool(parts);
+
+  // Stage the batch into scratch partitions with the same ownership geometry
+  // (same P, scheme, and state space, so owner_of agrees with the table).
+  // Any failure up to and including the kernel leaves `table` untouched.
+  PartitionedTable scratch(parts, table.partitions().state_space(),
+                           table.partitions().scheme(),
+                           expected_entries_per_partition(data, parts));
+  run_phased(data, table.codec(), scratch, pool);
+
+  WFBN_FAULT_POINT(fault::Point::kAppendCommit);
+
+  // Commit. Reserving destination capacity first means the merge increments
+  // below can never reallocate: after this loop the fold cannot fail, which
+  // is what upgrades append() to the strong guarantee.
+  for (std::size_t p = 0; p < parts; ++p) {
+    OpenHashTable& dst = table.partitions().partition(p);
+    dst.reserve(dst.size() + scratch.partition(p).size());
+  }
+  pool.run([&](std::size_t w) {
+    const auto [lo, hi] = ThreadPool::block_range(parts, pool.size(), w);
+    for (std::size_t p = lo; p < hi; ++p) {
+      table.partitions().partition(p).merge_from(scratch.partition(p));
+    }
+  });
   stats_.total_seconds = total_timer.seconds();
   table.record_additional_samples(data.sample_count());
 }
@@ -123,54 +173,88 @@ PotentialTable WaitFreeBuilder::build_phased(const Dataset& data,
 
 void WaitFreeBuilder::run_phased(const Dataset& data, const KeyCodec& codec,
                                  PartitionedTable& table, ThreadPool& pool) {
-  const std::size_t P = pool.size();
-  QueueFabric queues(P);
-  SpinBarrier barrier(P);
+  const std::size_t W = pool.size();
+  const std::size_t parts = table.partition_count();
+  QueueFabric queues(W);
+  SpinBarrier barrier(W);
   stats_ = BuildStats{};
-  stats_.workers.assign(P, WorkerStats{});
+  stats_.workers.assign(W, WorkerStats{});
+  stats_.requested_workers = pool.degradation().requested_threads;
+  stats_.effective_workers = W;
+  const std::vector<std::size_t> part_owner = partition_owners(parts, W);
+  std::atomic<std::size_t> pin_failures{0};
 
   const std::size_t m = data.sample_count();
 
-  pool.run([&](std::size_t p) {
-    if (options_.pin_threads) pin_current_thread(p);
-    WorkerStats& ws = stats_.workers[p];
-    OpenHashTable& mine = table.partition(p);
+  pool.run([&](std::size_t w) {
+    if (options_.pin_threads && !pin_current_thread(w)) {
+      pin_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    WorkerStats& ws = stats_.workers[w];
+    const auto [my_lo, my_hi] = ThreadPool::block_range(parts, W, w);
+    // Hoisted once per kernel so the disabled case costs a register test per
+    // row instead of an atomic load (schedules are armed before the build).
+    const bool inject = fault::enabled();
 
     // ---- Stage 1 (Algorithm 1): scan my block, route keys by ownership.
+    // A throw here is caught and re-raised only after the barrier: every
+    // worker must cross it exactly once or the others would spin forever.
+    std::exception_ptr stage1_error;
     Timer stage_timer;
-    const auto [lo, hi] = ThreadPool::block_range(m, P, p);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const Key key = codec.encode(data.row(i));
-      ++ws.rows_encoded;
-      const std::size_t owner = table.owner_of(key);
-      if (owner == p) {
-        mine.increment(key);
-        ++ws.local_updates;
-      } else {
-        queues.at(p, owner).push(key);
-        ++ws.foreign_pushes;
+    try {
+      const auto [lo, hi] = ThreadPool::block_range(m, W, w);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (inject) fault::fire(fault::Point::kStage1Row);
+        const Key key = codec.encode(data.row(i));
+        ++ws.rows_encoded;
+        const std::size_t q = table.owner_of(key);
+        const std::size_t dst = part_owner[q];
+        if (dst == w) {
+          table.partition(q).increment(key);
+          ++ws.local_updates;
+        } else {
+          queues.at(w, dst).push(key);
+          ++ws.foreign_pushes;
+        }
       }
+      if (inject) fault::fire(fault::Point::kBarrier);
+    } catch (...) {
+      stage1_error = std::current_exception();
     }
     ws.stage1_seconds = stage_timer.seconds();
 
     // ---- The single synchronization step between the stages.
     Timer barrier_timer;
     barrier.arrive_and_wait();
-    if (p == 0) stats_.barrier_seconds = barrier_timer.seconds();
+    if (w == 0) stats_.barrier_seconds = barrier_timer.seconds();
+    if (stage1_error) std::rethrow_exception(stage1_error);
 
-    // ---- Stage 2 (Algorithm 2): drain queues addressed to me.
+    // ---- Stage 2 (Algorithm 2): drain queues addressed to me. After a
+    // throw there is no further synchronization, so exceptions propagate
+    // directly (the pool collects the first one).
     stage_timer.reset();
-    Key key = 0;
-    for (std::size_t src = 0; src < P; ++src) {
-      if (src == p) continue;
-      KeyQueue& queue = queues.at(src, p);
-      while (queue.try_pop(key)) {
-        mine.increment(key);
-        ++ws.stage2_pops;
+    if (my_lo < my_hi) {
+      OpenHashTable* sole =
+          (my_hi - my_lo == 1) ? &table.partition(my_lo) : nullptr;
+      Key key = 0;
+      for (std::size_t src = 0; src < W; ++src) {
+        if (src == w) continue;
+        KeyQueue& queue = queues.at(src, w);
+        while (queue.try_pop(key)) {
+          if (inject) fault::fire(fault::Point::kStage2Drain);
+          if (sole != nullptr) {
+            sole->increment(key);
+          } else {
+            table.partition(table.owner_of(key)).increment(key);
+          }
+          ++ws.stage2_pops;
+        }
       }
     }
     ws.stage2_seconds = stage_timer.seconds();
   });
+
+  stats_.pin_failures = pin_failures.load(std::memory_order_relaxed);
 }
 
 PotentialTable WaitFreeBuilder::build_pipelined(const Dataset& data,
@@ -182,19 +266,37 @@ PotentialTable WaitFreeBuilder::build_pipelined(const Dataset& data,
   QueueFabric queues(P);
   stats_ = BuildStats{};
   stats_.workers.assign(P, WorkerStats{});
+  stats_.requested_workers = pool.degradation().requested_threads;
+  stats_.effective_workers = P;
+  std::atomic<std::size_t> pin_failures{0};
   std::atomic<std::size_t> producers_done{0};
+  // Set when the build must wind down early: either a worker threw (the pool
+  // rethrows it) or the watchdog detected a stall (we throw StallError).
+  std::atomic<bool> aborted{false};
+  std::atomic<bool> stalled{false};
+  // Captured by the watchdog at detection time: by the time run() returns and
+  // we build the StallError, a transiently wedged producer may have finished,
+  // so reading producers_done afterwards would under-report the culprits.
+  std::atomic<std::size_t> stalled_unfinished{0};
+  std::vector<ProgressCell> progress(P);
 
   const std::size_t m = data.sample_count();
   const std::size_t batch = options_.pipeline_batch;
+  const double stall_timeout = options_.stall_timeout_seconds;
+  const bool watchdog = stall_timeout > 0.0;
   Timer total_timer;
 
   pool.run([&](std::size_t p) {
-    if (options_.pin_threads) pin_current_thread(p);
+    if (options_.pin_threads && !pin_current_thread(p)) {
+      pin_failures.fetch_add(1, std::memory_order_relaxed);
+    }
     WorkerStats& ws = stats_.workers[p];
     OpenHashTable& mine = table.partition(p);
+    const bool inject = fault::enabled();
     Timer stage_timer;
 
     auto drain_once = [&] {
+      if (inject) fault::fire(fault::Point::kPipelineDrain);
       Key key = 0;
       for (std::size_t src = 0; src < P; ++src) {
         if (src == p) continue;
@@ -202,44 +304,102 @@ PotentialTable WaitFreeBuilder::build_pipelined(const Dataset& data,
         while (queue.try_pop(key)) {
           mine.increment(key);
           ++ws.stage2_pops;
+          if (watchdog) {
+            progress[p].value.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
     };
 
-    // Interleave producing batches with draining inbound keys.
-    const auto [lo, hi] = ThreadPool::block_range(m, P, p);
-    std::size_t i = lo;
-    while (i < hi) {
-      const std::size_t stop = std::min(hi, i + batch);
-      for (; i < stop; ++i) {
-        const Key key = codec.encode(data.row(i));
-        ++ws.rows_encoded;
-        const std::size_t owner = table.owner_of(key);
-        if (owner == p) {
-          mine.increment(key);
-          ++ws.local_updates;
-        } else {
-          queues.at(p, owner).push(key);
-          ++ws.foreign_pushes;
+    // The whole kernel is exception-robust: a throw anywhere marks the build
+    // aborted and keeps the producers_done accounting truthful, so no other
+    // worker can spin forever waiting on this one.
+    bool counted_done = false;
+    try {
+      // Interleave producing batches with draining inbound keys.
+      const auto [lo, hi] = ThreadPool::block_range(m, P, p);
+      std::size_t i = lo;
+      while (i < hi && !aborted.load(std::memory_order_acquire)) {
+        const std::size_t stop = std::min(hi, i + batch);
+        for (; i < stop; ++i) {
+          if (inject) fault::fire(fault::Point::kStage1Row);
+          const Key key = codec.encode(data.row(i));
+          ++ws.rows_encoded;
+          const std::size_t owner = table.owner_of(key);
+          if (owner == p) {
+            mine.increment(key);
+            ++ws.local_updates;
+          } else {
+            queues.at(p, owner).push(key);
+            ++ws.foreign_pushes;
+          }
+          if (watchdog) {
+            progress[p].value.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        drain_once();
+      }
+      ws.stage1_seconds = stage_timer.seconds();
+      producers_done.fetch_add(1, std::memory_order_acq_rel);
+      counted_done = true;
+
+      // Keep draining until every producer has finished, then one final pass:
+      // after producers_done == P no queue can grow, so an empty sweep means
+      // the fabric is fully drained. The watchdog clocks the time since the
+      // global progress sum last moved; a wedged worker freezes its counter,
+      // and once every healthy worker has gone idle the sum stops moving.
+      stage_timer.reset();
+      Timer stall_timer;
+      std::uint64_t last_progress = 0;
+      bool have_baseline = false;
+      while (!aborted.load(std::memory_order_acquire) &&
+             producers_done.load(std::memory_order_acquire) < P) {
+        drain_once();
+        if (watchdog) {
+          std::uint64_t now = 0;
+          for (const ProgressCell& cell : progress) {
+            now += cell.value.load(std::memory_order_relaxed);
+          }
+          if (!have_baseline || now != last_progress) {
+            last_progress = now;
+            have_baseline = true;
+            stall_timer.reset();
+          } else if (stall_timer.seconds() > stall_timeout) {
+            stalled_unfinished.store(
+                P - producers_done.load(std::memory_order_acquire),
+                std::memory_order_relaxed);
+            stalled.store(true, std::memory_order_release);
+            aborted.store(true, std::memory_order_release);
+            break;
+          }
         }
       }
-      drain_once();
+      if (!aborted.load(std::memory_order_acquire)) drain_once();
+      ws.stage2_seconds = stage_timer.seconds();
+    } catch (...) {
+      aborted.store(true, std::memory_order_release);
+      if (!counted_done) {
+        producers_done.fetch_add(1, std::memory_order_acq_rel);
+      }
+      throw;
     }
-    ws.stage1_seconds = stage_timer.seconds();
-    producers_done.fetch_add(1, std::memory_order_acq_rel);
-
-    // Keep draining until every producer has finished, then one final pass:
-    // after producers_done == P no queue can grow, so an empty sweep means
-    // the fabric is fully drained.
-    stage_timer.reset();
-    while (producers_done.load(std::memory_order_acquire) < P) {
-      drain_once();
-    }
-    drain_once();
-    ws.stage2_seconds = stage_timer.seconds();
   });
 
+  stats_.pin_failures = pin_failures.load(std::memory_order_relaxed);
   stats_.total_seconds = total_timer.seconds();
+  if (stalled.load(std::memory_order_acquire)) {
+    std::vector<std::uint64_t> snapshot;
+    snapshot.reserve(P);
+    for (const ProgressCell& cell : progress) {
+      snapshot.push_back(cell.value.load(std::memory_order_relaxed));
+    }
+    throw StallError(
+        "pipelined build stalled: no worker progress for " +
+            std::to_string(stall_timeout) + "s with " +
+            std::to_string(stalled_unfinished.load(std::memory_order_relaxed)) +
+            " producer(s) unfinished",
+        std::move(snapshot));
+  }
   return PotentialTable(codec, std::move(table),
                         static_cast<std::uint64_t>(m));
 }

@@ -31,12 +31,19 @@ struct WaitFreeBuilderOptions {
   PartitionScheme scheme = PartitionScheme::kModulo;
   /// Overlap stage 2 with stage 1 (no barrier). See class comment.
   bool pipelined = false;
-  /// Pin worker p to core p when the OS allows it.
+  /// Pin worker p to core p when the OS allows it. A refused pin degrades
+  /// (unpinned worker, counted in BuildStats::pin_failures) instead of
+  /// failing the build.
   bool pin_threads = false;
   /// Pre-size per-partition hashtables; 0 derives an estimate from m.
   std::size_t expected_distinct_keys = 0;
   /// Rows a pipelined producer processes between drain attempts.
   std::size_t pipeline_batch = 4096;
+  /// Stall watchdog for the pipelined variant: if no worker makes progress
+  /// (rows scanned + keys drained) for this long while the drain phase is
+  /// still waiting on producers, the build aborts with a StallError carrying
+  /// per-worker progress counters instead of spinning forever. 0 disables.
+  double stall_timeout_seconds = 0.0;
 };
 
 /// Per-worker instrumentation. The counts feed the multicore scaling
@@ -55,6 +62,18 @@ struct BuildStats {
   std::vector<WorkerStats> workers;
   double total_seconds = 0.0;
   double barrier_seconds = 0.0;  ///< caller-observed barrier crossing cost
+
+  /// Requested vs. effective parallelism: the two differ when thread spawn
+  /// failed mid-construction and the build degraded to fewer workers (see
+  /// ThreadPool's DegradationReport). pin_failures counts workers that asked
+  /// for a core pin and ran unpinned instead.
+  std::size_t requested_workers = 0;
+  std::size_t effective_workers = 0;
+  std::size_t pin_failures = 0;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return effective_workers < requested_workers || pin_failures > 0;
+  }
 
   [[nodiscard]] std::uint64_t total_foreign_pushes() const noexcept;
   [[nodiscard]] std::uint64_t total_local_updates() const noexcept;
@@ -77,9 +96,16 @@ class WaitFreeBuilder {
   /// Incremental update: folds additional observations into an existing
   /// table with the same two-stage wait-free procedure (training data often
   /// arrives in batches). Preconditions (checked): the dataset's
-  /// cardinalities match the table's codec, the table has not been
-  /// rebalance()d (ownership must still hold), and one worker is spawned per
-  /// existing partition. Throws DataError/PreconditionError on violation.
+  /// cardinalities match the table's codec and the table has not been
+  /// rebalance()d (ownership must still hold). Throws
+  /// DataError/PreconditionError on violation.
+  ///
+  /// Strong exception-safety guarantee: the batch is staged into scratch
+  /// partitions and committed only after the full two-stage kernel succeeded
+  /// (with the commit's destination capacity reserved up front, so the merge
+  /// itself cannot fail). If anything throws mid-append — a worker kernel, a
+  /// queue allocation, an injected fault — the table is bit-identical to its
+  /// pre-call state, including its sample count.
   void append(const Dataset& data, PotentialTable& table);
 
   /// Instrumentation from the most recent build().
@@ -93,7 +119,10 @@ class WaitFreeBuilder {
   PotentialTable build_phased(const Dataset& data, ThreadPool& pool);
   PotentialTable build_pipelined(const Dataset& data, ThreadPool& pool);
   /// The two-stage kernel over an existing partitioned table (used by both
-  /// build_phased and append). Refreshes stats_ except total_seconds.
+  /// build_phased and append). Refreshes stats_ except total_seconds. The
+  /// pool may hold fewer workers than the table has partitions (a degraded
+  /// pool): partitions are then block-assigned to workers, preserving the
+  /// one-writer-per-partition invariant at reduced parallelism.
   void run_phased(const Dataset& data, const KeyCodec& codec,
                   PartitionedTable& table, ThreadPool& pool);
   [[nodiscard]] std::size_t expected_entries_per_partition(

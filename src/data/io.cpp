@@ -96,7 +96,20 @@ Dataset read_csv_file(const std::string& path) {
 
 namespace {
 constexpr char kMagic[4] = {'W', 'F', 'B', 'N'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 adds an FNV-1a checksum of the row payload to the header so
+// truncation and bit-rot are detected instead of silently loading garbage.
+// Version-1 files (no checksum) are still readable.
+constexpr std::uint32_t kVersion = 2;
+
+/// FNV-1a 64-bit over the row payload.
+std::uint64_t fnv1a(const State* bytes, std::size_t count) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    hash ^= static_cast<std::uint64_t>(bytes[i]);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -121,6 +134,7 @@ void write_binary_file(const Dataset& data, const std::string& path) {
   write_pod(out, static_cast<std::uint32_t>(data.variable_count()));
   for (const std::uint32_t r : data.cardinalities()) write_pod(out, r);
   const auto raw = data.raw();
+  write_pod(out, fnv1a(raw.data(), raw.size()));
   out.write(reinterpret_cast<const char*>(raw.data()),
             static_cast<std::streamsize>(raw.size()));
   if (!out) throw DataError("write failed: " + path);
@@ -135,7 +149,7 @@ Dataset read_binary_file(const std::string& path) {
     throw DataError("not a WFBN binary dataset: " + path);
   }
   const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     throw DataError("unsupported dataset version " + std::to_string(version));
   }
   const auto samples = read_pod<std::uint64_t>(in);
@@ -143,10 +157,15 @@ Dataset read_binary_file(const std::string& path) {
   if (n == 0) throw DataError("binary dataset has zero variables");
   std::vector<std::uint32_t> cards(n);
   for (auto& r : cards) r = read_pod<std::uint32_t>(in);
+  const std::uint64_t expected_checksum =
+      version >= 2 ? read_pod<std::uint64_t>(in) : 0;
   std::vector<State> cells(static_cast<std::size_t>(samples) * n);
   in.read(reinterpret_cast<char*>(cells.data()),
           static_cast<std::streamsize>(cells.size()));
   if (!in) throw DataError("truncated binary dataset: " + path);
+  if (version >= 2 && fnv1a(cells.data(), cells.size()) != expected_checksum) {
+    throw DataError("corrupt dataset (payload checksum mismatch): " + path);
+  }
   return Dataset(static_cast<std::size_t>(samples), std::move(cards),
                  std::move(cells));
 }

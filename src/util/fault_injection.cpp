@@ -1,0 +1,127 @@
+#include "util/fault_injection.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace wfbn::fault {
+
+namespace {
+
+// Per-point state on its own cache line: hit counters are bumped from every
+// worker thread, and sharing a line across points would couple unrelated
+// failure points' costs.
+struct alignas(64) PointState {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::int64_t> fire_on{-1};  // 1-based hit index; -1 = disarmed
+  std::atomic<int> action{static_cast<int>(Action::kThrow)};
+  std::atomic<std::uint32_t> stall_ms{0};
+};
+
+PointState g_points[kPointCount];
+
+PointState& state_of(Point point) noexcept {
+  return g_points[static_cast<int>(point)];
+}
+
+/// Counts a hit and reports whether this is exactly the armed one.
+bool advance_and_check(PointState& s) noexcept {
+  const std::uint64_t hit =
+      s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::int64_t fire_on = s.fire_on.load(std::memory_order_relaxed);
+  return fire_on >= 0 && hit == static_cast<std::uint64_t>(fire_on);
+}
+
+void stall_for(std::uint32_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+const char* point_name(Point point) noexcept {
+  switch (point) {
+    case Point::kThreadSpawn: return "pool.spawn";
+    case Point::kPinThread: return "affinity.pin";
+    case Point::kSpscChunkAlloc: return "spsc.chunk_alloc";
+    case Point::kStage1Row: return "builder.stage1_row";
+    case Point::kBarrier: return "builder.barrier";
+    case Point::kStage2Drain: return "builder.stage2_drain";
+    case Point::kPipelineDrain: return "builder.pipeline_drain";
+    case Point::kAppendCommit: return "builder.append_commit";
+    case Point::kMarginalizeSweep: return "marginalizer.sweep";
+    case Point::kMiSweep: return "all_pairs_mi.sweep";
+  }
+  return "unknown";
+}
+
+void arm(Point point, std::uint64_t fire_on_hit, Action action,
+         std::uint32_t stall_ms) {
+  PointState& s = state_of(point);
+  s.hits.store(0, std::memory_order_relaxed);
+  s.action.store(static_cast<int>(action), std::memory_order_relaxed);
+  s.stall_ms.store(stall_ms, std::memory_order_relaxed);
+  s.fire_on.store(static_cast<std::int64_t>(fire_on_hit),
+                  std::memory_order_relaxed);
+}
+
+void reset() noexcept {
+  for (PointState& s : g_points) {
+    s.fire_on.store(-1, std::memory_order_relaxed);
+    s.hits.store(0, std::memory_order_relaxed);
+    s.action.store(static_cast<int>(Action::kThrow), std::memory_order_relaxed);
+    s.stall_ms.store(0, std::memory_order_relaxed);
+  }
+}
+
+void fire(Point point) {
+  PointState& s = state_of(point);
+  if (!advance_and_check(s)) return;
+  if (s.action.load(std::memory_order_relaxed) ==
+      static_cast<int>(Action::kStall)) {
+    stall_for(s.stall_ms.load(std::memory_order_relaxed));
+    return;
+  }
+  throw InjectedFault(std::string("injected fault at ") + point_name(point));
+}
+
+bool should_fail(Point point) noexcept {
+  PointState& s = state_of(point);
+  if (!advance_and_check(s)) return false;
+  if (s.action.load(std::memory_order_relaxed) ==
+      static_cast<int>(Action::kStall)) {
+    stall_for(s.stall_ms.load(std::memory_order_relaxed));
+  }
+  return true;
+}
+
+std::uint64_t hits(Point point) noexcept {
+  return state_of(point).hits.load(std::memory_order_relaxed);
+}
+
+std::string arm_random_schedule(std::uint64_t seed) {
+  // Only throwing points participate: spawn/pin arming changes behavior via
+  // degradation instead of an error, which the fuzz sweep exercises
+  // separately from its match-or-typed-error oracle.
+  static constexpr Point kThrowing[] = {
+      Point::kSpscChunkAlloc, Point::kStage1Row,  Point::kBarrier,
+      Point::kStage2Drain,    Point::kPipelineDrain, Point::kAppendCommit,
+      Point::kMarginalizeSweep, Point::kMiSweep,
+  };
+  constexpr std::size_t kThrowingCount = sizeof kThrowing / sizeof kThrowing[0];
+  reset();
+  Xoshiro256 rng(seed);
+  const std::size_t armed = 1 + rng.bounded(3);
+  std::string description;
+  for (std::size_t i = 0; i < armed; ++i) {
+    const Point point = kThrowing[rng.bounded(kThrowingCount)];
+    const std::uint64_t fire_on = 1 + rng.bounded(64);
+    arm(point, fire_on);
+    if (!description.empty()) description += ", ";
+    description += std::string(point_name(point)) + "@" +
+                   std::to_string(fire_on);
+  }
+  return description;
+}
+
+}  // namespace wfbn::fault

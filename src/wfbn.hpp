@@ -8,9 +8,10 @@
 //   using namespace wfbn;
 #pragma once
 
-// util — RNG, timing, CLI, tables, error policy
+// util — RNG, timing, CLI, tables, error policy, fault injection
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
@@ -69,6 +70,38 @@ TEST(ThreadPool, PropagatesWorkerExceptions) {
 
 TEST(ThreadPool, ZeroWorkersIsRejected) {
   EXPECT_THROW(ThreadPool(0), PreconditionError);
+}
+
+// Regression: run() must leave no stale error or worker state behind, so a
+// pool survives arbitrarily many throwing rounds and each round reports its
+// own (fresh) exception, not a leftover from a previous one.
+TEST(ThreadPool, StaysUsableAcrossRepeatedThrowingRounds) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    const std::string expected = "round " + std::to_string(round);
+    try {
+      pool.run([&](std::size_t p) {
+        if (p == static_cast<std::size_t>(round)) throw DataError(expected);
+      });
+      FAIL() << "expected DataError in round " << round;
+    } catch (const DataError& error) {
+      EXPECT_EQ(std::string(error.what()), expected);
+    }
+    // Interleave a clean round to prove full recovery, not just re-throw.
+    std::atomic<int> counter{0};
+    pool.run([&](std::size_t) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), 4);
+  }
+}
+
+TEST(ThreadPool, ReportsNoDegradationOnHealthySpawn) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.degradation().requested_threads, 4u);
+  EXPECT_EQ(pool.degradation().spawned_threads, 4u);
+  EXPECT_EQ(pool.degradation().failed_spawns, 0u);
+  EXPECT_EQ(pool.degradation().pin_failures, 0u);
+  EXPECT_FALSE(pool.degradation().degraded());
 }
 
 class BlockRangeProperty : public ::testing::TestWithParam<

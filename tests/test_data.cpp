@@ -198,6 +198,32 @@ TEST(Io, BinaryRejectsTruncation) {
   std::remove(path.c_str());
 }
 
+TEST(Io, BinaryRejectsCorruptPayload) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "wfbn_test_corrupt.bin";
+  const Dataset original = generate_uniform(200, 4, 2, 102);
+  write_binary_file(original, path);
+  // Flip one bit in the last payload byte: the size and header stay valid,
+  // only the checksum can catch it.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file);
+    file.seekg(-1, std::ios::end);
+    char byte = 0;
+    file.get(byte);
+    file.seekp(-1, std::ios::end);
+    file.put(static_cast<char>(byte ^ 0x01));
+  }
+  try {
+    (void)read_binary_file(path);
+    FAIL() << "expected DataError for corrupt payload";
+  } catch (const DataError& error) {
+    EXPECT_NE(std::string(error.what()).find("corrupt dataset"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Io, MissingFilesThrow) {
   EXPECT_THROW((void)read_csv_file("/nonexistent/x.csv"), DataError);
   EXPECT_THROW((void)read_binary_file("/nonexistent/x.bin"), DataError);

@@ -13,6 +13,8 @@
 #include "core/query.hpp"
 #include "core/wait_free_builder.hpp"
 #include "data/generators.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 
 namespace wfbn {
@@ -153,6 +155,124 @@ TEST(Fuzz, AppendMatchesMonolithicBuildForRandomSplits) {
     });
     ASSERT_TRUE(all_match);
   }
+}
+
+std::map<Key, std::uint64_t> key_counts(const Dataset& data) {
+  const KeyCodec codec = data.codec();
+  std::map<Key, std::uint64_t> counts;
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    ++counts[codec.encode(data.row(i))];
+  }
+  return counts;
+}
+
+std::map<Key, std::uint64_t> table_counts(const PotentialTable& table) {
+  std::map<Key, std::uint64_t> counts;
+  table.partitions().for_each(
+      [&](Key key, std::uint64_t c) { counts[key] += c; });
+  return counts;
+}
+
+// Randomized fault-schedule sweep: each round arms a pseudo-random subset of
+// failure points (fault::arm_random_schedule) and runs a full build under a
+// random configuration. The contract under arbitrary schedules is all-or-
+// nothing: either the build completes with the exact serial-reference table
+// or it throws a typed error — never a crash, a hang, or a wrong table.
+TEST(Fuzz, RandomFaultSchedulesYieldTypedErrorOrExactBuild) {
+  // Fixed datasets with precomputed references keep the 100 rounds cheap.
+  const Dataset small = generate_uniform(3000, 8, 2, 0xAB);
+  const Dataset large = generate_uniform(9000, 10, 2, 0xCD);
+  const auto small_reference = key_counts(small);
+  const auto large_reference = key_counts(large);
+
+  Xoshiro256 meta_rng(0xFA01);
+  int completed = 0, faulted = 0, stalled = 0;
+  for (std::uint64_t round = 0; round < 100; ++round) {
+    const bool use_large = meta_rng.bounded(2) == 0;
+    const Dataset& data = use_large ? large : small;
+    const auto& reference = use_large ? large_reference : small_reference;
+
+    WaitFreeBuilderOptions options;
+    options.threads = 1 + meta_rng.bounded(8);
+    options.scheme = meta_rng.bounded(2) == 0 ? PartitionScheme::kModulo
+                                              : PartitionScheme::kRange;
+    options.pipelined = meta_rng.bounded(2) == 0;
+    // Backstop only: random schedules arm throwing points, so a stall means
+    // a worker wedged some other way — surface it as a typed error.
+    options.stall_timeout_seconds = 5.0;
+
+    fault::ScopedFaultInjection injection;
+    const std::string schedule = fault::arm_random_schedule(meta_rng());
+    SCOPED_TRACE("round " + std::to_string(round) + " threads=" +
+                 std::to_string(options.threads) +
+                 (options.pipelined ? " pipelined" : " phased") +
+                 " schedule={" + schedule + "}");
+
+    WaitFreeBuilder builder(options);
+    try {
+      const PotentialTable table = builder.build(data);
+      ASSERT_TRUE(table.validate());
+      ASSERT_EQ(table.sample_count(), data.sample_count());
+      ASSERT_EQ(table_counts(table), reference);
+      ++completed;
+    } catch (const InjectedFault&) {
+      ++faulted;
+    } catch (const StallError&) {
+      ++stalled;
+    }
+  }
+  // The schedule generator must actually exercise both arms.
+  EXPECT_GT(completed, 0) << faulted << " faulted, " << stalled << " stalled";
+  EXPECT_GT(faulted, 0) << completed << " completed";
+}
+
+// Same sweep over append(): an injected throw must leave the destination
+// table bit-identical; a completed append must equal base + batch exactly.
+TEST(Fuzz, RandomFaultSchedulesPreserveAppendStrongGuarantee) {
+  const Dataset base = generate_uniform(4000, 9, 2, 0x11);
+  const Dataset batch = generate_uniform(6000, 9, 2, 0x22);
+  const auto base_reference = key_counts(base);
+  std::map<Key, std::uint64_t> combined_reference = base_reference;
+  for (const auto& [key, count] : key_counts(batch)) {
+    combined_reference[key] += count;
+  }
+
+  WaitFreeBuilderOptions build_options;
+  build_options.threads = 4;
+  const PotentialTable pristine = WaitFreeBuilder(build_options).build(base);
+  ASSERT_EQ(table_counts(pristine), base_reference);
+
+  Xoshiro256 meta_rng(0xFA02);
+  int completed = 0, faulted = 0;
+  for (std::uint64_t round = 0; round < 100; ++round) {
+    PotentialTable table = pristine;  // fresh copy of the clean base table
+
+    WaitFreeBuilderOptions options;
+    options.threads = 1 + meta_rng.bounded(8);
+    WaitFreeBuilder builder(options);
+
+    fault::ScopedFaultInjection injection;
+    const std::string schedule = fault::arm_random_schedule(meta_rng());
+    SCOPED_TRACE("round " + std::to_string(round) + " threads=" +
+                 std::to_string(options.threads) + " schedule={" + schedule +
+                 "}");
+
+    try {
+      builder.append(batch, table);
+      ASSERT_EQ(table.sample_count(), base.sample_count() + batch.sample_count());
+      ASSERT_EQ(table_counts(table), combined_reference);
+      ++completed;
+    } catch (const InjectedFault&) {
+      // Strong guarantee: bit-identical to the pre-append state.
+      ASSERT_EQ(table.sample_count(), base.sample_count());
+      ASSERT_EQ(table.distinct_keys(), pristine.distinct_keys());
+      ASSERT_EQ(table_counts(table), base_reference);
+      ASSERT_TRUE(table.validate());
+      ++faulted;
+    }
+  }
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(faulted, 0) << completed << " completed";
 }
 
 }  // namespace
