@@ -1,0 +1,227 @@
+// Mixed read/write serving throughput over the snapshot store.
+//
+// For each reader count R: R reader threads issue a mixed marginal /
+// conditional / pair-MI workload against one ServeEngine for a fixed
+// duration, while one ingest thread publishes observation batches at a fixed
+// pacing the whole time. Reported per configuration: queries/sec (total and
+// per reader), cache hit rate, versions published, and rows ingested/sec.
+//
+// Readers take no locks on the hot path — snapshot acquisition is one atomic
+// shared_ptr load and the table sweep runs on immutable data — so on a
+// machine with enough cores reader throughput scales with R while ingestion
+// proceeds. (On fewer cores than R+1 the curve flattens to the hardware; the
+// JSON records host_cores so the trajectory stays interpretable.)
+//
+// Machine-readable output: a BENCH_serve_throughput.json datapoint (path
+// configurable with --json-out, empty string disables), plus the same JSON on
+// stdout.
+//
+//   ./serve_throughput --readers 1,2,4 --duration-ms 300
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "serve/serve_engine.hpp"
+#include "serve/table_store.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct ConfigResult {
+  std::size_t readers = 0;
+  double seconds = 0.0;
+  std::uint64_t queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t versions_published = 0;
+  std::uint64_t rows_ingested = 0;
+
+  [[nodiscard]] double qps() const {
+    return seconds == 0.0 ? 0.0 : static_cast<double>(queries) / seconds;
+  }
+  [[nodiscard]] double hit_rate() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(queries);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wfbn;
+
+  CliParser cli("serve_throughput — mixed read/write serving throughput");
+  cli.add_option("samples", "20000", "Initial table rows (version 1)");
+  cli.add_option("variables", "10", "Binary variables");
+  cli.add_option("threads", "4", "Builder threads (= table partitions)");
+  cli.add_option("readers", "1,2,4", "Reader-thread counts to sweep");
+  cli.add_option("duration-ms", "300", "Measured window per configuration");
+  cli.add_option("ingest-batch", "2000", "Rows per published batch");
+  cli.add_option("ingest-period-ms", "10", "Pacing between publishes");
+  cli.add_option("seed", "42", "Workload seed");
+  cli.add_option("json-out", "BENCH_serve_throughput.json",
+                 "JSON datapoint path (empty disables the file)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+  const auto n = static_cast<std::size_t>(cli.get_int("variables"));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const auto duration_ms = static_cast<std::size_t>(cli.get_int("duration-ms"));
+  const auto ingest_batch = static_cast<std::size_t>(cli.get_int("ingest-batch"));
+  const auto ingest_period_ms =
+      static_cast<std::size_t>(cli.get_int("ingest-period-ms"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string json_out = cli.get("json-out");
+
+  std::vector<std::size_t> reader_counts;
+  for (const std::int64_t r : cli.get_int_list("readers")) {
+    reader_counts.push_back(static_cast<std::size_t>(r));
+  }
+
+  WaitFreeBuilderOptions build_options;
+  build_options.threads = threads;
+
+  // Pre-generate the ingest batches once; the ingest thread cycles them.
+  std::vector<Dataset> batches;
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    batches.push_back(
+        generate_chain_correlated(ingest_batch, n, 2, 0.8, seed + 100 + b));
+  }
+
+  std::vector<ConfigResult> results;
+  for (const std::size_t readers : reader_counts) {
+    // Fresh store + engine per configuration so versions and cache state
+    // start identical across the sweep.
+    serve::TableStore store(
+        WaitFreeBuilder(build_options)
+            .build(generate_chain_correlated(samples, n, 2, 0.8, seed)),
+        build_options);
+    serve::ServeEngine engine(store);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::uint64_t> queries(readers, 0);
+    std::vector<std::uint64_t> hits(readers, 0);
+
+    std::vector<std::thread> reader_threads;
+    reader_threads.reserve(readers);
+    for (std::size_t r = 0; r < readers; ++r) {
+      reader_threads.emplace_back([&, r] {
+        std::uint64_t q = 0, h = 0;
+        std::size_t tick = r * 7;  // desynchronize the reader streams
+        while (!stop.load(std::memory_order_acquire)) {
+          serve::ServeResult result;
+          const std::size_t a = tick % n;
+          const std::size_t b = (tick / 3 + 1) % n;
+          switch (tick % 3) {
+            case 0: {
+              const std::size_t vars[] = {a};
+              result = engine.marginal(vars);
+              break;
+            }
+            case 1: {
+              const std::size_t vars[] = {a};
+              const Evidence evidence[] = {{a == b ? (b + 1) % n : b, 0}};
+              result = engine.conditional(vars, evidence);
+              break;
+            }
+            default:
+              result = engine.pair_mi(a, a == b ? (b + 1) % n : b);
+              break;
+          }
+          ++q;
+          if (result.cache_hit) ++h;
+          ++tick;
+        }
+        queries[r] = q;
+        hits[r] = h;
+      });
+    }
+
+    std::uint64_t published = 0, rows = 0;
+    std::thread ingest_thread([&] {
+      std::size_t b = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const Dataset& batch = batches[b++ % batches.size()];
+        engine.ingest(batch);
+        ++published;
+        rows += batch.sample_count();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(ingest_period_ms));
+      }
+    });
+
+    Timer window;
+    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : reader_threads) t.join();
+    ingest_thread.join();
+
+    ConfigResult cr;
+    cr.readers = readers;
+    cr.seconds = window.seconds();
+    for (std::size_t r = 0; r < readers; ++r) {
+      cr.queries += queries[r];
+      cr.cache_hits += hits[r];
+    }
+    cr.versions_published = published;
+    cr.rows_ingested = rows;
+    results.push_back(cr);
+  }
+
+  TablePrinter table({"readers", "queries/s", "per-reader q/s", "cache hit %",
+                      "versions", "ingest rows/s"});
+  for (const ConfigResult& cr : results) {
+    table.add_row({std::to_string(cr.readers),
+                   TablePrinter::fmt(cr.qps(), 0),
+                   TablePrinter::fmt(cr.qps() / static_cast<double>(cr.readers), 0),
+                   TablePrinter::fmt(100.0 * cr.hit_rate(), 1),
+                   std::to_string(cr.versions_published),
+                   TablePrinter::fmt(static_cast<double>(cr.rows_ingested) /
+                                         cr.seconds, 0)});
+  }
+  table.print("serve_throughput — mixed read/write serving");
+
+  // One JSON datapoint for the bench trajectory.
+  std::string json = "{\n  \"bench\": \"serve_throughput\",\n";
+  json += "  \"host_cores\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"config\": {\"samples\": " + std::to_string(samples) +
+          ", \"variables\": " + std::to_string(n) +
+          ", \"partitions\": " + std::to_string(threads) +
+          ", \"duration_ms\": " + std::to_string(duration_ms) +
+          ", \"ingest_batch\": " + std::to_string(ingest_batch) +
+          ", \"ingest_period_ms\": " + std::to_string(ingest_period_ms) +
+          ", \"seed\": " + std::to_string(seed) + "},\n";
+  json += "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& cr = results[i];
+    char row[256];
+    std::snprintf(row, sizeof row,
+                  "    {\"readers\": %zu, \"queries_per_sec\": %.1f, "
+                  "\"cache_hit_rate\": %.4f, \"versions_published\": %llu, "
+                  "\"ingest_rows_per_sec\": %.1f}%s\n",
+                  cr.readers, cr.qps(), cr.hit_rate(),
+                  static_cast<unsigned long long>(cr.versions_published),
+                  static_cast<double>(cr.rows_ingested) / cr.seconds,
+                  i + 1 == results.size() ? "" : ",");
+    json += row;
+  }
+  json += "  ]\n}\n";
+
+  std::printf("\n-- JSON --\n%s", json.c_str());
+  if (!json_out.empty()) {
+    if (std::FILE* f = std::fopen(json_out.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_out.c_str());
+    } else {
+      std::printf("could not write %s\n", json_out.c_str());
+    }
+  }
+  return 0;
+}

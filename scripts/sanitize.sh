@@ -4,6 +4,8 @@
 #   scripts/sanitize.sh thread                # TSan
 #   scripts/sanitize.sh address,undefined     # ASan + UBSan
 #   scripts/sanitize.sh thread test_fault_injection test_fuzz
+#   scripts/sanitize.sh thread test_serve     # serving layer: readers live
+#                                             # during snapshot publishes
 #
 # The first argument is passed to -DWFBN_SANITIZE; any further arguments
 # select specific test binaries (default: the full ctest suite). Each

@@ -1,20 +1,24 @@
 #include "core/query.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/error.hpp"
 
 namespace wfbn {
 
 QueryEngine::QueryEngine(const PotentialTable& table, std::size_t threads)
-    : table_(table), threads_(threads) {
+    : table_(&table), pool_(nullptr), threads_(threads) {
   WFBN_EXPECT(threads >= 1, "query engine needs at least one thread");
 }
+
+QueryEngine::QueryEngine(const PotentialTable& table, ThreadPool& pool)
+    : table_(&table), pool_(&pool), threads_(pool.size()) {}
 
 MarginalTable QueryEngine::filtered_marginal(
     std::span<const std::size_t> variables,
     std::span<const Evidence> evidence) const {
-  const KeyCodec& codec = table_.codec();
+  const KeyCodec& codec = table_->codec();
   for (const Evidence& e : evidence) {
     WFBN_EXPECT(e.variable < codec.variable_count(), "evidence variable out of range");
     WFBN_EXPECT(e.state < codec.cardinality(e.variable), "evidence state out of range");
@@ -37,22 +41,39 @@ MarginalTable QueryEngine::filtered_marginal(
                              codec.cardinality(e.variable), e.state});
   }
 
-  const std::size_t parts = table_.partitions().partition_count();
-  ThreadPool pool(threads_);
-  std::vector<MarginalTable> partials(
-      pool.size(), MarginalTable(projector.variables(), projector.cardinalities()));
-
-  pool.run([&](std::size_t w) {
-    MarginalTable& partial = partials[w];
-    const auto [lo, hi] = ThreadPool::block_range(parts, pool.size(), w);
+  const std::size_t parts = table_->partitions().partition_count();
+  const auto sweep_range = [&](std::size_t lo, std::size_t hi,
+                               MarginalTable& partial) {
     for (std::size_t p = lo; p < hi; ++p) {
-      table_.partitions().partition(p).for_each([&](Key key, std::uint64_t c) {
+      table_->partitions().partition(p).for_each([&](Key key, std::uint64_t c) {
         for (const Filter& f : filters) {
           if ((key / f.stride) % f.cardinality != f.state) return;
         }
         partial.add(projector.project(key), c);
       });
     }
+  };
+
+  // Inline evaluation: the serving hot path. One full sweep on the calling
+  // thread, no pool, no partial-table merge.
+  if (pool_ == nullptr && threads_ == 1) {
+    MarginalTable out(projector.variables(), projector.cardinalities());
+    sweep_range(0, parts, out);
+    return out;
+  }
+
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = pool_;
+  if (pool == nullptr) {
+    owned.emplace(threads_);
+    pool = &*owned;
+  }
+  std::vector<MarginalTable> partials(
+      pool->size(), MarginalTable(projector.variables(), projector.cardinalities()));
+
+  pool->run([&](std::size_t w) {
+    const auto [lo, hi] = ThreadPool::block_range(parts, pool->size(), w);
+    sweep_range(lo, hi, partials[w]);
   });
 
   MarginalTable out = std::move(partials[0]);
@@ -91,7 +112,7 @@ double QueryEngine::evidence_probability(
       filtered_marginal(vars, evidence.subspan(1));
   const std::uint64_t matching = counts.count_at(evidence.front().state);
   return static_cast<double>(matching) /
-         static_cast<double>(table_.sample_count());
+         static_cast<double>(table_->sample_count());
 }
 
 QueryEngine::MapResult QueryEngine::most_probable(
@@ -106,7 +127,7 @@ QueryEngine::MapResult QueryEngine::most_probable(
   result.probability = *best;
   result.states.reserve(variables.size());
   for (const std::size_t v : variables) {
-    const std::uint32_t r = table_.codec().cardinality(v);
+    const std::uint32_t r = table_->codec().cardinality(v);
     result.states.push_back(static_cast<State>(cell % r));
     cell /= r;
   }

@@ -6,6 +6,12 @@
 // Evidence filtering runs as one data-parallel sweep over the table
 // partitions (same access pattern as the marginalization primitive), so
 // conditioning costs the same O(#entries/P) as a marginal.
+//
+// Engines are cheap, stateless views: construction is O(1) and evaluation
+// either runs inline on the calling thread (threads == 1 — no pool is ever
+// spawned) or on a caller-provided ThreadPool. That is what lets the serving
+// layer (src/serve) construct a fresh engine per query over whatever snapshot
+// it just pinned, with per-query cost going entirely to the table sweep.
 #pragma once
 
 #include <cstdint>
@@ -27,8 +33,16 @@ struct Evidence {
 
 class QueryEngine {
  public:
-  /// The engine borrows `table`; it must outlive the engine.
-  QueryEngine(const PotentialTable& table, std::size_t threads = 1);
+  /// The engine borrows `table`; it must outlive the engine. With
+  /// threads == 1 every query evaluates inline on the calling thread; with
+  /// threads > 1 each query spawns a transient pool (prefer the pool
+  /// constructor when issuing many queries).
+  explicit QueryEngine(const PotentialTable& table, std::size_t threads = 1);
+
+  /// Serving constructor: sweeps run on `pool` (borrowed, not owned), so
+  /// repeated queries reuse the same workers instead of spawning threads.
+  /// Both `table` and `pool` must outlive the engine.
+  QueryEngine(const PotentialTable& table, ThreadPool& pool);
 
   /// Normalized marginal distribution P(V) as probabilities in the layout of
   /// MarginalTable::index_of over `variables`.
@@ -56,13 +70,16 @@ class QueryEngine {
       std::span<const std::size_t> variables,
       std::span<const Evidence> evidence = {}) const;
 
+  [[nodiscard]] const PotentialTable& table() const noexcept { return *table_; }
+
  private:
   /// Count table of `variables` restricted to rows matching `evidence`.
   [[nodiscard]] MarginalTable filtered_marginal(
       std::span<const std::size_t> variables,
       std::span<const Evidence> evidence) const;
 
-  const PotentialTable& table_;
+  const PotentialTable* table_;
+  ThreadPool* pool_;  ///< borrowed evaluation pool; nullptr = owned-by-query
   std::size_t threads_;
 };
 

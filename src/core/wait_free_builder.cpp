@@ -158,6 +158,13 @@ void WaitFreeBuilder::append(const Dataset& data, PotentialTable& table) {
   table.record_additional_samples(data.sample_count());
 }
 
+PotentialTable WaitFreeBuilder::append_shadow(const Dataset& data,
+                                              const PotentialTable& base) {
+  PotentialTable shadow = base;
+  append(data, shadow);
+  return shadow;
+}
+
 PotentialTable WaitFreeBuilder::build_phased(const Dataset& data,
                                              ThreadPool& pool) {
   const std::size_t P = pool.size();

@@ -108,6 +108,16 @@ class WaitFreeBuilder {
   /// pre-call state, including its sample count.
   void append(const Dataset& data, PotentialTable& table);
 
+  /// Shadow-copy update — the publication hook of the serving layer
+  /// (serve::TableStore): deep-copies `base`, folds `data` into the copy with
+  /// append()'s staged two-stage kernel, and returns the copy. `base` itself
+  /// is never written, so concurrent readers may keep sweeping it for the
+  /// whole duration of the fold; the caller decides when (and whether) to
+  /// publish the result. Same preconditions as append(); a throw discards the
+  /// shadow, making the strong guarantee trivial.
+  [[nodiscard]] PotentialTable append_shadow(const Dataset& data,
+                                             const PotentialTable& base);
+
   /// Instrumentation from the most recent build().
   [[nodiscard]] const BuildStats& stats() const noexcept { return stats_; }
 

@@ -1,0 +1,131 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/fault_injection.hpp"
+
+namespace wfbn::serve {
+
+namespace {
+
+/// FNV-1a over the key words, byte order independent of endianness concerns
+/// because the words are hashed as 64-bit values directly.
+std::uint64_t fnv1a(const std::vector<std::uint64_t>& words) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint64_t w : words) {
+    h = (h ^ w) * 0x100000001B3ULL;
+  }
+  // Avalanche the tail so both the shard index (high bits) and the map
+  // bucket (low bits) see well-mixed values even for near-identical keys.
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+CacheKey::CacheKey(std::vector<std::uint64_t> words)
+    : words_(std::move(words)), hash_(fnv1a(words_)) {}
+
+ResultCache::ResultCache(std::size_t shards, std::size_t max_entries_per_shard)
+    : max_entries_per_shard_(std::max<std::size_t>(max_entries_per_shard, 1)) {
+  shards_.reserve(std::max<std::size_t>(shards, 1));
+  for (std::size_t s = 0; s < std::max<std::size_t>(shards, 1); ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<std::vector<double>> ResultCache::lookup(const CacheKey& key) {
+  Shard& shard = shard_of(key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ResultCache::insert(const CacheKey& key, const std::vector<double>& values) {
+  // Best-effort: a failing insert degrades to "not cached", never to a
+  // failing query. kServeCache uses the non-throwing should_fail flavor for
+  // exactly this reason (same pattern as thread-spawn degradation).
+  if (fault::enabled() &&
+      fault::should_fail(fault::Point::kServeCache)) [[unlikely]] {
+    dropped_inserts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.size() >= max_entries_per_shard_ &&
+      shard.map.find(key) == shard.map.end()) {
+    // Reclaim superseded versions first; only a shard full of current-version
+    // entries is cleared wholesale (coarse, but publishes reset the working
+    // set anyway).
+    std::size_t reclaimed = 0;
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (it->first.version() < key.version()) {
+        it = shard.map.erase(it);
+        ++reclaimed;
+      } else {
+        ++it;
+      }
+    }
+    if (shard.map.size() >= max_entries_per_shard_) {
+      reclaimed += shard.map.size();
+      shard.map.clear();
+    }
+    evicted_.fetch_add(reclaimed, std::memory_order_relaxed);
+  }
+  const bool inserted = shard.map.emplace(key, values).second;
+  if (inserted) {
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ResultCache::invalidate_before(std::uint64_t version) {
+  std::size_t dropped = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      if (it->first.version() < version) {
+        it = shard->map.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidated_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+CacheStats ResultCache::stats() const noexcept {
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.dropped_inserts = dropped_inserts_.load(std::memory_order_relaxed);
+  out.invalidated_entries = invalidated_.load(std::memory_order_relaxed);
+  out.evicted_entries = evicted_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t ResultCache::entry_count() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+}  // namespace wfbn::serve

@@ -1,0 +1,138 @@
+#include "serve/serve_engine.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "core/info_theory.hpp"
+#include "util/error.hpp"
+
+namespace wfbn::serve {
+
+namespace {
+
+/// Packs (version, kind, variables, evidence) into a flat word vector. Each
+/// variable-length section is preceded by its length, so the encoding is
+/// self-delimiting and two distinct queries can never pack identically.
+CacheKey make_key(std::uint64_t version, QueryKind kind,
+                  std::span<const std::size_t> variables,
+                  std::span<const Evidence> evidence) {
+  std::vector<std::uint64_t> words;
+  words.reserve(4 + variables.size() + evidence.size());
+  words.push_back(version);  // word 0: version (ResultCache relies on this)
+  words.push_back(static_cast<std::uint64_t>(kind));
+  words.push_back(static_cast<std::uint64_t>(variables.size()));
+  for (const std::size_t v : variables) {
+    words.push_back(static_cast<std::uint64_t>(v));
+  }
+  words.push_back(static_cast<std::uint64_t>(evidence.size()));
+  for (const Evidence& e : evidence) {
+    words.push_back((static_cast<std::uint64_t>(e.variable) << 8) |
+                    static_cast<std::uint64_t>(e.state));
+  }
+  return CacheKey(std::move(words));
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(TableStore& store, ServeOptions options)
+    : store_(&store),
+      options_(options),
+      cache_(options.cache_shards, options.cache_entries_per_shard) {
+  WFBN_EXPECT(options_.query_threads >= 1,
+              "serve engine needs at least one query thread");
+}
+
+std::vector<double> ServeEngine::compute(
+    const PotentialTable& table, QueryKind kind,
+    std::span<const std::size_t> variables,
+    std::span<const Evidence> evidence) const {
+  switch (kind) {
+    case QueryKind::kMarginal:
+      return QueryEngine(table, options_.query_threads).marginal(variables);
+    case QueryKind::kConditional:
+      return QueryEngine(table, options_.query_threads)
+          .conditional(variables, evidence);
+    case QueryKind::kPairMi: {
+      WFBN_EXPECT(variables.size() == 2, "pair MI takes exactly two variables");
+      // One pair marginalization answers Eq. 1 — the single-variable
+      // marginals are derived from the pair table (paper §IV-C).
+      return {mutual_information(table.marginalize_sequential(variables))};
+    }
+  }
+  throw PreconditionError("unknown query kind");
+}
+
+ServeResult ServeEngine::answer(QueryKind kind,
+                                std::span<const std::size_t> variables,
+                                std::span<const Evidence> evidence) {
+  // Pin the snapshot once: version, cache key, and evaluation all refer to
+  // this one table even if a publish lands mid-query.
+  const SnapshotPtr snapshot = store_->current();
+  ServeResult result;
+  result.version = snapshot->version();
+
+  CacheKey key;
+  if (options_.cache_enabled) {
+    key = make_key(snapshot->version(), kind, variables, evidence);
+    if (std::optional<std::vector<double>> hit = cache_.lookup(key)) {
+      result.cache_hit = true;
+      result.values = std::move(*hit);
+      return result;
+    }
+  }
+
+  result.values = compute(snapshot->table(), kind, variables, evidence);
+  if (options_.cache_enabled) {
+    cache_.insert(key, result.values);
+  }
+  return result;
+}
+
+ServeResult ServeEngine::marginal(std::span<const std::size_t> variables) {
+  return answer(QueryKind::kMarginal, variables, {});
+}
+
+ServeResult ServeEngine::conditional(std::span<const std::size_t> variables,
+                                     std::span<const Evidence> evidence) {
+  return answer(QueryKind::kConditional, variables, evidence);
+}
+
+ServeResult ServeEngine::pair_mi(std::size_t i, std::size_t j) {
+  const std::size_t pair[] = {i, j};
+  return answer(QueryKind::kPairMi, pair, {});
+}
+
+ServeResult ServeEngine::serve(const ServeQuery& query) {
+  return answer(query.kind, query.variables, query.evidence);
+}
+
+std::vector<ServeResult> ServeEngine::serve_batch(
+    std::span<const ServeQuery> queries, ThreadPool& pool) {
+  std::vector<ServeResult> results(queries.size());
+  pool.run([&](std::size_t w) {
+    const auto [lo, hi] =
+        ThreadPool::block_range(queries.size(), pool.size(), w);
+    for (std::size_t i = lo; i < hi; ++i) {
+      try {
+        results[i] = serve(queries[i]);
+      } catch (const std::exception& e) {
+        results[i].ok = false;
+        results[i].error = e.what();
+        results[i].version = store_->version();
+      }
+    }
+  });
+  return results;
+}
+
+IngestStats ServeEngine::ingest(const Dataset& batch) {
+  const IngestStats stats = store_->ingest(batch);
+  if (options_.cache_enabled) {
+    // Reclaim answers of superseded versions. Version-keyed lookups already
+    // guarantee they can never be served again; this only frees the memory.
+    cache_.invalidate_before(stats.published_version);
+  }
+  return stats;
+}
+
+}  // namespace wfbn::serve

@@ -1,0 +1,115 @@
+// ServeEngine: the query-serving front end over a TableStore.
+//
+// One engine serves a mixed workload — normalized marginals, conditionals
+// given evidence, pairwise mutual information — from whatever snapshot the
+// store currently publishes. Per query it (1) pins the current snapshot with
+// one wait-free load, (2) consults the sharded result cache under the key
+// (kind, query payload, snapshot version), and (3) on a miss evaluates
+// inline with a per-snapshot QueryEngine and inserts the answer. Ingestion
+// goes through the same engine so the publish and the cache invalidation of
+// superseded versions stay paired.
+//
+// Thread safety: every public method may be called concurrently from any
+// number of threads. serve_batch() additionally dispatches a whole workload
+// across an existing ThreadPool, block-partitioning the queries over the
+// workers (the same scheduling the wait-free builder applies to rows).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "concurrent/thread_pool.hpp"
+#include "core/query.hpp"
+#include "data/dataset.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/table_store.hpp"
+
+namespace wfbn::serve {
+
+struct ServeOptions {
+  bool cache_enabled = true;
+  std::size_t cache_shards = 16;
+  std::size_t cache_entries_per_shard = 4096;
+  /// Threads per single query sweep. 1 (the default) evaluates inline on the
+  /// serving thread — the right choice under concurrent load, where the
+  /// parallelism comes from many queries in flight, not from one query.
+  std::size_t query_threads = 1;
+};
+
+enum class QueryKind : std::uint8_t {
+  kMarginal,     ///< P(V) over `variables`
+  kConditional,  ///< P(V | evidence)
+  kPairMi,       ///< I(X_i; X_j) with variables = {i, j}
+};
+
+/// One request of a mixed workload.
+struct ServeQuery {
+  QueryKind kind = QueryKind::kMarginal;
+  std::vector<std::size_t> variables;
+  std::vector<Evidence> evidence;  ///< kConditional only
+};
+
+struct ServeResult {
+  std::uint64_t version = 0;  ///< snapshot version that answered
+  bool cache_hit = false;
+  bool ok = true;             ///< false only from serve_batch (error captured)
+  std::string error;          ///< populated when !ok
+  /// The distribution in MarginalTable layout for kMarginal/kConditional;
+  /// a single element — I(X_i;X_j) in nats — for kPairMi.
+  std::vector<double> values;
+};
+
+class ServeEngine {
+ public:
+  /// Borrows `store`; it must outlive the engine.
+  explicit ServeEngine(TableStore& store, ServeOptions options = {});
+
+  /// P(V). Throws PreconditionError on invalid variables.
+  ServeResult marginal(std::span<const std::size_t> variables);
+
+  /// P(V | evidence). Throws DataError on zero-support evidence; the failed
+  /// answer is never cached.
+  ServeResult conditional(std::span<const std::size_t> variables,
+                          std::span<const Evidence> evidence);
+
+  /// I(X_i; X_j) in nats, from the pair marginal of the current snapshot.
+  ServeResult pair_mi(std::size_t i, std::size_t j);
+
+  /// Dispatches one ServeQuery to the matching method above.
+  ServeResult serve(const ServeQuery& query);
+
+  /// Runs a mixed workload across `pool`, one contiguous block of queries
+  /// per worker. Per-query failures are captured in the result (ok = false)
+  /// instead of aborting the batch — a serving layer answers what it can.
+  std::vector<ServeResult> serve_batch(std::span<const ServeQuery> queries,
+                                       ThreadPool& pool);
+
+  /// Publishes `batch` as the next snapshot version (TableStore::ingest) and
+  /// invalidates cached answers of superseded versions. Throws without
+  /// publishing on failure; the served version is untouched.
+  IngestStats ingest(const Dataset& batch);
+
+  [[nodiscard]] CacheStats cache_stats() const noexcept {
+    return cache_.stats();
+  }
+  [[nodiscard]] const TableStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const ServeOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  ServeResult answer(QueryKind kind, std::span<const std::size_t> variables,
+                     std::span<const Evidence> evidence);
+  [[nodiscard]] std::vector<double> compute(
+      const PotentialTable& table, QueryKind kind,
+      std::span<const std::size_t> variables,
+      std::span<const Evidence> evidence) const;
+
+  TableStore* store_;
+  ServeOptions options_;
+  ResultCache cache_;
+};
+
+}  // namespace wfbn::serve

@@ -1,0 +1,43 @@
+// The unit of publication in the serving layer: an immutable, versioned
+// potential table.
+//
+// A Snapshot is created once (by TableStore's constructor or its ingestion
+// path), published through the wait-free cell in serve/snapshot_cell.hpp,
+// and never mutated again. Readers pin whatever version the publish hands
+// them for the duration of one query — the shared_ptr keeps superseded versions alive until their last
+// in-flight reader drops out, so a publish never invalidates memory a
+// concurrent query is sweeping. The version number is what the result cache
+// keys on (see serve/result_cache.hpp): answers computed against version v
+// can never be served for version v+1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "table/potential_table.hpp"
+
+namespace wfbn::serve {
+
+class Snapshot {
+ public:
+  Snapshot(PotentialTable table, std::uint64_t version)
+      : table_(std::move(table)), version_(version) {}
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  [[nodiscard]] const PotentialTable& table() const noexcept { return table_; }
+
+  /// 1-based publication counter; the initial table is version 1.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  PotentialTable table_;
+  std::uint64_t version_;
+};
+
+/// How readers hold a snapshot: shared ownership, immutable payload.
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+}  // namespace wfbn::serve

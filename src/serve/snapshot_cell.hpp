@@ -1,0 +1,96 @@
+// SnapshotCell: a wait-free published pointer cell (the "left-right"
+// construction of Ramalhete & Correia), used by TableStore to hand the
+// current snapshot to readers.
+//
+// Why not std::atomic<std::shared_ptr>? libstdc++'s _Sp_atomic guards its
+// internal pointer with a spin bit but releases it with a relaxed RMW on the
+// read path, so a reader load racing a writer store is a data race under the
+// C++ memory model (ThreadSanitizer reports it). This cell provides the same
+// interface on top of plainly-ordered atomics, and makes the reader side
+// *wait-free* rather than lock-bit-spinning:
+//
+//  - load(): two seq_cst RMW/loads, one shared_ptr copy, one release RMW.
+//    No loops, no CAS retries, never blocked by a writer — a publish in
+//    flight hands the reader either the old or the new snapshot, complete.
+//  - store(): single-writer (TableStore serializes publishes behind its
+//    ingest mutex). Writes the instance readers are NOT looking at, toggles
+//    which instance readers use, then waits for the straggler cohorts to
+//    drain before reusing the other instance. Writers wait; readers don't —
+//    the same asymmetry the paper's primitives put at construction time.
+//
+// Correctness sketch (the left-right invariant): a reader copies
+// instances_[lr] only after announcing itself on the read indicator chosen
+// by version_index_; the writer only writes an instance after both drain
+// phases observe the indicators at zero, which (via the seq_cst total order
+// on arrive/toggle and the acquire/release pairing on depart/drain) implies
+// every reader that could have been copying that instance has finished.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "serve/snapshot.hpp"
+
+namespace wfbn::serve {
+
+class SnapshotCell {
+ public:
+  explicit SnapshotCell(SnapshotPtr initial) noexcept {
+    instances_[0] = std::move(initial);
+    instances_[1] = instances_[0];
+  }
+
+  SnapshotCell(const SnapshotCell&) = delete;
+  SnapshotCell& operator=(const SnapshotCell&) = delete;
+
+  /// Wait-free reader side: pins and returns the currently published
+  /// snapshot. Safe from any thread, any number of concurrent readers.
+  [[nodiscard]] SnapshotPtr load() const noexcept {
+    const std::size_t vi = version_index_.load(std::memory_order_seq_cst);
+    readers_[vi].count.fetch_add(1, std::memory_order_seq_cst);
+    const std::size_t lr = left_right_.load(std::memory_order_seq_cst);
+    SnapshotPtr result = instances_[lr];
+    readers_[vi].count.fetch_sub(1, std::memory_order_release);
+    return result;
+  }
+
+  /// Publishes `next`. SINGLE WRITER: callers must serialize store() calls
+  /// externally (TableStore holds its ingest mutex across this). May wait
+  /// for in-flight readers to drain; never makes a reader wait.
+  void store(SnapshotPtr next) noexcept {
+    const std::size_t lr = left_right_.load(std::memory_order_relaxed);
+    // No reader copies instances_[1 - lr]: stragglers from the previous
+    // publish were drained before it was last written.
+    instances_[1 - lr] = next;
+    left_right_.store(1 - lr, std::memory_order_seq_cst);
+
+    const std::size_t vi = version_index_.load(std::memory_order_relaxed);
+    drain(1 - vi);
+    version_index_.store(1 - vi, std::memory_order_seq_cst);
+    drain(vi);
+    // Both cohorts that could have been copying instances_[lr] are gone.
+    instances_[lr] = std::move(next);
+  }
+
+ private:
+  void drain(std::size_t vi) const noexcept {
+    std::size_t spins = 0;
+    while (readers_[vi].count.load(std::memory_order_acquire) != 0) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+
+  // Read indicators on separate cache lines: every reader RMWs one of them.
+  struct alignas(64) Indicator {
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  SnapshotPtr instances_[2];
+  std::atomic<std::size_t> left_right_{0};    ///< which instance readers copy
+  std::atomic<std::size_t> version_index_{0};  ///< which indicator they use
+  mutable Indicator readers_[2];
+};
+
+}  // namespace wfbn::serve

@@ -1,0 +1,77 @@
+// TableStore: the versioned snapshot store at the heart of the serving layer.
+//
+// The store extends the paper's wait-free, single-writer philosophy from
+// construction time to serving time. The reader side is a wait-free snapshot
+// pin (serve/snapshot_cell.hpp) — readers are never blocked by an in-progress
+// ingest, never observe a torn table, and keep their pinned version alive for
+// as long as their query runs. The writer side folds an incoming observation batch into
+// a *shadow copy* of the current snapshot with WaitFreeBuilder::append_shadow
+// (reusing append()'s staged, strong-exception-guarantee kernel) and only
+// then publishes the copy as version v+1 with one atomic swap. A failed
+// ingest — bad batch, worker throw, injected fault — discards the shadow and
+// leaves the served version untouched and retryable.
+//
+// Concurrency contract:
+//  - current()/version(): safe from any thread, wait-free, O(1).
+//  - ingest(): safe from any thread; concurrent ingestors are serialized by a
+//    writer mutex that readers never touch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/wait_free_builder.hpp"
+#include "data/dataset.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_cell.hpp"
+
+namespace wfbn::serve {
+
+/// What one successful ingest()/publish did.
+struct IngestStats {
+  std::uint64_t published_version = 0;
+  std::uint64_t batch_rows = 0;
+  double shadow_seconds = 0.0;  ///< deep copy + wait-free fold into the shadow
+  double total_seconds = 0.0;   ///< shadow + publish (and writer-lock wait)
+};
+
+class TableStore {
+ public:
+  /// Takes ownership of `initial` and publishes it as version 1.
+  /// `ingest_options` configure the builder the ingestion path uses (worker
+  /// count, pinning, pipeline batch — see WaitFreeBuilderOptions).
+  explicit TableStore(PotentialTable initial,
+                      WaitFreeBuilderOptions ingest_options = {});
+
+  /// The currently served snapshot. Wait-free; never returns null.
+  [[nodiscard]] SnapshotPtr current() const noexcept {
+    return current_.load();
+  }
+
+  /// Version of the currently served snapshot.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return current()->version();
+  }
+
+  /// Folds `batch` into a shadow copy of the current snapshot and publishes
+  /// it as the next version. Throws (DataError on a mismatched batch,
+  /// InjectedFault under test schedules, whatever the fold propagates)
+  /// WITHOUT changing the served snapshot; the call may simply be retried.
+  IngestStats ingest(const Dataset& batch);
+
+  /// Snapshots published so far, including the initial one. Monotonic;
+  /// equals the current version unless a publish is in flight.
+  [[nodiscard]] std::uint64_t published_count() const noexcept {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SnapshotCell current_;
+  std::mutex ingest_mutex_;              ///< serializes writers only
+  WaitFreeBuilder builder_;              ///< guarded by ingest_mutex_
+  std::atomic<std::uint64_t> publishes_{1};
+};
+
+}  // namespace wfbn::serve

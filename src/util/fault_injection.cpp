@@ -51,6 +51,8 @@ const char* point_name(Point point) noexcept {
     case Point::kAppendCommit: return "builder.append_commit";
     case Point::kMarginalizeSweep: return "marginalizer.sweep";
     case Point::kMiSweep: return "all_pairs_mi.sweep";
+    case Point::kServePublish: return "serve.publish";
+    case Point::kServeCache: return "serve.cache_insert";
   }
   return "unknown";
 }
@@ -100,13 +102,13 @@ std::uint64_t hits(Point point) noexcept {
 }
 
 std::string arm_random_schedule(std::uint64_t seed) {
-  // Only throwing points participate: spawn/pin arming changes behavior via
-  // degradation instead of an error, which the fuzz sweep exercises
-  // separately from its match-or-typed-error oracle.
+  // Only throwing points participate: spawn/pin/cache-insert arming changes
+  // behavior via degradation instead of an error, which the fuzz sweeps
+  // exercise separately from their match-or-typed-error oracle.
   static constexpr Point kThrowing[] = {
       Point::kSpscChunkAlloc, Point::kStage1Row,  Point::kBarrier,
       Point::kStage2Drain,    Point::kPipelineDrain, Point::kAppendCommit,
-      Point::kMarginalizeSweep, Point::kMiSweep,
+      Point::kMarginalizeSweep, Point::kMiSweep, Point::kServePublish,
   };
   constexpr std::size_t kThrowingCount = sizeof kThrowing / sizeof kThrowing[0];
   reset();

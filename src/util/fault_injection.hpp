@@ -43,8 +43,12 @@ enum class Point : int {
   kAppendCommit,      ///< append(), after staging and before the commit
   kMarginalizeSweep,  ///< marginalizer worker, once per swept partition
   kMiSweep,           ///< all-pairs-MI worker, once per unit of sweep work
+  kServePublish,      ///< TableStore::ingest, after the shadow fold and
+                      ///< before the atomic snapshot swap
+  kServeCache,        ///< ResultCache::insert, before storing a computed
+                      ///< answer (degrades: the answer is served uncached)
 };
-inline constexpr int kPointCount = static_cast<int>(Point::kMiSweep) + 1;
+inline constexpr int kPointCount = static_cast<int>(Point::kServeCache) + 1;
 
 [[nodiscard]] const char* point_name(Point point) noexcept;
 

@@ -42,6 +42,13 @@
 #include "core/wait_free_builder.hpp"
 #include "core/wide_builder.hpp"
 
+// serving: versioned snapshots + concurrent query serving
+#include "serve/result_cache.hpp"
+#include "serve/serve_engine.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_cell.hpp"
+#include "serve/table_store.hpp"
+
 // baselines
 #include "baselines/builders.hpp"
 

@@ -94,6 +94,28 @@ TEST(QueryEngine, MostProbableState) {
   EXPECT_NEAR(cond.probability, 0.75, 1e-12);
 }
 
+TEST(QueryEngine, BorrowedPoolAndInlinePathsMatchOwnedPool) {
+  // The serving layer relies on all three evaluation modes — inline
+  // (threads == 1), transient owned pool, and borrowed pool — producing
+  // bit-identical distributions.
+  const Dataset data = generate_chain_correlated(5000, 8, 2, 0.8, 0x99);
+  const PotentialTable table = build(data, 4);
+  const QueryEngine inline_engine(table, 1);
+  const QueryEngine owned(table, 3);
+  ThreadPool pool(3);
+  const QueryEngine borrowed(table, pool);
+
+  const std::size_t vars[] = {0, 2};
+  const Evidence e[] = {{1, 0}};
+  EXPECT_EQ(inline_engine.marginal(vars), owned.marginal(vars));
+  EXPECT_EQ(inline_engine.marginal(vars), borrowed.marginal(vars));
+  EXPECT_EQ(inline_engine.conditional(vars, e), owned.conditional(vars, e));
+  EXPECT_EQ(inline_engine.conditional(vars, e), borrowed.conditional(vars, e));
+  // A borrowed pool is reusable across queries and engines.
+  EXPECT_EQ(QueryEngine(table, pool).evidence_probability(e),
+            inline_engine.evidence_probability(e));
+}
+
 TEST(QueryEngine, ZeroSupportEvidenceThrows) {
   // All rows have X0 ∈ {0,1}; evidence on an unobserved *combination*.
   std::vector<State> cells = {0, 0, 0, 0};  // two rows of (0,0)

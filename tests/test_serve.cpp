@@ -1,0 +1,416 @@
+// Tests for the serving layer (src/serve): the versioned snapshot store, the
+// sharded result cache, and the ServeEngine front end.
+//
+// The three contracts under test mirror docs/SERVING.md:
+//  1. Publication atomicity — a reader concurrent with any number of
+//     publishes only ever observes complete versions, never a torn or
+//     partially appended table.
+//  2. Cache transparency — cached answers are byte-identical to an uncached
+//     QueryEngine over the same snapshot, across version bumps.
+//  3. Failure semantics — a failed publish (injected or real) leaves the
+//     served version untouched and retryable; a failed cache insert degrades
+//     to an uncached (still correct) answer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/info_theory.hpp"
+#include "core/query.hpp"
+#include "core/wait_free_builder.hpp"
+#include "data/generators.hpp"
+#include "serve/serve_engine.hpp"
+#include "serve/table_store.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+
+namespace wfbn {
+namespace {
+
+using serve::CacheStats;
+using serve::IngestStats;
+using serve::QueryKind;
+using serve::ServeEngine;
+using serve::ServeOptions;
+using serve::ServeQuery;
+using serve::ServeResult;
+using serve::SnapshotPtr;
+using serve::TableStore;
+
+PotentialTable build(const Dataset& data, std::size_t threads = 4) {
+  WaitFreeBuilderOptions options;
+  options.threads = threads;
+  WaitFreeBuilder builder(options);
+  return builder.build(data);
+}
+
+std::map<Key, std::uint64_t> key_counts(const Dataset& data) {
+  const KeyCodec codec = data.codec();
+  std::map<Key, std::uint64_t> counts;
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    ++counts[codec.encode(data.row(i))];
+  }
+  return counts;
+}
+
+std::map<Key, std::uint64_t> table_counts(const PotentialTable& table) {
+  std::map<Key, std::uint64_t> counts;
+  table.partitions().for_each(
+      [&](Key key, std::uint64_t c) { counts[key] += c; });
+  return counts;
+}
+
+/// Exact bytewise equality of two double vectors (the cache-transparency
+/// contract is bit-identical answers, not approximately-equal ones).
+bool bytes_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(TableStore, InitialSnapshotIsVersionOne) {
+  const Dataset data = generate_uniform(2000, 8, 2, 0x51);
+  TableStore store(build(data));
+  const SnapshotPtr snap = store.current();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), 1u);
+  EXPECT_EQ(store.version(), 1u);
+  EXPECT_EQ(store.published_count(), 1u);
+  EXPECT_EQ(table_counts(snap->table()), key_counts(data));
+}
+
+TEST(TableStore, IngestPublishesNextVersionAndPinsOldOnes) {
+  const Dataset base = generate_uniform(2000, 8, 2, 0x52);
+  const Dataset batch1 = generate_uniform(1500, 8, 2, 0x53);
+  const Dataset batch2 = generate_uniform(1000, 8, 2, 0x54);
+  TableStore store(build(base));
+
+  // A reader that pinned version 1 keeps an intact version 1 across both
+  // publishes — that is the whole point of snapshot serving.
+  const SnapshotPtr pinned = store.current();
+  const auto base_reference = key_counts(base);
+
+  const IngestStats s1 = store.ingest(batch1);
+  EXPECT_EQ(s1.published_version, 2u);
+  EXPECT_EQ(s1.batch_rows, batch1.sample_count());
+  const IngestStats s2 = store.ingest(batch2);
+  EXPECT_EQ(s2.published_version, 3u);
+  EXPECT_EQ(store.version(), 3u);
+  EXPECT_EQ(store.published_count(), 3u);
+
+  std::map<Key, std::uint64_t> combined = base_reference;
+  for (const auto& [key, c] : key_counts(batch1)) combined[key] += c;
+  for (const auto& [key, c] : key_counts(batch2)) combined[key] += c;
+  EXPECT_EQ(table_counts(store.current()->table()), combined);
+  EXPECT_EQ(store.current()->table().sample_count(),
+            base.sample_count() + batch1.sample_count() + batch2.sample_count());
+
+  EXPECT_EQ(pinned->version(), 1u);
+  EXPECT_EQ(table_counts(pinned->table()), base_reference);
+}
+
+TEST(TableStore, IngestRejectsMismatchedBatchWithoutPublishing) {
+  const Dataset base = generate_uniform(2000, 8, 2, 0x55);
+  TableStore store(build(base));
+  const Dataset wrong_arity = generate_uniform(500, 9, 2, 0x56);
+  EXPECT_THROW((void)store.ingest(wrong_arity), DataError);
+  EXPECT_EQ(store.version(), 1u);
+  EXPECT_EQ(table_counts(store.current()->table()), key_counts(base));
+}
+
+// Contract 1: concurrent readers during a stream of >= 8 publishes observe
+// only fully published versions. Completeness oracle: for version v the
+// sample count must be exactly m0 + (v-1)·mb, and the partition counts must
+// sum to the sample count (a torn/partial fold would break either). Run under
+// TSan this also proves the publish edge orders the shadow fold's writes.
+TEST(TableStore, ConcurrentReadersSeeOnlyCompleteVersions) {
+  constexpr std::size_t kBaseRows = 1500;
+  constexpr std::size_t kBatchRows = 800;
+  constexpr std::size_t kBatches = 8;
+  constexpr std::size_t kReaders = 3;
+
+  const Dataset base = generate_uniform(kBaseRows, 8, 2, 0x61);
+  TableStore store(build(base));
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> observations{0};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_version = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const SnapshotPtr snap = store.current();
+        const std::uint64_t v = snap->version();
+        const std::uint64_t expected_m =
+            kBaseRows + (v - 1) * static_cast<std::uint64_t>(kBatchRows);
+        if (v < last_version || v > kBatches + 1 ||
+            snap->table().sample_count() != expected_m ||
+            snap->table().partitions().total_count() != expected_m) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        last_version = v;
+        observations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    const Dataset batch = generate_uniform(kBatchRows, 8, 2, 0x62 + b);
+    const IngestStats stats = store.ingest(batch);
+    EXPECT_EQ(stats.published_version, b + 2);
+    // Give readers a beat on single-core hosts so they actually interleave
+    // with distinct versions instead of only seeing the final one.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(observations.load(), 0u);
+  EXPECT_EQ(store.version(), kBatches + 1);
+}
+
+// Contract 2: every cached answer is byte-identical to an uncached
+// QueryEngine over the same table, and repeated queries are served from the
+// cache.
+TEST(ServeEngine, CachedAnswersMatchUncachedQueryEngine) {
+  const Dataset data = generate_chain_correlated(6000, 8, 2, 0.8, 0x71);
+  TableStore store(build(data));
+  ServeEngine engine(store);
+  const QueryEngine reference(store.current()->table(), 1);
+
+  const std::vector<std::vector<std::size_t>> marginals = {
+      {0}, {3}, {0, 1}, {2, 5}, {0, 1, 2}};
+  const std::vector<Evidence> evidence = {{1, 0}};
+
+  for (int round = 0; round < 2; ++round) {
+    const bool expect_hit = round == 1;
+    for (const std::vector<std::size_t>& vars : marginals) {
+      const ServeResult served = engine.marginal(vars);
+      EXPECT_EQ(served.version, 1u);
+      EXPECT_EQ(served.cache_hit, expect_hit);
+      EXPECT_TRUE(bytes_equal(served.values, reference.marginal(vars)));
+    }
+    const std::size_t cond_vars[] = {0};
+    const ServeResult cond = engine.conditional(cond_vars, evidence);
+    EXPECT_EQ(cond.cache_hit, expect_hit);
+    EXPECT_TRUE(bytes_equal(cond.values,
+                            reference.conditional(cond_vars, evidence)));
+    const ServeResult mi = engine.pair_mi(0, 1);
+    EXPECT_EQ(mi.cache_hit, expect_hit);
+    ASSERT_EQ(mi.values.size(), 1u);
+    const std::size_t pair[] = {0, 1};
+    const double expected_mi = mutual_information(
+        store.current()->table().marginalize_sequential(pair));
+    EXPECT_EQ(mi.values[0], expected_mi);
+  }
+
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, marginals.size() + 2);
+  EXPECT_EQ(stats.misses, marginals.size() + 2);
+  EXPECT_EQ(stats.insertions, marginals.size() + 2);
+}
+
+TEST(ServeEngine, PublishInvalidatesAndRecomputesAgainstNewVersion) {
+  const Dataset base = generate_chain_correlated(4000, 8, 2, 0.8, 0x72);
+  const Dataset batch = generate_chain_correlated(4000, 8, 2, 0.8, 0x73);
+  TableStore store(build(base));
+  ServeEngine engine(store);
+
+  const std::size_t vars[] = {0, 1};
+  const ServeResult before = engine.marginal(vars);
+  EXPECT_EQ(before.version, 1u);
+  EXPECT_FALSE(before.cache_hit);
+  EXPECT_TRUE(engine.marginal(vars).cache_hit);
+
+  const IngestStats ingest = engine.ingest(batch);
+  EXPECT_EQ(ingest.published_version, 2u);
+  EXPECT_GT(engine.cache_stats().invalidated_entries, 0u);
+
+  const ServeResult after = engine.marginal(vars);
+  EXPECT_EQ(after.version, 2u);
+  EXPECT_FALSE(after.cache_hit);  // version bump ⇒ the old entry cannot serve
+  const QueryEngine reference(store.current()->table(), 1);
+  EXPECT_TRUE(bytes_equal(after.values, reference.marginal(vars)));
+  // The distributions genuinely differ between versions for this workload.
+  EXPECT_FALSE(bytes_equal(before.values, after.values));
+  EXPECT_TRUE(engine.marginal(vars).cache_hit);
+}
+
+TEST(ServeEngine, ZeroSupportEvidenceThrowsAndIsNeverCached) {
+  // Two constant rows: evidence X0=1 has zero support.
+  std::vector<State> cells = {0, 0, 0, 0};
+  const Dataset data(2, {2, 2}, std::move(cells));
+  TableStore store(build(data, 1));
+  ServeEngine engine(store);
+  const std::size_t vars[] = {1};
+  const std::vector<Evidence> impossible = {{0, 1}};
+  EXPECT_THROW((void)engine.conditional(vars, impossible), DataError);
+  EXPECT_THROW((void)engine.conditional(vars, impossible), DataError);
+  EXPECT_EQ(engine.cache_stats().insertions, 0u);
+}
+
+TEST(ServeEngine, ServeBatchDispatchesMixedWorkloadAcrossPool) {
+  const Dataset data = generate_chain_correlated(5000, 8, 2, 0.8, 0x74);
+  TableStore store(build(data));
+  ServeEngine engine(store);
+  const QueryEngine reference(store.current()->table(), 1);
+
+  std::vector<ServeQuery> queries;
+  queries.push_back({QueryKind::kMarginal, {0}, {}});
+  queries.push_back({QueryKind::kMarginal, {1, 2}, {}});
+  queries.push_back({QueryKind::kConditional, {0}, {Evidence{1, 0}}});
+  queries.push_back({QueryKind::kPairMi, {0, 1}, {}});
+  queries.push_back({QueryKind::kMarginal, {0}, {}});  // repeat of [0]
+  // An invalid query must fail alone, not abort the batch.
+  queries.push_back({QueryKind::kConditional, {0}, {Evidence{9, 0}}});
+
+  ThreadPool pool(4);
+  const std::vector<ServeResult> results = engine.serve_batch(queries, pool);
+  ASSERT_EQ(results.size(), queries.size());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(results[i].ok) << "query " << i << ": " << results[i].error;
+    EXPECT_EQ(results[i].version, 1u);
+  }
+  EXPECT_TRUE(bytes_equal(results[0].values, reference.marginal(queries[0].variables)));
+  EXPECT_TRUE(bytes_equal(results[1].values, reference.marginal(queries[1].variables)));
+  EXPECT_TRUE(bytes_equal(
+      results[2].values,
+      reference.conditional(queries[2].variables, queries[2].evidence)));
+  EXPECT_TRUE(bytes_equal(results[4].values, results[0].values));
+  EXPECT_FALSE(results[5].ok);
+  EXPECT_FALSE(results[5].error.empty());
+}
+
+// Contract 3a: an injected fault at the publish point aborts the ingest
+// without changing the served snapshot, and the ingest is retryable.
+TEST(ServeFaults, FailedPublishLeavesServedVersionUntouchedAndRetryable) {
+  const Dataset base = generate_uniform(3000, 8, 2, 0x81);
+  const Dataset batch = generate_uniform(2000, 8, 2, 0x82);
+  TableStore store(build(base));
+  const auto base_reference = key_counts(base);
+
+  fault::ScopedFaultInjection injection;
+  fault::arm(fault::Point::kServePublish, 1);
+  EXPECT_THROW((void)store.ingest(batch), InjectedFault);
+  EXPECT_EQ(store.version(), 1u);
+  EXPECT_EQ(store.published_count(), 1u);
+  EXPECT_EQ(table_counts(store.current()->table()), base_reference);
+  EXPECT_TRUE(store.current()->table().validate());
+
+  // Retry with the schedule cleared: the same batch publishes cleanly.
+  fault::reset();
+  const IngestStats stats = store.ingest(batch);
+  EXPECT_EQ(stats.published_version, 2u);
+  std::map<Key, std::uint64_t> combined = base_reference;
+  for (const auto& [key, c] : key_counts(batch)) combined[key] += c;
+  EXPECT_EQ(table_counts(store.current()->table()), combined);
+}
+
+// Contract 3b: a cache-insert fault degrades to an uncached answer — the
+// query still succeeds with the exact value, it is just recomputed next time.
+TEST(ServeFaults, CacheInsertFaultDegradesToUncachedAnswer) {
+  const Dataset data = generate_uniform(3000, 8, 2, 0x83);
+  TableStore store(build(data));
+  ServeEngine engine(store);
+  const QueryEngine reference(store.current()->table(), 1);
+  const std::size_t vars[] = {0, 1};
+
+  fault::ScopedFaultInjection injection;
+  fault::arm(fault::Point::kServeCache, 1);
+  const ServeResult dropped = engine.marginal(vars);
+  EXPECT_FALSE(dropped.cache_hit);
+  EXPECT_TRUE(bytes_equal(dropped.values, reference.marginal(vars)));
+  EXPECT_EQ(engine.cache_stats().dropped_inserts, 1u);
+  EXPECT_EQ(engine.cache_stats().insertions, 0u);
+
+  // The armed hit has fired; subsequent inserts land and hits resume.
+  const ServeResult recomputed = engine.marginal(vars);
+  EXPECT_FALSE(recomputed.cache_hit);
+  EXPECT_TRUE(bytes_equal(recomputed.values, dropped.values));
+  EXPECT_TRUE(engine.marginal(vars).cache_hit);
+}
+
+// Contract 3 under randomized schedules (the PR 1 fuzz harness pointed at the
+// ingest/publish path): any schedule either publishes the exact combined
+// table or throws a typed error with the served snapshot bit-identical to the
+// pre-ingest state. Interleaved queries must always match an uncached engine
+// over whatever version is being served.
+TEST(ServeFaults, RandomFaultSchedulesThroughIngestPublishPath) {
+  const Dataset base = generate_uniform(2500, 8, 2, 0x91);
+  std::vector<Dataset> batches;
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    batches.push_back(generate_uniform(1200, 8, 2, 0x92 + b));
+  }
+
+  WaitFreeBuilderOptions ingest_options;
+  ingest_options.threads = 4;
+  TableStore store(build(base), ingest_options);
+  ServeEngine engine(store);
+
+  std::map<Key, std::uint64_t> expected = key_counts(base);
+  std::uint64_t expected_version = 1;
+  Xoshiro256 meta_rng(0xFA03);
+  int published = 0, faulted = 0;
+
+  for (std::uint64_t round = 0; round < 60; ++round) {
+    const Dataset& batch = batches[round % batches.size()];
+
+    fault::ScopedFaultInjection injection;
+    const std::string schedule = fault::arm_random_schedule(meta_rng());
+    SCOPED_TRACE("round " + std::to_string(round) + " schedule={" + schedule +
+                 "}");
+    try {
+      const IngestStats stats = engine.ingest(batch);
+      ++expected_version;
+      for (const auto& [key, c] : key_counts(batch)) expected[key] += c;
+      ASSERT_EQ(stats.published_version, expected_version);
+      ++published;
+    } catch (const InjectedFault&) {
+      ++faulted;
+    }
+    // Whatever happened, the served snapshot is exactly the expected state.
+    const SnapshotPtr snap = store.current();
+    ASSERT_EQ(snap->version(), expected_version);
+    ASSERT_EQ(table_counts(snap->table()), expected);
+    ASSERT_TRUE(snap->table().validate());
+
+    // And a query through the (fault-armed!) serving path matches an
+    // uncached reference engine bit for bit.
+    const std::size_t vars[] = {round % 8};
+    const ServeResult served = engine.marginal(vars);
+    ASSERT_EQ(served.version, expected_version);
+    ASSERT_TRUE(bytes_equal(served.values,
+                            QueryEngine(snap->table(), 1).marginal(vars)));
+  }
+  EXPECT_GT(published, 0);
+  EXPECT_GT(faulted, 0) << published << " published";
+}
+
+TEST(ResultCache, EvictionReclaimsSupersededVersionsFirst) {
+  serve::ResultCache cache(1, 4);  // one shard, tiny capacity
+  auto key = [](std::uint64_t version, std::uint64_t payload) {
+    return serve::CacheKey({version, payload});
+  };
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    cache.insert(key(1, p), {static_cast<double>(p)});
+  }
+  EXPECT_EQ(cache.entry_count(), 4u);
+  // The shard is full; inserting a version-2 key evicts the stale entries.
+  cache.insert(key(2, 0), {42.0});
+  EXPECT_EQ(cache.entry_count(), 1u);
+  ASSERT_TRUE(cache.lookup(key(2, 0)).has_value());
+  EXPECT_EQ(cache.stats().evicted_entries, 4u);
+  EXPECT_FALSE(cache.lookup(key(1, 0)).has_value());
+}
+
+}  // namespace
+}  // namespace wfbn
