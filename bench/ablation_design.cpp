@@ -10,7 +10,6 @@
 #include "bench/bench_common.hpp"
 #include "core/all_pairs_mi.hpp"
 #include "core/wait_free_builder.hpp"
-#include "core/wide_builder.hpp"
 #include "bn/metrics.hpp"
 #include "bn/repository.hpp"
 #include "bn/sampling.hpp"

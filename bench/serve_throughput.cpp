@@ -6,6 +6,11 @@
 // pacing the whole time. Reported per configuration: queries/sec (total and
 // per reader), cache hit rate, versions published, and rows ingested/sec.
 //
+// The sweep runs twice through the same key-trait-templated harness: once
+// over a narrow (64-bit key) store and once over a wide (two-word key) store
+// at a variable count past the 64-bit limit, so the perf trajectory tracks
+// both widths from the same binary.
+//
 // Readers take no locks on the hot path — snapshot acquisition is one atomic
 // shared_ptr load and the table sweep runs on immutable data — so on a
 // machine with enough cores reader throughput scales with R while ingestion
@@ -32,7 +37,11 @@
 
 namespace {
 
+using namespace wfbn;
+
 struct ConfigResult {
+  const char* width = "narrow";
+  std::size_t variables = 0;
   std::size_t readers = 0;
   double seconds = 0.0;
   std::uint64_t queries = 0;
@@ -50,58 +59,44 @@ struct ConfigResult {
   }
 };
 
-}  // namespace
+struct SweepConfig {
+  std::size_t samples = 0;
+  std::size_t variables = 0;
+  std::size_t threads = 0;
+  std::size_t duration_ms = 0;
+  std::size_t ingest_batch = 0;
+  std::size_t ingest_period_ms = 0;
+  std::uint64_t seed = 0;
+};
 
-int main(int argc, char** argv) {
-  using namespace wfbn;
-
-  CliParser cli("serve_throughput — mixed read/write serving throughput");
-  cli.add_option("samples", "20000", "Initial table rows (version 1)");
-  cli.add_option("variables", "10", "Binary variables");
-  cli.add_option("threads", "4", "Builder threads (= table partitions)");
-  cli.add_option("readers", "1,2,4", "Reader-thread counts to sweep");
-  cli.add_option("duration-ms", "300", "Measured window per configuration");
-  cli.add_option("ingest-batch", "2000", "Rows per published batch");
-  cli.add_option("ingest-period-ms", "10", "Pacing between publishes");
-  cli.add_option("seed", "42", "Workload seed");
-  cli.add_option("json-out", "BENCH_serve_throughput.json",
-                 "JSON datapoint path (empty disables the file)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
-  const auto n = static_cast<std::size_t>(cli.get_int("variables"));
-  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
-  const auto duration_ms = static_cast<std::size_t>(cli.get_int("duration-ms"));
-  const auto ingest_batch = static_cast<std::size_t>(cli.get_int("ingest-batch"));
-  const auto ingest_period_ms =
-      static_cast<std::size_t>(cli.get_int("ingest-period-ms"));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  const std::string json_out = cli.get("json-out");
-
-  std::vector<std::size_t> reader_counts;
-  for (const std::int64_t r : cli.get_int_list("readers")) {
-    reader_counts.push_back(static_cast<std::size_t>(r));
-  }
+/// One reader-count sweep over a store of key type K. The workload, pacing,
+/// and measurement are identical across widths; only the key representation
+/// (and thus the variable count the codec can hold) differs.
+template <typename K>
+void run_sweep(const SweepConfig& config,
+               const std::vector<std::size_t>& reader_counts,
+               std::vector<ConfigResult>& results) {
+  const std::size_t n = config.variables;
 
   WaitFreeBuilderOptions build_options;
-  build_options.threads = threads;
+  build_options.threads = config.threads;
 
   // Pre-generate the ingest batches once; the ingest thread cycles them.
   std::vector<Dataset> batches;
   for (std::uint64_t b = 0; b < 8; ++b) {
-    batches.push_back(
-        generate_chain_correlated(ingest_batch, n, 2, 0.8, seed + 100 + b));
+    batches.push_back(generate_chain_correlated(config.ingest_batch, n, 2, 0.8,
+                                                config.seed + 100 + b));
   }
 
-  std::vector<ConfigResult> results;
   for (const std::size_t readers : reader_counts) {
     // Fresh store + engine per configuration so versions and cache state
     // start identical across the sweep.
-    serve::TableStore store(
-        WaitFreeBuilder(build_options)
-            .build(generate_chain_correlated(samples, n, 2, 0.8, seed)),
+    serve::BasicTableStore<K> store(
+        BasicWaitFreeBuilder<K>(build_options)
+            .build(generate_chain_correlated(config.samples, n, 2, 0.8,
+                                             config.seed)),
         build_options);
-    serve::ServeEngine engine(store);
+    serve::BasicServeEngine<K> engine(store);
 
     std::atomic<bool> stop{false};
     std::vector<std::uint64_t> queries(readers, 0);
@@ -151,17 +146,19 @@ int main(int argc, char** argv) {
         ++published;
         rows += batch.sample_count();
         std::this_thread::sleep_for(
-            std::chrono::milliseconds(ingest_period_ms));
+            std::chrono::milliseconds(config.ingest_period_ms));
       }
     });
 
     Timer window;
-    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(config.duration_ms));
     stop.store(true, std::memory_order_release);
     for (std::thread& t : reader_threads) t.join();
     ingest_thread.join();
 
     ConfigResult cr;
+    cr.width = KeyTraits<K>::kWidthName;
+    cr.variables = n;
     cr.readers = readers;
     cr.seconds = window.seconds();
     for (std::size_t r = 0; r < readers; ++r) {
@@ -172,11 +169,58 @@ int main(int argc, char** argv) {
     cr.rows_ingested = rows;
     results.push_back(cr);
   }
+}
 
-  TablePrinter table({"readers", "queries/s", "per-reader q/s", "cache hit %",
-                      "versions", "ingest rows/s"});
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("serve_throughput — mixed read/write serving throughput");
+  cli.add_option("samples", "20000", "Initial table rows (version 1)");
+  cli.add_option("variables", "10", "Binary variables (narrow store)");
+  cli.add_option("wide-variables", "100",
+                 "Binary variables for the wide-key store (0 disables the "
+                 "wide sweep)");
+  cli.add_option("threads", "4", "Builder threads (= table partitions)");
+  cli.add_option("readers", "1,2,4", "Reader-thread counts to sweep");
+  cli.add_option("duration-ms", "300", "Measured window per configuration");
+  cli.add_option("ingest-batch", "2000", "Rows per published batch");
+  cli.add_option("ingest-period-ms", "10", "Pacing between publishes");
+  cli.add_option("seed", "42", "Workload seed");
+  cli.add_option("json-out", "BENCH_serve_throughput.json",
+                 "JSON datapoint path (empty disables the file)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  SweepConfig config;
+  config.samples = static_cast<std::size_t>(cli.get_int("samples"));
+  config.variables = static_cast<std::size_t>(cli.get_int("variables"));
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  config.duration_ms = static_cast<std::size_t>(cli.get_int("duration-ms"));
+  config.ingest_batch = static_cast<std::size_t>(cli.get_int("ingest-batch"));
+  config.ingest_period_ms =
+      static_cast<std::size_t>(cli.get_int("ingest-period-ms"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto wide_n = static_cast<std::size_t>(cli.get_int("wide-variables"));
+  const std::string json_out = cli.get("json-out");
+
+  std::vector<std::size_t> reader_counts;
+  for (const std::int64_t r : cli.get_int_list("readers")) {
+    reader_counts.push_back(static_cast<std::size_t>(r));
+  }
+
+  std::vector<ConfigResult> results;
+  run_sweep<Key>(config, reader_counts, results);
+  if (wide_n > 0) {
+    SweepConfig wide_config = config;
+    wide_config.variables = wide_n;
+    run_sweep<WideKey>(wide_config, reader_counts, results);
+  }
+
+  TablePrinter table({"width", "vars", "readers", "queries/s",
+                      "per-reader q/s", "cache hit %", "versions",
+                      "ingest rows/s"});
   for (const ConfigResult& cr : results) {
-    table.add_row({std::to_string(cr.readers),
+    table.add_row({cr.width, std::to_string(cr.variables),
+                   std::to_string(cr.readers),
                    TablePrinter::fmt(cr.qps(), 0),
                    TablePrinter::fmt(cr.qps() / static_cast<double>(cr.readers), 0),
                    TablePrinter::fmt(100.0 * cr.hit_rate(), 1),
@@ -186,26 +230,28 @@ int main(int argc, char** argv) {
   }
   table.print("serve_throughput — mixed read/write serving");
 
-  // One JSON datapoint for the bench trajectory.
+  // One JSON datapoint per width for the bench trajectory.
   std::string json = "{\n  \"bench\": \"serve_throughput\",\n";
   json += "  \"host_cores\": " +
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
-  json += "  \"config\": {\"samples\": " + std::to_string(samples) +
-          ", \"variables\": " + std::to_string(n) +
-          ", \"partitions\": " + std::to_string(threads) +
-          ", \"duration_ms\": " + std::to_string(duration_ms) +
-          ", \"ingest_batch\": " + std::to_string(ingest_batch) +
-          ", \"ingest_period_ms\": " + std::to_string(ingest_period_ms) +
-          ", \"seed\": " + std::to_string(seed) + "},\n";
+  json += "  \"config\": {\"samples\": " + std::to_string(config.samples) +
+          ", \"variables\": " + std::to_string(config.variables) +
+          ", \"wide_variables\": " + std::to_string(wide_n) +
+          ", \"partitions\": " + std::to_string(config.threads) +
+          ", \"duration_ms\": " + std::to_string(config.duration_ms) +
+          ", \"ingest_batch\": " + std::to_string(config.ingest_batch) +
+          ", \"ingest_period_ms\": " + std::to_string(config.ingest_period_ms) +
+          ", \"seed\": " + std::to_string(config.seed) + "},\n";
   json += "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& cr = results[i];
-    char row[256];
+    char row[320];
     std::snprintf(row, sizeof row,
-                  "    {\"readers\": %zu, \"queries_per_sec\": %.1f, "
+                  "    {\"width\": \"%s\", \"variables\": %zu, "
+                  "\"readers\": %zu, \"queries_per_sec\": %.1f, "
                   "\"cache_hit_rate\": %.4f, \"versions_published\": %llu, "
                   "\"ingest_rows_per_sec\": %.1f}%s\n",
-                  cr.readers, cr.qps(), cr.hit_rate(),
+                  cr.width, cr.variables, cr.readers, cr.qps(), cr.hit_rate(),
                   static_cast<unsigned long long>(cr.versions_published),
                   static_cast<double>(cr.rows_ingested) / cr.seconds,
                   i + 1 == results.size() ? "" : ",");

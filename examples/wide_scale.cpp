@@ -8,7 +8,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/wide_builder.hpp"
+#include "core/all_pairs_mi.hpp"
+#include "core/wait_free_builder.hpp"
 #include "data/generators.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"

@@ -75,16 +75,20 @@ double mi_from_pair_counts(const std::uint64_t* counts, std::uint32_t r_i,
 
 }  // namespace
 
-AllPairsMi::AllPairsMi(AllPairsOptions options) : options_(options) {
+template <typename K>
+BasicAllPairsMi<K>::BasicAllPairsMi(AllPairsOptions options)
+    : options_(options) {
   WFBN_EXPECT(options_.threads >= 1, "need at least one thread");
 }
 
-MiMatrix AllPairsMi::compute(const PotentialTable& table) {
+template <typename K>
+MiMatrix BasicAllPairsMi<K>::compute(const Table& table) {
   ThreadPool pool(options_.threads);
   return compute(table, pool);
 }
 
-MiMatrix AllPairsMi::compute(const PotentialTable& table, ThreadPool& pool) {
+template <typename K>
+MiMatrix BasicAllPairsMi<K>::compute(const Table& table, ThreadPool& pool) {
   const std::size_t n = table.codec().variable_count();
   WFBN_EXPECT(n >= 2, "all-pairs MI needs at least two variables");
   stats_ = AllPairsStats{};
@@ -109,9 +113,10 @@ MiMatrix AllPairsMi::compute(const PotentialTable& table, ThreadPool& pool) {
   return out;
 }
 
-MiMatrix AllPairsMi::compute_pair_parallel(const PotentialTable& table,
-                                           ThreadPool& pool) {
-  const KeyCodec& codec = table.codec();
+template <typename K>
+MiMatrix BasicAllPairsMi<K>::compute_pair_parallel(const Table& table,
+                                                   ThreadPool& pool) {
+  const typename Traits::Codec& codec = table.codec();
   const std::size_t n = codec.variable_count();
   const auto pairs = enumerate_pairs(n);
   MiMatrix out(n);
@@ -125,12 +130,14 @@ MiMatrix AllPairsMi::compute_pair_parallel(const PotentialTable& table,
       const auto [i, j] = pairs[k];
       const std::uint32_t r_i = codec.cardinality(i);
       const std::uint32_t r_j = codec.cardinality(j);
-      const Key stride_i = codec.stride(i);
-      const Key stride_j = codec.stride(j);
+      // Decode-of-interest recipes (Eq. 4) from the trait: the sweep never
+      // decodes more than the two variables of the pair.
+      const typename Traits::VarLeg leg_i = Traits::leg_of(codec, i);
+      const typename Traits::VarLeg leg_j = Traits::leg_of(codec, j);
       std::vector<std::uint64_t> counts(static_cast<std::size_t>(r_i) * r_j, 0);
-      table.partitions().for_each([&](Key key, std::uint64_t c) {
-        const auto a = static_cast<std::size_t>((key / stride_i) % r_i);
-        const auto b = static_cast<std::size_t>((key / stride_j) % r_j);
+      table.partitions().for_each([&](K key, std::uint64_t c) {
+        const auto a = static_cast<std::size_t>(Traits::decode_leg(leg_i, key));
+        const auto b = static_cast<std::size_t>(Traits::decode_leg(leg_j, key));
         counts[a + static_cast<std::size_t>(r_i) * b] += c;
         ++visited;
       });
@@ -142,12 +149,13 @@ MiMatrix AllPairsMi::compute_pair_parallel(const PotentialTable& table,
   return out;
 }
 
-MiMatrix AllPairsMi::compute_entry_parallel(const PotentialTable& table,
-                                            ThreadPool& pool) {
+template <typename K>
+MiMatrix BasicAllPairsMi<K>::compute_entry_parallel(const Table& table,
+                                                    ThreadPool& pool) {
   const std::size_t n = table.codec().variable_count();
   const auto pairs = enumerate_pairs(n);
   MiMatrix out(n);
-  const Marginalizer marginalizer(pool.size());
+  const BasicMarginalizer<K> marginalizer(pool.size());
 
   for (const auto& [i, j] : pairs) {
     const std::size_t vars[] = {i, j};
@@ -162,9 +170,10 @@ MiMatrix AllPairsMi::compute_entry_parallel(const PotentialTable& table,
   return out;
 }
 
-MiMatrix AllPairsMi::compute_fused(const PotentialTable& table,
-                                   ThreadPool& pool) {
-  const KeyCodec& codec = table.codec();
+template <typename K>
+MiMatrix BasicAllPairsMi<K>::compute_fused(const Table& table,
+                                           ThreadPool& pool) {
+  const typename Traits::Codec& codec = table.codec();
   const std::size_t n = codec.variable_count();
   const auto pairs = enumerate_pairs(n);
   const std::size_t parts = table.partitions().partition_count();
@@ -187,7 +196,7 @@ MiMatrix AllPairsMi::compute_fused(const PotentialTable& table,
     const auto [lo, hi] = ThreadPool::block_range(parts, pool.size(), w);
     for (std::size_t p = lo; p < hi; ++p) {
       WFBN_FAULT_POINT(fault::Point::kMiSweep);
-      table.partitions().partition(p).for_each([&](Key key, std::uint64_t c) {
+      table.partitions().partition(p).for_each([&](K key, std::uint64_t c) {
         codec.decode_all(key, states);
         ++visited;
         for (std::size_t k = 0; k < pairs.size(); ++k) {
@@ -215,6 +224,17 @@ MiMatrix AllPairsMi::compute_fused(const PotentialTable& table,
                                       codec.cardinality(i), codec.cardinality(j)));
   }
   return out;
+}
+
+template class BasicAllPairsMi<Key>;
+template class BasicAllPairsMi<WideKey>;
+
+MiMatrix wide_all_pairs_mi(const WidePotentialTable& table,
+                           std::size_t threads) {
+  AllPairsOptions options;
+  options.threads = threads;
+  options.strategy = AllPairsStrategy::kFused;
+  return WideAllPairsMi(options).compute(table);
 }
 
 }  // namespace wfbn

@@ -14,6 +14,10 @@
 //  - kFused          one parallel sweep of the table; each worker decodes a
 //                    key once and updates all n(n−1)/2 private pair tables,
 //                    which are then tree-merged. Fewest table passes.
+//
+// A template over the key type; the pair-parallel strategy decodes single
+// variables through KeyTraits' VarLeg recipe, so every strategy works at
+// both key widths.
 #pragma once
 
 #include <cstdint>
@@ -67,24 +71,39 @@ struct AllPairsStats {
   std::vector<std::uint64_t> worker_entries_visited;
 };
 
-class AllPairsMi {
+template <typename K>
+class BasicAllPairsMi {
  public:
-  explicit AllPairsMi(AllPairsOptions options = {});
+  using Traits = KeyTraits<K>;
+  using Table = BasicPotentialTable<K>;
+
+  explicit BasicAllPairsMi(AllPairsOptions options = {});
 
   /// MI of every unordered variable pair of `table`.
-  [[nodiscard]] MiMatrix compute(const PotentialTable& table);
-  [[nodiscard]] MiMatrix compute(const PotentialTable& table, ThreadPool& pool);
+  [[nodiscard]] MiMatrix compute(const Table& table);
+  [[nodiscard]] MiMatrix compute(const Table& table, ThreadPool& pool);
 
   [[nodiscard]] const AllPairsStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const AllPairsOptions& options() const noexcept { return options_; }
 
  private:
-  MiMatrix compute_pair_parallel(const PotentialTable& table, ThreadPool& pool);
-  MiMatrix compute_entry_parallel(const PotentialTable& table, ThreadPool& pool);
-  MiMatrix compute_fused(const PotentialTable& table, ThreadPool& pool);
+  MiMatrix compute_pair_parallel(const Table& table, ThreadPool& pool);
+  MiMatrix compute_entry_parallel(const Table& table, ThreadPool& pool);
+  MiMatrix compute_fused(const Table& table, ThreadPool& pool);
 
   AllPairsOptions options_;
   AllPairsStats stats_;
 };
+
+extern template class BasicAllPairsMi<Key>;
+extern template class BasicAllPairsMi<WideKey>;
+
+using AllPairsMi = BasicAllPairsMi<Key>;
+using WideAllPairsMi = BasicAllPairsMi<WideKey>;
+
+/// Historical free-function spelling of the wide all-pairs pass (fused
+/// single-sweep schedule, the right default for n = 100-scale tables).
+[[nodiscard]] MiMatrix wide_all_pairs_mi(const WidePotentialTable& table,
+                                         std::size_t threads = 1);
 
 }  // namespace wfbn

@@ -6,20 +6,24 @@
 
 namespace wfbn {
 
-Marginalizer::Marginalizer(std::size_t threads) : threads_(threads) {
+template <typename K>
+BasicMarginalizer<K>::BasicMarginalizer(std::size_t threads)
+    : threads_(threads) {
   WFBN_EXPECT(threads >= 1, "marginalizer needs at least one thread");
 }
 
-MarginalTable Marginalizer::marginalize(
-    const PotentialTable& table, std::span<const std::size_t> variables) const {
+template <typename K>
+MarginalTable BasicMarginalizer<K>::marginalize(
+    const Table& table, std::span<const std::size_t> variables) const {
   ThreadPool pool(threads_);
   return marginalize(table, variables, pool);
 }
 
-MarginalTable Marginalizer::marginalize(const PotentialTable& table,
-                                        std::span<const std::size_t> variables,
-                                        ThreadPool& pool) const {
-  const KeyProjector projector(table.codec(), variables);
+template <typename K>
+MarginalTable BasicMarginalizer<K>::marginalize(
+    const Table& table, std::span<const std::size_t> variables,
+    ThreadPool& pool) const {
+  const typename Traits::Projector projector(table.codec(), variables);
   const std::size_t workers = pool.size();
   const std::size_t parts = table.partitions().partition_count();
   worker_stats_.assign(workers, MarginalizeWorkerStats{});
@@ -38,7 +42,7 @@ MarginalTable Marginalizer::marginalize(const PotentialTable& table,
     const auto [lo, hi] = ThreadPool::block_range(parts, workers, w);
     for (std::size_t p = lo; p < hi; ++p) {
       WFBN_FAULT_POINT(fault::Point::kMarginalizeSweep);
-      table.partitions().partition(p).for_each([&](Key key, std::uint64_t c) {
+      table.partitions().partition(p).for_each([&](K key, std::uint64_t c) {
         partial.add(projector.project(key), c);
         ++ws.entries_visited;
       });
@@ -51,6 +55,15 @@ MarginalTable Marginalizer::marginalize(const PotentialTable& table,
   MarginalTable out = std::move(partials[0]);
   for (std::size_t w = 1; w < workers; ++w) out.merge(partials[w]);
   return out;
+}
+
+template class BasicMarginalizer<Key>;
+template class BasicMarginalizer<WideKey>;
+
+MarginalTable wide_marginalize(const WidePotentialTable& table,
+                               std::span<const std::size_t> variables,
+                               std::size_t threads) {
+  return WideMarginalizer(threads).marginalize(table, variables);
 }
 
 }  // namespace wfbn

@@ -1,11 +1,15 @@
 // The parallel marginalization primitive (paper §IV-C, Algorithm 3).
 //
 // Each worker sweeps the keys of the table partitions assigned to it, decodes
-// only the variables of interest via a precomputed KeyProjector (Eq. 4 per
-// kept variable — never the whole state string), and accumulates a private
-// partial marginal table; partials are merged at the end. Workers touch
-// disjoint table partitions, so the sweep is embarrassingly parallel and
+// only the variables of interest via a precomputed projector (Eq. 4 per kept
+// variable — never the whole state string), and accumulates a private partial
+// marginal table; partials are merged at the end. Workers touch disjoint
+// table partitions, so the sweep is embarrassingly parallel and
 // cache-friendly — the data-parallelism claim of the paper.
+//
+// A template over the key type: Marginalizer sweeps narrow tables,
+// WideMarginalizer two-word tables, through the same kernel (the projector
+// type comes from KeyTraits).
 #pragma once
 
 #include <cstdint>
@@ -26,19 +30,23 @@ struct MarginalizeWorkerStats {
   double seconds = 0.0;
 };
 
-class Marginalizer {
+template <typename K>
+class BasicMarginalizer {
  public:
-  explicit Marginalizer(std::size_t threads = 1);
+  using Traits = KeyTraits<K>;
+  using Table = BasicPotentialTable<K>;
+
+  explicit BasicMarginalizer(std::size_t threads = 1);
 
   /// Marginal count table of `variables` (order defines the output layout).
   /// Runs on an internal pool of options threads.
   [[nodiscard]] MarginalTable marginalize(
-      const PotentialTable& table, std::span<const std::size_t> variables) const;
+      const Table& table, std::span<const std::size_t> variables) const;
 
   /// Same, reusing an existing pool. Partitions are block-assigned to the
   /// pool's workers; with pool.size() == partition_count this is exactly
   /// Algorithm 3's one-core-per-hashtable mapping.
-  [[nodiscard]] MarginalTable marginalize(const PotentialTable& table,
+  [[nodiscard]] MarginalTable marginalize(const Table& table,
                                           std::span<const std::size_t> variables,
                                           ThreadPool& pool) const;
 
@@ -53,5 +61,16 @@ class Marginalizer {
   std::size_t threads_;
   mutable std::vector<MarginalizeWorkerStats> worker_stats_;
 };
+
+extern template class BasicMarginalizer<Key>;
+extern template class BasicMarginalizer<WideKey>;
+
+using Marginalizer = BasicMarginalizer<Key>;
+using WideMarginalizer = BasicMarginalizer<WideKey>;
+
+/// Historical free-function spelling of the wide-table marginalization.
+[[nodiscard]] MarginalTable wide_marginalize(const WidePotentialTable& table,
+                                             std::span<const std::size_t> variables,
+                                             std::size_t threads = 1);
 
 }  // namespace wfbn

@@ -7,18 +7,21 @@
 
 namespace wfbn {
 
-QueryEngine::QueryEngine(const PotentialTable& table, std::size_t threads)
+template <typename K>
+BasicQueryEngine<K>::BasicQueryEngine(const Table& table, std::size_t threads)
     : table_(&table), pool_(nullptr), threads_(threads) {
   WFBN_EXPECT(threads >= 1, "query engine needs at least one thread");
 }
 
-QueryEngine::QueryEngine(const PotentialTable& table, ThreadPool& pool)
+template <typename K>
+BasicQueryEngine<K>::BasicQueryEngine(const Table& table, ThreadPool& pool)
     : table_(&table), pool_(&pool), threads_(pool.size()) {}
 
-MarginalTable QueryEngine::filtered_marginal(
+template <typename K>
+MarginalTable BasicQueryEngine<K>::filtered_marginal(
     std::span<const std::size_t> variables,
     std::span<const Evidence> evidence) const {
-  const KeyCodec& codec = table_->codec();
+  const typename Traits::Codec& codec = table_->codec();
   for (const Evidence& e : evidence) {
     WFBN_EXPECT(e.variable < codec.variable_count(), "evidence variable out of range");
     WFBN_EXPECT(e.state < codec.cardinality(e.variable), "evidence state out of range");
@@ -27,27 +30,27 @@ MarginalTable QueryEngine::filtered_marginal(
                 "evidence variables must be disjoint from the query set");
   }
 
-  const KeyProjector projector(codec, variables);
-  // Precompute (stride, cardinality, state) per evidence term for the sweep.
+  const typename Traits::Projector projector(codec, variables);
+  // Precompute the decode recipe + expected state per evidence term for the
+  // sweep (the VarLeg comes from the trait, so the filter works at any key
+  // width).
   struct Filter {
-    Key stride;
-    std::uint64_t cardinality;
+    typename Traits::VarLeg leg;
     std::uint64_t state;
   };
   std::vector<Filter> filters;
   filters.reserve(evidence.size());
   for (const Evidence& e : evidence) {
-    filters.push_back(Filter{codec.stride(e.variable),
-                             codec.cardinality(e.variable), e.state});
+    filters.push_back(Filter{Traits::leg_of(codec, e.variable), e.state});
   }
 
   const std::size_t parts = table_->partitions().partition_count();
   const auto sweep_range = [&](std::size_t lo, std::size_t hi,
                                MarginalTable& partial) {
     for (std::size_t p = lo; p < hi; ++p) {
-      table_->partitions().partition(p).for_each([&](Key key, std::uint64_t c) {
+      table_->partitions().partition(p).for_each([&](K key, std::uint64_t c) {
         for (const Filter& f : filters) {
-          if ((key / f.stride) % f.cardinality != f.state) return;
+          if (Traits::decode_leg(f.leg, key) != f.state) return;
         }
         partial.add(projector.project(key), c);
       });
@@ -81,12 +84,14 @@ MarginalTable QueryEngine::filtered_marginal(
   return out;
 }
 
-std::vector<double> QueryEngine::marginal(
+template <typename K>
+std::vector<double> BasicQueryEngine<K>::marginal(
     std::span<const std::size_t> variables) const {
   return conditional(variables, {});
 }
 
-std::vector<double> QueryEngine::conditional(
+template <typename K>
+std::vector<double> BasicQueryEngine<K>::conditional(
     std::span<const std::size_t> variables,
     std::span<const Evidence> evidence) const {
   const MarginalTable counts = filtered_marginal(variables, evidence);
@@ -102,7 +107,8 @@ std::vector<double> QueryEngine::conditional(
   return out;
 }
 
-double QueryEngine::evidence_probability(
+template <typename K>
+double BasicQueryEngine<K>::evidence_probability(
     std::span<const Evidence> evidence) const {
   WFBN_EXPECT(!evidence.empty(), "evidence must be non-empty");
   // Count matching rows by marginalizing the first evidence variable under
@@ -115,7 +121,8 @@ double QueryEngine::evidence_probability(
          static_cast<double>(table_->sample_count());
 }
 
-QueryEngine::MapResult QueryEngine::most_probable(
+template <typename K>
+typename BasicQueryEngine<K>::MapResult BasicQueryEngine<K>::most_probable(
     std::span<const std::size_t> variables,
     std::span<const Evidence> evidence) const {
   const std::vector<double> distribution = conditional(variables, evidence);
@@ -133,5 +140,8 @@ QueryEngine::MapResult QueryEngine::most_probable(
   }
   return result;
 }
+
+template class BasicQueryEngine<Key>;
+template class BasicQueryEngine<WideKey>;
 
 }  // namespace wfbn

@@ -12,6 +12,10 @@
 // spawned) or on a caller-provided ThreadPool. That is what lets the serving
 // layer (src/serve) construct a fresh engine per query over whatever snapshot
 // it just pinned, with per-query cost going entirely to the table sweep.
+//
+// A template over the key type: evidence decoding goes through KeyTraits'
+// VarLeg recipe, so QueryEngine (narrow) and WideQueryEngine answer the same
+// query set at either key width.
 #pragma once
 
 #include <cstdint>
@@ -31,18 +35,22 @@ struct Evidence {
   State state;
 };
 
-class QueryEngine {
+template <typename K>
+class BasicQueryEngine {
  public:
+  using Traits = KeyTraits<K>;
+  using Table = BasicPotentialTable<K>;
+
   /// The engine borrows `table`; it must outlive the engine. With
   /// threads == 1 every query evaluates inline on the calling thread; with
   /// threads > 1 each query spawns a transient pool (prefer the pool
   /// constructor when issuing many queries).
-  explicit QueryEngine(const PotentialTable& table, std::size_t threads = 1);
+  explicit BasicQueryEngine(const Table& table, std::size_t threads = 1);
 
   /// Serving constructor: sweeps run on `pool` (borrowed, not owned), so
   /// repeated queries reuse the same workers instead of spawning threads.
   /// Both `table` and `pool` must outlive the engine.
-  QueryEngine(const PotentialTable& table, ThreadPool& pool);
+  BasicQueryEngine(const Table& table, ThreadPool& pool);
 
   /// Normalized marginal distribution P(V) as probabilities in the layout of
   /// MarginalTable::index_of over `variables`.
@@ -70,7 +78,7 @@ class QueryEngine {
       std::span<const std::size_t> variables,
       std::span<const Evidence> evidence = {}) const;
 
-  [[nodiscard]] const PotentialTable& table() const noexcept { return *table_; }
+  [[nodiscard]] const Table& table() const noexcept { return *table_; }
 
  private:
   /// Count table of `variables` restricted to rows matching `evidence`.
@@ -78,9 +86,15 @@ class QueryEngine {
       std::span<const std::size_t> variables,
       std::span<const Evidence> evidence) const;
 
-  const PotentialTable* table_;
+  const Table* table_;
   ThreadPool* pool_;  ///< borrowed evaluation pool; nullptr = owned-by-query
   std::size_t threads_;
 };
+
+extern template class BasicQueryEngine<Key>;
+extern template class BasicQueryEngine<WideKey>;
+
+using QueryEngine = BasicQueryEngine<Key>;
+using WideQueryEngine = BasicQueryEngine<WideKey>;
 
 }  // namespace wfbn

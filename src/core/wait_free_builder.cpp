@@ -16,27 +16,28 @@ namespace wfbn {
 
 namespace {
 
-using KeyQueue = SpscQueue<Key>;
-
 /// P×P queue fabric; cell (src, dst) carries keys produced by worker src for
 /// owner dst. Diagonal cells are never used (own keys go straight into the
 /// local table) but are allocated to keep indexing branch-free.
+template <typename K>
 class QueueFabric {
  public:
+  using Queue = SpscQueue<K>;
+
   explicit QueueFabric(std::size_t workers) : workers_(workers) {
     cells_.reserve(workers * workers);
     for (std::size_t i = 0; i < workers * workers; ++i) {
-      cells_.push_back(std::make_unique<KeyQueue>());
+      cells_.push_back(std::make_unique<Queue>());
     }
   }
 
-  KeyQueue& at(std::size_t src, std::size_t dst) {
+  Queue& at(std::size_t src, std::size_t dst) {
     return *cells_[src * workers_ + dst];
   }
 
  private:
   std::size_t workers_;
-  std::vector<std::unique_ptr<KeyQueue>> cells_;
+  std::vector<std::unique_ptr<Queue>> cells_;
 };
 
 /// Which worker writes each partition. With workers == partitions this is the
@@ -83,7 +84,8 @@ double BuildStats::critical_path_seconds() const noexcept {
   return stage1 + stage2;
 }
 
-WaitFreeBuilder::WaitFreeBuilder(WaitFreeBuilderOptions options)
+template <typename K>
+BasicWaitFreeBuilder<K>::BasicWaitFreeBuilder(WaitFreeBuilderOptions options)
     : options_(options) {
   WFBN_EXPECT(options_.threads >= 1, "builder needs at least one thread");
   WFBN_EXPECT(options_.pipeline_batch >= 1, "pipeline batch must be >= 1");
@@ -91,8 +93,9 @@ WaitFreeBuilder::WaitFreeBuilder(WaitFreeBuilderOptions options)
               "stall timeout cannot be negative");
 }
 
-std::size_t WaitFreeBuilder::expected_entries_per_partition(
-    const Dataset& data, std::size_t threads) const {
+template <typename K>
+std::size_t BasicWaitFreeBuilder<K>::expected_entries_per_partition(
+    const Dataset& data, const Codec& codec, std::size_t threads) const {
   if (options_.expected_distinct_keys != 0) {
     return options_.expected_distinct_keys / threads + 1;
   }
@@ -100,22 +103,26 @@ std::size_t WaitFreeBuilder::expected_entries_per_partition(
   // (the paper's regime) m dominates. A quarter of the bound is a reasonable
   // starting size — the tables grow geometrically if it is exceeded.
   const std::uint64_t bound = std::min<std::uint64_t>(
-      data.sample_count(), data.codec().state_space_size());
+      data.sample_count(), Traits::state_space_bound(codec));
   return static_cast<std::size_t>(bound / threads / 4 + 16);
 }
 
-PotentialTable WaitFreeBuilder::build(const Dataset& data) {
+template <typename K>
+BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build(const Dataset& data) {
   ThreadPool pool(options_.threads);
   return build(data, pool);
 }
 
-PotentialTable WaitFreeBuilder::build(const Dataset& data, ThreadPool& pool) {
+template <typename K>
+BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build(const Dataset& data,
+                                                      ThreadPool& pool) {
   WFBN_EXPECT(data.sample_count() > 0, "cannot build a table from no data");
   return options_.pipelined ? build_pipelined(data, pool)
                             : build_phased(data, pool);
 }
 
-void WaitFreeBuilder::append(const Dataset& data, PotentialTable& table) {
+template <typename K>
+void BasicWaitFreeBuilder<K>::append(const Dataset& data, Table& table) {
   WFBN_EXPECT(data.sample_count() > 0, "cannot append an empty batch");
   if (data.cardinalities() != table.codec().cardinalities()) {
     throw DataError("batch cardinalities do not match the table's codec");
@@ -134,9 +141,9 @@ void WaitFreeBuilder::append(const Dataset& data, PotentialTable& table) {
   // Stage the batch into scratch partitions with the same ownership geometry
   // (same P, scheme, and state space, so owner_of agrees with the table).
   // Any failure up to and including the kernel leaves `table` untouched.
-  PartitionedTable scratch(parts, table.partitions().state_space(),
-                           table.partitions().scheme(),
-                           expected_entries_per_partition(data, parts));
+  BasicPartitionedTable<K> scratch(
+      parts, table.partitions().state_space(), table.partitions().scheme(),
+      expected_entries_per_partition(data, table.codec(), parts));
   run_phased(data, table.codec(), scratch, pool);
 
   WFBN_FAULT_POINT(fault::Point::kAppendCommit);
@@ -145,7 +152,7 @@ void WaitFreeBuilder::append(const Dataset& data, PotentialTable& table) {
   // below can never reallocate: after this loop the fold cannot fail, which
   // is what upgrades append() to the strong guarantee.
   for (std::size_t p = 0; p < parts; ++p) {
-    OpenHashTable& dst = table.partitions().partition(p);
+    BasicOpenHashTable<K>& dst = table.partitions().partition(p);
     dst.reserve(dst.size() + scratch.partition(p).size());
   }
   pool.run([&](std::size_t w) {
@@ -158,31 +165,37 @@ void WaitFreeBuilder::append(const Dataset& data, PotentialTable& table) {
   table.record_additional_samples(data.sample_count());
 }
 
-PotentialTable WaitFreeBuilder::append_shadow(const Dataset& data,
-                                              const PotentialTable& base) {
-  PotentialTable shadow = base;
+template <typename K>
+BasicPotentialTable<K> BasicWaitFreeBuilder<K>::append_shadow(
+    const Dataset& data, const Table& base) {
+  Table shadow = base;
   append(data, shadow);
   return shadow;
 }
 
-PotentialTable WaitFreeBuilder::build_phased(const Dataset& data,
-                                             ThreadPool& pool) {
+template <typename K>
+BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_phased(
+    const Dataset& data, ThreadPool& pool) {
   const std::size_t P = pool.size();
-  const KeyCodec codec = data.codec();
-  PartitionedTable table(P, codec.state_space_size(), options_.scheme,
-                         expected_entries_per_partition(data, P));
+  const Codec codec = Traits::make_codec(data.cardinalities());
+  BasicPartitionedTable<K> table(
+      P, Traits::state_space_bound(codec), options_.scheme,
+      expected_entries_per_partition(data, codec, P));
   Timer total_timer;
   run_phased(data, codec, table, pool);
   stats_.total_seconds = total_timer.seconds();
-  return PotentialTable(codec, std::move(table),
-                        static_cast<std::uint64_t>(data.sample_count()));
+  return Table(codec, std::move(table),
+               static_cast<std::uint64_t>(data.sample_count()));
 }
 
-void WaitFreeBuilder::run_phased(const Dataset& data, const KeyCodec& codec,
-                                 PartitionedTable& table, ThreadPool& pool) {
+template <typename K>
+void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
+                                         const Codec& codec,
+                                         BasicPartitionedTable<K>& table,
+                                         ThreadPool& pool) {
   const std::size_t W = pool.size();
   const std::size_t parts = table.partition_count();
-  QueueFabric queues(W);
+  QueueFabric<K> queues(W);
   SpinBarrier barrier(W);
   stats_ = BuildStats{};
   stats_.workers.assign(W, WorkerStats{});
@@ -212,7 +225,7 @@ void WaitFreeBuilder::run_phased(const Dataset& data, const KeyCodec& codec,
       const auto [lo, hi] = ThreadPool::block_range(m, W, w);
       for (std::size_t i = lo; i < hi; ++i) {
         if (inject) fault::fire(fault::Point::kStage1Row);
-        const Key key = codec.encode(data.row(i));
+        const K key = codec.encode(data.row(i));
         ++ws.rows_encoded;
         const std::size_t q = table.owner_of(key);
         const std::size_t dst = part_owner[q];
@@ -241,12 +254,12 @@ void WaitFreeBuilder::run_phased(const Dataset& data, const KeyCodec& codec,
     // directly (the pool collects the first one).
     stage_timer.reset();
     if (my_lo < my_hi) {
-      OpenHashTable* sole =
+      BasicOpenHashTable<K>* sole =
           (my_hi - my_lo == 1) ? &table.partition(my_lo) : nullptr;
-      Key key = 0;
+      K key{};
       for (std::size_t src = 0; src < W; ++src) {
         if (src == w) continue;
-        KeyQueue& queue = queues.at(src, w);
+        SpscQueue<K>& queue = queues.at(src, w);
         while (queue.try_pop(key)) {
           if (inject) fault::fire(fault::Point::kStage2Drain);
           if (sole != nullptr) {
@@ -264,13 +277,15 @@ void WaitFreeBuilder::run_phased(const Dataset& data, const KeyCodec& codec,
   stats_.pin_failures = pin_failures.load(std::memory_order_relaxed);
 }
 
-PotentialTable WaitFreeBuilder::build_pipelined(const Dataset& data,
-                                                ThreadPool& pool) {
+template <typename K>
+BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
+    const Dataset& data, ThreadPool& pool) {
   const std::size_t P = pool.size();
-  const KeyCodec codec = data.codec();
-  PartitionedTable table(P, codec.state_space_size(), options_.scheme,
-                         expected_entries_per_partition(data, P));
-  QueueFabric queues(P);
+  const Codec codec = Traits::make_codec(data.cardinalities());
+  BasicPartitionedTable<K> table(
+      P, Traits::state_space_bound(codec), options_.scheme,
+      expected_entries_per_partition(data, codec, P));
+  QueueFabric<K> queues(P);
   stats_ = BuildStats{};
   stats_.workers.assign(P, WorkerStats{});
   stats_.requested_workers = pool.degradation().requested_threads;
@@ -298,16 +313,16 @@ PotentialTable WaitFreeBuilder::build_pipelined(const Dataset& data,
       pin_failures.fetch_add(1, std::memory_order_relaxed);
     }
     WorkerStats& ws = stats_.workers[p];
-    OpenHashTable& mine = table.partition(p);
+    BasicOpenHashTable<K>& mine = table.partition(p);
     const bool inject = fault::enabled();
     Timer stage_timer;
 
     auto drain_once = [&] {
       if (inject) fault::fire(fault::Point::kPipelineDrain);
-      Key key = 0;
+      K key{};
       for (std::size_t src = 0; src < P; ++src) {
         if (src == p) continue;
-        KeyQueue& queue = queues.at(src, p);
+        SpscQueue<K>& queue = queues.at(src, p);
         while (queue.try_pop(key)) {
           mine.increment(key);
           ++ws.stage2_pops;
@@ -330,7 +345,7 @@ PotentialTable WaitFreeBuilder::build_pipelined(const Dataset& data,
         const std::size_t stop = std::min(hi, i + batch);
         for (; i < stop; ++i) {
           if (inject) fault::fire(fault::Point::kStage1Row);
-          const Key key = codec.encode(data.row(i));
+          const K key = codec.encode(data.row(i));
           ++ws.rows_encoded;
           const std::size_t owner = table.owner_of(key);
           if (owner == p) {
@@ -407,8 +422,10 @@ PotentialTable WaitFreeBuilder::build_pipelined(const Dataset& data,
             " producer(s) unfinished",
         std::move(snapshot));
   }
-  return PotentialTable(codec, std::move(table),
-                        static_cast<std::uint64_t>(m));
+  return Table(codec, std::move(table), static_cast<std::uint64_t>(m));
 }
+
+template class BasicWaitFreeBuilder<Key>;
+template class BasicWaitFreeBuilder<WideKey>;
 
 }  // namespace wfbn

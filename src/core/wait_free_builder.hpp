@@ -13,6 +13,13 @@
 //  - pipelined (paper §VI future work): consumers drain their inbound queues
 //    while producers are still running, removing the barrier at the cost of
 //    concurrent SPSC traffic.
+//
+// The builder is a template over the key type (KeyTraits): WaitFreeBuilder
+// produces narrow (64-bit key) tables, WideWaitFreeBuilder two-word tables
+// for joint spaces up to 2^126. Both instantiations share every line of the
+// kernel — including the incremental append() with its strong exception
+// guarantee, the shadow-copy serving hook, degradation accounting, the stall
+// watchdog, and all named fault points.
 #pragma once
 
 #include <cstdint>
@@ -82,16 +89,21 @@ struct BuildStats {
   [[nodiscard]] double critical_path_seconds() const noexcept;
 };
 
-class WaitFreeBuilder {
+template <typename K>
+class BasicWaitFreeBuilder {
  public:
-  explicit WaitFreeBuilder(WaitFreeBuilderOptions options = {});
+  using Traits = KeyTraits<K>;
+  using Codec = typename Traits::Codec;
+  using Table = BasicPotentialTable<K>;
+
+  explicit BasicWaitFreeBuilder(WaitFreeBuilderOptions options = {});
 
   /// Builds the potential table of `data` with options().threads workers on
   /// an internally managed pool.
-  [[nodiscard]] PotentialTable build(const Dataset& data);
+  [[nodiscard]] Table build(const Dataset& data);
 
   /// Same, reusing an existing pool (pool.size() overrides options().threads).
-  [[nodiscard]] PotentialTable build(const Dataset& data, ThreadPool& pool);
+  [[nodiscard]] Table build(const Dataset& data, ThreadPool& pool);
 
   /// Incremental update: folds additional observations into an existing
   /// table with the same two-stage wait-free procedure (training data often
@@ -106,7 +118,7 @@ class WaitFreeBuilder {
   /// itself cannot fail). If anything throws mid-append — a worker kernel, a
   /// queue allocation, an injected fault — the table is bit-identical to its
   /// pre-call state, including its sample count.
-  void append(const Dataset& data, PotentialTable& table);
+  void append(const Dataset& data, Table& table);
 
   /// Shadow-copy update — the publication hook of the serving layer
   /// (serve::TableStore): deep-copies `base`, folds `data` into the copy with
@@ -115,8 +127,7 @@ class WaitFreeBuilder {
   /// whole duration of the fold; the caller decides when (and whether) to
   /// publish the result. Same preconditions as append(); a throw discards the
   /// shadow, making the strong guarantee trivial.
-  [[nodiscard]] PotentialTable append_shadow(const Dataset& data,
-                                             const PotentialTable& base);
+  [[nodiscard]] Table append_shadow(const Dataset& data, const Table& base);
 
   /// Instrumentation from the most recent build().
   [[nodiscard]] const BuildStats& stats() const noexcept { return stats_; }
@@ -126,20 +137,30 @@ class WaitFreeBuilder {
   }
 
  private:
-  PotentialTable build_phased(const Dataset& data, ThreadPool& pool);
-  PotentialTable build_pipelined(const Dataset& data, ThreadPool& pool);
+  Table build_phased(const Dataset& data, ThreadPool& pool);
+  Table build_pipelined(const Dataset& data, ThreadPool& pool);
   /// The two-stage kernel over an existing partitioned table (used by both
   /// build_phased and append). Refreshes stats_ except total_seconds. The
   /// pool may hold fewer workers than the table has partitions (a degraded
   /// pool): partitions are then block-assigned to workers, preserving the
   /// one-writer-per-partition invariant at reduced parallelism.
-  void run_phased(const Dataset& data, const KeyCodec& codec,
-                  PartitionedTable& table, ThreadPool& pool);
+  void run_phased(const Dataset& data, const Codec& codec,
+                  BasicPartitionedTable<K>& table, ThreadPool& pool);
   [[nodiscard]] std::size_t expected_entries_per_partition(
-      const Dataset& data, std::size_t threads) const;
+      const Dataset& data, const Codec& codec, std::size_t threads) const;
 
   WaitFreeBuilderOptions options_;
   BuildStats stats_;
 };
+
+extern template class BasicWaitFreeBuilder<Key>;
+extern template class BasicWaitFreeBuilder<WideKey>;
+
+using WaitFreeBuilder = BasicWaitFreeBuilder<Key>;
+using WideWaitFreeBuilder = BasicWaitFreeBuilder<WideKey>;
+
+/// The wide builder historically had its own slimmer options struct; it now
+/// accepts the full option set (pipelining, pinning, watchdog, ...).
+using WideBuilderOptions = WaitFreeBuilderOptions;
 
 }  // namespace wfbn

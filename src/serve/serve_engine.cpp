@@ -34,7 +34,8 @@ CacheKey make_key(std::uint64_t version, QueryKind kind,
 
 }  // namespace
 
-ServeEngine::ServeEngine(TableStore& store, ServeOptions options)
+template <typename K>
+BasicServeEngine<K>::BasicServeEngine(Store& store, ServeOptions options)
     : store_(&store),
       options_(options),
       cache_(options.cache_shards, options.cache_entries_per_shard) {
@@ -42,15 +43,17 @@ ServeEngine::ServeEngine(TableStore& store, ServeOptions options)
               "serve engine needs at least one query thread");
 }
 
-std::vector<double> ServeEngine::compute(
-    const PotentialTable& table, QueryKind kind,
+template <typename K>
+std::vector<double> BasicServeEngine<K>::compute(
+    const Table& table, QueryKind kind,
     std::span<const std::size_t> variables,
     std::span<const Evidence> evidence) const {
   switch (kind) {
     case QueryKind::kMarginal:
-      return QueryEngine(table, options_.query_threads).marginal(variables);
+      return BasicQueryEngine<K>(table, options_.query_threads)
+          .marginal(variables);
     case QueryKind::kConditional:
-      return QueryEngine(table, options_.query_threads)
+      return BasicQueryEngine<K>(table, options_.query_threads)
           .conditional(variables, evidence);
     case QueryKind::kPairMi: {
       WFBN_EXPECT(variables.size() == 2, "pair MI takes exactly two variables");
@@ -62,12 +65,13 @@ std::vector<double> ServeEngine::compute(
   throw PreconditionError("unknown query kind");
 }
 
-ServeResult ServeEngine::answer(QueryKind kind,
-                                std::span<const std::size_t> variables,
-                                std::span<const Evidence> evidence) {
+template <typename K>
+ServeResult BasicServeEngine<K>::answer(
+    QueryKind kind, std::span<const std::size_t> variables,
+    std::span<const Evidence> evidence) {
   // Pin the snapshot once: version, cache key, and evaluation all refer to
   // this one table even if a publish lands mid-query.
-  const SnapshotPtr snapshot = store_->current();
+  const BasicSnapshotPtr<K> snapshot = store_->current();
   ServeResult result;
   result.version = snapshot->version();
 
@@ -88,25 +92,32 @@ ServeResult ServeEngine::answer(QueryKind kind,
   return result;
 }
 
-ServeResult ServeEngine::marginal(std::span<const std::size_t> variables) {
+template <typename K>
+ServeResult BasicServeEngine<K>::marginal(
+    std::span<const std::size_t> variables) {
   return answer(QueryKind::kMarginal, variables, {});
 }
 
-ServeResult ServeEngine::conditional(std::span<const std::size_t> variables,
-                                     std::span<const Evidence> evidence) {
+template <typename K>
+ServeResult BasicServeEngine<K>::conditional(
+    std::span<const std::size_t> variables,
+    std::span<const Evidence> evidence) {
   return answer(QueryKind::kConditional, variables, evidence);
 }
 
-ServeResult ServeEngine::pair_mi(std::size_t i, std::size_t j) {
+template <typename K>
+ServeResult BasicServeEngine<K>::pair_mi(std::size_t i, std::size_t j) {
   const std::size_t pair[] = {i, j};
   return answer(QueryKind::kPairMi, pair, {});
 }
 
-ServeResult ServeEngine::serve(const ServeQuery& query) {
+template <typename K>
+ServeResult BasicServeEngine<K>::serve(const ServeQuery& query) {
   return answer(query.kind, query.variables, query.evidence);
 }
 
-std::vector<ServeResult> ServeEngine::serve_batch(
+template <typename K>
+std::vector<ServeResult> BasicServeEngine<K>::serve_batch(
     std::span<const ServeQuery> queries, ThreadPool& pool) {
   std::vector<ServeResult> results(queries.size());
   pool.run([&](std::size_t w) {
@@ -125,7 +136,8 @@ std::vector<ServeResult> ServeEngine::serve_batch(
   return results;
 }
 
-IngestStats ServeEngine::ingest(const Dataset& batch) {
+template <typename K>
+IngestStats BasicServeEngine<K>::ingest(const Dataset& batch) {
   const IngestStats stats = store_->ingest(batch);
   if (options_.cache_enabled) {
     // Reclaim answers of superseded versions. Version-keyed lookups already
@@ -134,5 +146,8 @@ IngestStats ServeEngine::ingest(const Dataset& batch) {
   }
   return stats;
 }
+
+template class BasicServeEngine<Key>;
+template class BasicServeEngine<WideKey>;
 
 }  // namespace wfbn::serve

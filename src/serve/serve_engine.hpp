@@ -13,6 +13,10 @@
 // number of threads. serve_batch() additionally dispatches a whole workload
 // across an existing ThreadPool, block-partitioning the queries over the
 // workers (the same scheduling the wait-free builder applies to rows).
+//
+// A template over the key type: the cache key packs only (version, kind,
+// query payload) — never the table key — so ServeEngine (narrow) and
+// WideServeEngine share the ResultCache implementation unchanged.
 #pragma once
 
 #include <cstdint>
@@ -61,10 +65,14 @@ struct ServeResult {
   std::vector<double> values;
 };
 
-class ServeEngine {
+template <typename K>
+class BasicServeEngine {
  public:
+  using Store = BasicTableStore<K>;
+  using Table = BasicPotentialTable<K>;
+
   /// Borrows `store`; it must outlive the engine.
-  explicit ServeEngine(TableStore& store, ServeOptions options = {});
+  explicit BasicServeEngine(Store& store, ServeOptions options = {});
 
   /// P(V). Throws PreconditionError on invalid variables.
   ServeResult marginal(std::span<const std::size_t> variables);
@@ -94,7 +102,7 @@ class ServeEngine {
   [[nodiscard]] CacheStats cache_stats() const noexcept {
     return cache_.stats();
   }
-  [[nodiscard]] const TableStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const Store& store() const noexcept { return *store_; }
   [[nodiscard]] const ServeOptions& options() const noexcept {
     return options_;
   }
@@ -103,13 +111,19 @@ class ServeEngine {
   ServeResult answer(QueryKind kind, std::span<const std::size_t> variables,
                      std::span<const Evidence> evidence);
   [[nodiscard]] std::vector<double> compute(
-      const PotentialTable& table, QueryKind kind,
+      const Table& table, QueryKind kind,
       std::span<const std::size_t> variables,
       std::span<const Evidence> evidence) const;
 
-  TableStore* store_;
+  Store* store_;
   ServeOptions options_;
   ResultCache cache_;
 };
+
+extern template class BasicServeEngine<Key>;
+extern template class BasicServeEngine<WideKey>;
+
+using ServeEngine = BasicServeEngine<Key>;
+using WideServeEngine = BasicServeEngine<WideKey>;
 
 }  // namespace wfbn::serve

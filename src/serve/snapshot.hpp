@@ -9,6 +9,9 @@
 // concurrent query is sweeping. The version number is what the result cache
 // keys on (see serve/result_cache.hpp): answers computed against version v
 // can never be served for version v+1.
+//
+// A template over the key type: the serving layer publishes narrow and wide
+// tables through the same machinery.
 #pragma once
 
 #include <cstdint>
@@ -19,25 +22,34 @@
 
 namespace wfbn::serve {
 
-class Snapshot {
+template <typename K>
+class BasicSnapshot {
  public:
-  Snapshot(PotentialTable table, std::uint64_t version)
+  using Table = BasicPotentialTable<K>;
+
+  BasicSnapshot(Table table, std::uint64_t version)
       : table_(std::move(table)), version_(version) {}
 
-  Snapshot(const Snapshot&) = delete;
-  Snapshot& operator=(const Snapshot&) = delete;
+  BasicSnapshot(const BasicSnapshot&) = delete;
+  BasicSnapshot& operator=(const BasicSnapshot&) = delete;
 
-  [[nodiscard]] const PotentialTable& table() const noexcept { return table_; }
+  [[nodiscard]] const Table& table() const noexcept { return table_; }
 
   /// 1-based publication counter; the initial table is version 1.
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
  private:
-  PotentialTable table_;
+  Table table_;
   std::uint64_t version_;
 };
 
 /// How readers hold a snapshot: shared ownership, immutable payload.
-using SnapshotPtr = std::shared_ptr<const Snapshot>;
+template <typename K>
+using BasicSnapshotPtr = std::shared_ptr<const BasicSnapshot<K>>;
+
+using Snapshot = BasicSnapshot<Key>;
+using SnapshotPtr = BasicSnapshotPtr<Key>;
+using WideSnapshot = BasicSnapshot<WideKey>;
+using WideSnapshotPtr = BasicSnapshotPtr<WideKey>;
 
 }  // namespace wfbn::serve

@@ -24,6 +24,9 @@
 // phases observe the indicators at zero, which (via the seq_cst total order
 // on arrive/toggle and the acquire/release pairing on depart/drain) implies
 // every reader that could have been copying that instance has finished.
+//
+// The cell is a template over the key type only through the snapshot payload
+// it publishes; the protocol itself is key-agnostic.
 #pragma once
 
 #include <atomic>
@@ -35,23 +38,26 @@
 
 namespace wfbn::serve {
 
-class SnapshotCell {
+template <typename K>
+class BasicSnapshotCell {
  public:
-  explicit SnapshotCell(SnapshotPtr initial) noexcept {
+  using Ptr = BasicSnapshotPtr<K>;
+
+  explicit BasicSnapshotCell(Ptr initial) noexcept {
     instances_[0] = std::move(initial);
     instances_[1] = instances_[0];
   }
 
-  SnapshotCell(const SnapshotCell&) = delete;
-  SnapshotCell& operator=(const SnapshotCell&) = delete;
+  BasicSnapshotCell(const BasicSnapshotCell&) = delete;
+  BasicSnapshotCell& operator=(const BasicSnapshotCell&) = delete;
 
   /// Wait-free reader side: pins and returns the currently published
   /// snapshot. Safe from any thread, any number of concurrent readers.
-  [[nodiscard]] SnapshotPtr load() const noexcept {
+  [[nodiscard]] Ptr load() const noexcept {
     const std::size_t vi = version_index_.load(std::memory_order_seq_cst);
     readers_[vi].count.fetch_add(1, std::memory_order_seq_cst);
     const std::size_t lr = left_right_.load(std::memory_order_seq_cst);
-    SnapshotPtr result = instances_[lr];
+    Ptr result = instances_[lr];
     readers_[vi].count.fetch_sub(1, std::memory_order_release);
     return result;
   }
@@ -59,7 +65,7 @@ class SnapshotCell {
   /// Publishes `next`. SINGLE WRITER: callers must serialize store() calls
   /// externally (TableStore holds its ingest mutex across this). May wait
   /// for in-flight readers to drain; never makes a reader wait.
-  void store(SnapshotPtr next) noexcept {
+  void store(Ptr next) noexcept {
     const std::size_t lr = left_right_.load(std::memory_order_relaxed);
     // No reader copies instances_[1 - lr]: stragglers from the previous
     // publish were drained before it was last written.
@@ -87,10 +93,13 @@ class SnapshotCell {
     std::atomic<std::uint64_t> count{0};
   };
 
-  SnapshotPtr instances_[2];
+  Ptr instances_[2];
   std::atomic<std::size_t> left_right_{0};    ///< which instance readers copy
   std::atomic<std::size_t> version_index_{0};  ///< which indicator they use
   mutable Indicator readers_[2];
 };
+
+using SnapshotCell = BasicSnapshotCell<Key>;
+using WideSnapshotCell = BasicSnapshotCell<WideKey>;
 
 }  // namespace wfbn::serve

@@ -5,12 +5,14 @@
 
 namespace wfbn::serve {
 
-TableStore::TableStore(PotentialTable initial,
-                       WaitFreeBuilderOptions ingest_options)
-    : current_(std::make_shared<const Snapshot>(std::move(initial), 1)),
+template <typename K>
+BasicTableStore<K>::BasicTableStore(Table initial,
+                                    WaitFreeBuilderOptions ingest_options)
+    : current_(std::make_shared<const BasicSnapshot<K>>(std::move(initial), 1)),
       builder_(ingest_options) {}
 
-IngestStats TableStore::ingest(const Dataset& batch) {
+template <typename K>
+IngestStats BasicTableStore<K>::ingest(const Dataset& batch) {
   const std::lock_guard<std::mutex> lock(ingest_mutex_);
   Timer total_timer;
   IngestStats stats;
@@ -20,9 +22,9 @@ IngestStats TableStore::ingest(const Dataset& batch) {
   // it first, and append()'s strong guarantee means a mid-fold throw discards
   // a still-private object. Readers keep sweeping the current snapshot
   // throughout.
-  const SnapshotPtr base = current();
+  const Ptr base = current();
   Timer shadow_timer;
-  PotentialTable shadow = builder_.append_shadow(batch, base->table());
+  Table shadow = builder_.append_shadow(batch, base->table());
   stats.shadow_seconds = shadow_timer.seconds();
 
   WFBN_FAULT_POINT(fault::Point::kServePublish);
@@ -31,13 +33,16 @@ IngestStats TableStore::ingest(const Dataset& batch) {
   // ordering guarantees a reader that pins the new snapshot also sees every
   // byte of the shadow fold, and one that pins the old snapshot sees it
   // whole — never a mix.
-  current_.store(std::make_shared<const Snapshot>(std::move(shadow),
-                                                  base->version() + 1));
+  current_.store(std::make_shared<const BasicSnapshot<K>>(
+      std::move(shadow), base->version() + 1));
   publishes_.fetch_add(1, std::memory_order_relaxed);
 
   stats.published_version = base->version() + 1;
   stats.total_seconds = total_timer.seconds();
   return stats;
 }
+
+template class BasicTableStore<Key>;
+template class BasicTableStore<WideKey>;
 
 }  // namespace wfbn::serve

@@ -15,6 +15,10 @@
 //  - current()/version(): safe from any thread, wait-free, O(1).
 //  - ingest(): safe from any thread; concurrent ingestors are serialized by a
 //    writer mutex that readers never touch.
+//
+// A template over the key type: TableStore serves narrow tables,
+// WideTableStore serves two-word-key tables, through the identical
+// publish/pin machinery.
 #pragma once
 
 #include <atomic>
@@ -37,18 +41,20 @@ struct IngestStats {
   double total_seconds = 0.0;   ///< shadow + publish (and writer-lock wait)
 };
 
-class TableStore {
+template <typename K>
+class BasicTableStore {
  public:
+  using Table = BasicPotentialTable<K>;
+  using Ptr = BasicSnapshotPtr<K>;
+
   /// Takes ownership of `initial` and publishes it as version 1.
   /// `ingest_options` configure the builder the ingestion path uses (worker
   /// count, pinning, pipeline batch — see WaitFreeBuilderOptions).
-  explicit TableStore(PotentialTable initial,
-                      WaitFreeBuilderOptions ingest_options = {});
+  explicit BasicTableStore(Table initial,
+                           WaitFreeBuilderOptions ingest_options = {});
 
   /// The currently served snapshot. Wait-free; never returns null.
-  [[nodiscard]] SnapshotPtr current() const noexcept {
-    return current_.load();
-  }
+  [[nodiscard]] Ptr current() const noexcept { return current_.load(); }
 
   /// Version of the currently served snapshot.
   [[nodiscard]] std::uint64_t version() const noexcept {
@@ -68,10 +74,16 @@ class TableStore {
   }
 
  private:
-  SnapshotCell current_;
+  BasicSnapshotCell<K> current_;
   std::mutex ingest_mutex_;              ///< serializes writers only
-  WaitFreeBuilder builder_;              ///< guarded by ingest_mutex_
+  BasicWaitFreeBuilder<K> builder_;      ///< guarded by ingest_mutex_
   std::atomic<std::uint64_t> publishes_{1};
 };
+
+extern template class BasicTableStore<Key>;
+extern template class BasicTableStore<WideKey>;
+
+using TableStore = BasicTableStore<Key>;
+using WideTableStore = BasicTableStore<WideKey>;
 
 }  // namespace wfbn::serve

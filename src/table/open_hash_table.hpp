@@ -1,4 +1,4 @@
-// Single-writer open-addressing count table: Key -> uint64 occurrence count.
+// Single-writer open-addressing count table: key -> uint64 occurrence count.
 //
 // This is each core's private hashtable in the partitioned potential-table
 // representation. Because the wait-free construction primitive guarantees
@@ -6,8 +6,12 @@
 // the table needs no synchronization at all — which is precisely where the
 // primitive's speedup over shared concurrent maps comes from.
 //
-// Linear probing + Fibonacci hashing; grows at 0.7 load factor. Only insert/
-// increment, lookup and iteration are supported (count tables never erase).
+// The table is a template over the key type; KeyTraits<K> supplies the empty
+// sentinel and the slot hash, so the narrow (64-bit) and wide (two-word)
+// widths share one implementation. Linear probing; grows at 0.7 load factor.
+// Only insert/increment, lookup and iteration are supported (count tables
+// never erase), and the single-writer invariant lets the running total of all
+// counts be cached, making total_count() O(1).
 #pragma once
 
 #include <bit>
@@ -15,20 +19,26 @@
 #include <utility>
 #include <vector>
 
-#include "table/key_codec.hpp"
+#include "table/key_traits.hpp"
 #include "util/error.hpp"
 
 namespace wfbn {
 
-class OpenHashTable {
+template <typename K>
+class BasicOpenHashTable {
  public:
-  static constexpr Key kEmptyKey = ~0ULL;
+  using Traits = KeyTraits<K>;
 
-  explicit OpenHashTable(std::size_t expected_entries = 16) { rehash_for(expected_entries); }
+  static constexpr K kEmptyKey = Traits::empty_key();
+
+  explicit BasicOpenHashTable(std::size_t expected_entries = 16) {
+    rehash_for(expected_entries);
+  }
 
   /// Adds `delta` to `key`'s count (inserting the key if new).
-  /// Precondition: key != kEmptyKey (guaranteed by KeyCodec's 2^63 bound).
-  void increment(Key key, std::uint64_t delta = 1) {
+  /// Precondition: key != kEmptyKey (guaranteed by the codecs' word bounds).
+  void increment(K key, std::uint64_t delta = 1) {
+    total_ += delta;
     std::size_t index = slot_of(key);
     for (;;) {
       Entry& entry = entries_[index];
@@ -47,7 +57,7 @@ class OpenHashTable {
   }
 
   /// Occurrence count of `key`; 0 when absent.
-  [[nodiscard]] std::uint64_t count(Key key) const noexcept {
+  [[nodiscard]] std::uint64_t count(K key) const noexcept {
     std::size_t index = slot_of(key);
     for (;;) {
       const Entry& entry = entries_[index];
@@ -57,39 +67,36 @@ class OpenHashTable {
     }
   }
 
-  [[nodiscard]] bool contains(Key key) const noexcept { return count(key) != 0; }
+  [[nodiscard]] bool contains(K key) const noexcept { return count(key) != 0; }
 
   /// Number of distinct keys.
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return entries_.size(); }
 
-  /// Sum of all counts (number of represented observations).
-  [[nodiscard]] std::uint64_t total_count() const noexcept {
-    std::uint64_t total = 0;
-    for (const Entry& e : entries_) {
-      if (e.key != kEmptyKey) total += e.count;
-    }
-    return total;
-  }
+  /// Sum of all counts (number of represented observations). O(1): the total
+  /// is maintained on every increment — legal because each table has exactly
+  /// one writer.
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
 
   /// Visits every (key, count) pair in unspecified order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const Entry& e : entries_) {
-      if (e.key != kEmptyKey) fn(e.key, e.count);
+      if (!(e.key == kEmptyKey)) fn(e.key, e.count);
     }
   }
 
   /// Moves all entries of `other` into this table, leaving `other` empty.
-  void merge_from(OpenHashTable& other) {
-    other.for_each([this](Key key, std::uint64_t c) { increment(key, c); });
+  void merge_from(BasicOpenHashTable& other) {
+    other.for_each([this](K key, std::uint64_t c) { increment(key, c); });
     other.clear();
   }
 
   void clear() noexcept {
     for (Entry& e : entries_) e = Entry{};
     size_ = 0;
+    total_ = 0;
   }
 
   /// Pre-sizes the table for `expected_entries` distinct keys.
@@ -101,12 +108,12 @@ class OpenHashTable {
 
  private:
   struct Entry {
-    Key key = kEmptyKey;
+    K key = kEmptyKey;
     std::uint64_t count = 0;
   };
 
-  [[nodiscard]] std::size_t slot_of(Key key) const noexcept {
-    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 24) & mask_;
+  [[nodiscard]] std::size_t slot_of(K key) const noexcept {
+    return Traits::slot_hash(key) & mask_;
   }
 
   void rehash_for(std::size_t expected_entries) {
@@ -116,8 +123,9 @@ class OpenHashTable {
     std::vector<Entry> old = std::exchange(entries_, std::vector<Entry>(wanted));
     mask_ = wanted - 1;
     size_ = 0;
+    total_ = 0;  // reinsertion below rebuilds it
     for (const Entry& e : old) {
-      if (e.key != kEmptyKey) increment(e.key, e.count);
+      if (!(e.key == kEmptyKey)) increment(e.key, e.count);
     }
   }
 
@@ -126,6 +134,10 @@ class OpenHashTable {
   std::vector<Entry> entries_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
 };
+
+using OpenHashTable = BasicOpenHashTable<Key>;
+using WideOpenHashTable = BasicOpenHashTable<WideKey>;
 
 }  // namespace wfbn

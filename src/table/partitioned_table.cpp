@@ -6,40 +6,47 @@
 
 namespace wfbn {
 
-PartitionedTable::PartitionedTable(std::size_t partitions, std::uint64_t state_space,
-                                   PartitionScheme scheme,
-                                   std::size_t expected_entries_per_partition)
+template <typename K>
+BasicPartitionedTable<K>::BasicPartitionedTable(
+    std::size_t partitions, std::uint64_t state_space, PartitionScheme scheme,
+    std::size_t expected_entries_per_partition)
     : state_space_(state_space), scheme_(scheme) {
   WFBN_EXPECT(partitions >= 1, "need at least one partition");
   WFBN_EXPECT(state_space >= 1, "empty state space");
+  WFBN_EXPECT(Traits::supports(scheme),
+              "partition scheme unsupported for this key width");
   tables_.reserve(partitions);
   for (std::size_t p = 0; p < partitions; ++p) {
     tables_.emplace_back(expected_entries_per_partition);
   }
 }
 
-std::size_t PartitionedTable::size() const noexcept {
+template <typename K>
+std::size_t BasicPartitionedTable<K>::size() const noexcept {
   std::size_t total = 0;
-  for (const OpenHashTable& t : tables_) total += t.size();
+  for (const Table& t : tables_) total += t.size();
   return total;
 }
 
-std::uint64_t PartitionedTable::total_count() const noexcept {
+template <typename K>
+std::uint64_t BasicPartitionedTable<K>::total_count() const noexcept {
   std::uint64_t total = 0;
-  for (const OpenHashTable& t : tables_) total += t.total_count();
+  for (const Table& t : tables_) total += t.total_count();
   return total;
 }
 
-std::uint64_t PartitionedTable::count_anywhere(Key key) const noexcept {
+template <typename K>
+std::uint64_t BasicPartitionedTable<K>::count_anywhere(K key) const noexcept {
   std::uint64_t total = 0;
-  for (const OpenHashTable& t : tables_) total += t.count(key);
+  for (const Table& t : tables_) total += t.count(key);
   return total;
 }
 
-bool PartitionedTable::ownership_invariant_holds() const {
+template <typename K>
+bool BasicPartitionedTable<K>::ownership_invariant_holds() const {
   for (std::size_t p = 0; p < tables_.size(); ++p) {
     bool ok = true;
-    tables_[p].for_each([&](Key key, std::uint64_t) {
+    tables_[p].for_each([&](K key, std::uint64_t) {
       if (owner_of(key) != p) ok = false;
     });
     if (!ok) return false;
@@ -47,7 +54,8 @@ bool PartitionedTable::ownership_invariant_holds() const {
   return true;
 }
 
-std::size_t PartitionedTable::rebalance() {
+template <typename K>
+std::size_t BasicPartitionedTable<K>::rebalance() {
   rebalanced_ = true;
   const std::size_t total = size();
   const std::size_t parts = tables_.size();
@@ -56,14 +64,14 @@ std::size_t PartitionedTable::rebalance() {
   for (std::size_t p = 0; p < total % parts; ++p) ++target[p];
 
   // Collect surplus entries from overfull partitions...
-  std::vector<std::pair<Key, std::uint64_t>> surplus;
+  std::vector<std::pair<K, std::uint64_t>> surplus;
   for (std::size_t p = 0; p < parts; ++p) {
-    OpenHashTable& t = tables_[p];
+    Table& t = tables_[p];
     if (t.size() <= target[p]) continue;
     const std::size_t to_move = t.size() - target[p];
-    OpenHashTable kept(target[p]);
+    Table kept(target[p]);
     std::size_t taken = 0;
-    t.for_each([&](Key key, std::uint64_t c) {
+    t.for_each([&](K key, std::uint64_t c) {
       if (taken < to_move) {
         surplus.emplace_back(key, c);
         ++taken;
@@ -87,14 +95,19 @@ std::size_t PartitionedTable::rebalance() {
   return moved;
 }
 
-std::pair<std::size_t, std::size_t> PartitionedTable::population_extremes() const {
+template <typename K>
+std::pair<std::size_t, std::size_t> BasicPartitionedTable<K>::population_extremes()
+    const {
   std::size_t largest = 0;
   std::size_t smallest = tables_.empty() ? 0 : tables_[0].size();
-  for (const OpenHashTable& t : tables_) {
+  for (const Table& t : tables_) {
     largest = std::max(largest, t.size());
     smallest = std::min(smallest, t.size());
   }
   return {largest, smallest};
 }
+
+template class BasicPartitionedTable<Key>;
+template class BasicPartitionedTable<WideKey>;
 
 }  // namespace wfbn

@@ -6,73 +6,75 @@
 // DESIGN.md §6.1). After construction the ownership invariant is only needed
 // by further wait-free updates; marginalization treats the partitions as an
 // arbitrary disjoint cover, which is why rebalance() (paper §IV-C) is legal.
+//
+// The table is a template over the key type: KeyTraits<K> supplies the
+// ownership function (narrow keys support modulo and contiguous-range
+// schemes; wide keys hash-partition and reject kRange at construction).
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
-#include "table/key_codec.hpp"
+#include "table/key_traits.hpp"
 #include "table/open_hash_table.hpp"
 
 namespace wfbn {
 
-/// How encoded keys map to owning partitions.
-enum class PartitionScheme {
-  kModulo,  ///< owner = key % P (paper Algorithm 1, line 9)
-  kRange,   ///< owner = floor(key * P / state_space) — contiguous key ranges
-};
-
-class PartitionedTable {
+template <typename K>
+class BasicPartitionedTable {
  public:
+  using Traits = KeyTraits<K>;
+  using Table = BasicOpenHashTable<K>;
+
   /// `partitions` = P. `state_space` is the codec's joint state-space size
-  /// (needed for range partitioning). `expected_entries_per_partition`
-  /// pre-sizes each hashtable.
-  PartitionedTable(std::size_t partitions, std::uint64_t state_space,
-                   PartitionScheme scheme = PartitionScheme::kModulo,
-                   std::size_t expected_entries_per_partition = 16);
+  /// (needed for range partitioning; saturated for wide keys — see
+  /// KeyTraits::state_space_bound). `expected_entries_per_partition`
+  /// pre-sizes each hashtable. Throws PreconditionError when the key width
+  /// does not support `scheme`.
+  BasicPartitionedTable(std::size_t partitions, std::uint64_t state_space,
+                        PartitionScheme scheme = PartitionScheme::kModulo,
+                        std::size_t expected_entries_per_partition = 16);
 
   [[nodiscard]] std::size_t partition_count() const noexcept {
     return tables_.size();
   }
 
   /// Which partition owns `key` under the construction-time scheme.
-  [[nodiscard]] std::size_t owner_of(Key key) const noexcept {
-    if (scheme_ == PartitionScheme::kModulo) {
-      return static_cast<std::size_t>(key % tables_.size());
-    }
-    // Range partitioning via 128-bit multiply avoids a per-key division by a
-    // runtime state-space value.
-    return static_cast<std::size_t>(
-        (static_cast<__uint128_t>(key) * tables_.size()) / state_space_);
+  [[nodiscard]] std::size_t owner_of(K key) const noexcept {
+    return Traits::owner(key, tables_.size(), state_space_, scheme_);
   }
 
   [[nodiscard]] PartitionScheme scheme() const noexcept { return scheme_; }
   [[nodiscard]] std::uint64_t state_space() const noexcept { return state_space_; }
 
-  [[nodiscard]] OpenHashTable& partition(std::size_t p) { return tables_[p]; }
-  [[nodiscard]] const OpenHashTable& partition(std::size_t p) const {
+  [[nodiscard]] Table& partition(std::size_t p) { return tables_[p]; }
+  [[nodiscard]] const Table& partition(std::size_t p) const {
     return tables_[p];
   }
 
-  /// Total distinct keys across partitions.
+  /// Total distinct keys across partitions. O(P): per-partition populations
+  /// are tracked by the tables themselves.
   [[nodiscard]] std::size_t size() const noexcept;
 
   /// Total observation count across partitions (= m after construction).
+  /// O(P): each table caches its running total under the single-writer
+  /// invariant.
   [[nodiscard]] std::uint64_t total_count() const noexcept;
 
   /// Count of one key, routed via the ownership function. Only valid while
   /// the ownership invariant holds (i.e. before rebalance()).
-  [[nodiscard]] std::uint64_t count(Key key) const noexcept {
+  [[nodiscard]] std::uint64_t count(K key) const noexcept {
     return tables_[owner_of(key)].count(key);
   }
 
   /// Count of one key regardless of which partition holds it.
-  [[nodiscard]] std::uint64_t count_anywhere(Key key) const noexcept;
+  [[nodiscard]] std::uint64_t count_anywhere(K key) const noexcept;
 
   /// Visits all (key, count) pairs across all partitions (single-threaded).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const OpenHashTable& t : tables_) t.for_each(fn);
+    for (const Table& t : tables_) t.for_each(fn);
   }
 
   /// True while every key is stored in the partition owner_of(key) names.
@@ -94,10 +96,16 @@ class PartitionedTable {
   [[nodiscard]] std::pair<std::size_t, std::size_t> population_extremes() const;
 
  private:
-  std::vector<OpenHashTable> tables_;
+  std::vector<Table> tables_;
   std::uint64_t state_space_;
   PartitionScheme scheme_;
   bool rebalanced_ = false;
 };
+
+extern template class BasicPartitionedTable<Key>;
+extern template class BasicPartitionedTable<WideKey>;
+
+using PartitionedTable = BasicPartitionedTable<Key>;
+using WidePartitionedTable = BasicPartitionedTable<WideKey>;
 
 }  // namespace wfbn

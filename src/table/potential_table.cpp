@@ -6,34 +6,42 @@
 
 namespace wfbn {
 
-PotentialTable::PotentialTable(KeyCodec codec, PartitionedTable partitions,
-                               std::uint64_t sample_count)
+template <typename K>
+BasicPotentialTable<K>::BasicPotentialTable(Codec codec, Partitions partitions,
+                                            std::uint64_t sample_count)
     : codec_(std::move(codec)),
       partitions_(std::move(partitions)),
       samples_(sample_count) {}
 
-std::uint64_t PotentialTable::count_of(std::span<const State> states) const {
-  const Key key = codec_.encode_checked(states);
+template <typename K>
+std::uint64_t BasicPotentialTable<K>::count_of(
+    std::span<const State> states) const {
+  const K key = codec_.encode_checked(states);
   return partitions_.count_anywhere(key);
 }
 
-MarginalTable PotentialTable::marginalize_sequential(
+template <typename K>
+MarginalTable BasicPotentialTable<K>::marginalize_sequential(
     std::span<const std::size_t> variables) const {
-  const KeyProjector projector(codec_, variables);
+  const typename Traits::Projector projector(codec_, variables);
   MarginalTable out(projector.variables(), projector.cardinalities());
-  partitions_.for_each([&](Key key, std::uint64_t count) {
+  partitions_.for_each([&](K key, std::uint64_t count) {
     out.add(projector.project(key), count);
   });
   return out;
 }
 
-bool PotentialTable::validate() const {
+template <typename K>
+bool BasicPotentialTable<K>::validate() const {
   if (partitions_.total_count() != samples_) return false;
   bool in_range = true;
-  partitions_.for_each([&](Key key, std::uint64_t count) {
-    if (key >= codec_.state_space_size() || count == 0) in_range = false;
+  partitions_.for_each([&](K key, std::uint64_t count) {
+    if (!Traits::key_in_range(codec_, key) || count == 0) in_range = false;
   });
   return in_range;
 }
+
+template class BasicPotentialTable<Key>;
+template class BasicPotentialTable<WideKey>;
 
 }  // namespace wfbn

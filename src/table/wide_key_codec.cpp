@@ -1,5 +1,6 @@
 #include "table/wide_key_codec.hpp"
 
+#include <string>
 #include <unordered_set>
 #include <utility>
 
@@ -16,7 +17,6 @@ WideKeyCodec::WideKeyCodec(std::vector<std::uint32_t> cardinalities)
   WFBN_EXPECT(!cardinalities_.empty(), "codec needs at least one variable");
   words_.reserve(cardinalities_.size());
   strides_.reserve(cardinalities_.size());
-  std::uint64_t extent[2] = {1, 1};
   for (const std::uint32_t r : cardinalities_) {
     if (r == 0) throw DataError("variable cardinality must be >= 1");
     // First-fit into the lo word, spilling to hi.
@@ -24,7 +24,7 @@ WideKeyCodec::WideKeyCodec(std::vector<std::uint32_t> cardinalities)
     // clear of the all-ones hashtable sentinel).
     unsigned word = 2;
     for (unsigned w = 0; w < 2; ++w) {
-      if (extent[w] <= kWordLimit / r) {
+      if (extents_[w] <= kWordLimit / r) {
         word = w;
         break;
       }
@@ -34,8 +34,8 @@ WideKeyCodec::WideKeyCodec(std::vector<std::uint32_t> cardinalities)
           "joint state space exceeds 2^126 — even wide keys cannot encode it");
     }
     words_.push_back(word);
-    strides_.push_back(extent[word]);
-    extent[word] *= r;
+    strides_.push_back(extents_[word]);
+    extents_[word] *= r;
   }
 }
 
@@ -55,6 +55,22 @@ WideKey WideKeyCodec::encode(std::span<const State> states) const noexcept {
     }
   }
   return key;
+}
+
+WideKey WideKeyCodec::encode_checked(std::span<const State> states) const {
+  if (states.size() != cardinalities_.size()) {
+    throw DataError("state string length " + std::to_string(states.size()) +
+                    " does not match variable count " +
+                    std::to_string(cardinalities_.size()));
+  }
+  for (std::size_t j = 0; j < states.size(); ++j) {
+    if (states[j] >= cardinalities_[j]) {
+      throw DataError("state " + std::to_string(states[j]) + " of variable " +
+                      std::to_string(j) + " exceeds cardinality " +
+                      std::to_string(cardinalities_[j]));
+    }
+  }
+  return encode(states);
 }
 
 void WideKeyCodec::decode_all(WideKey key, std::span<State> out) const noexcept {

@@ -56,7 +56,17 @@ class WideKeyCodec {
   [[nodiscard]] unsigned word_of(std::size_t j) const { return words_[j]; }
   [[nodiscard]] std::uint64_t stride(std::size_t j) const { return strides_[j]; }
 
+  /// Joint state count packed into word w (1 when the word is unused). Every
+  /// valid key satisfies lo < word_extent(0) and hi < word_extent(1).
+  [[nodiscard]] std::uint64_t word_extent(unsigned w) const noexcept {
+    return extents_[w];
+  }
+
   [[nodiscard]] WideKey encode(std::span<const State> states) const noexcept;
+
+  /// encode() with validation — throws DataError on a wrong-length state
+  /// string or out-of-range states. Used on untrusted input paths.
+  [[nodiscard]] WideKey encode_checked(std::span<const State> states) const;
   [[nodiscard]] State decode(WideKey key, std::size_t j) const noexcept {
     const std::uint64_t word = words_[j] == 0 ? key.lo : key.hi;
     return static_cast<State>((word / strides_[j]) % cardinalities_[j]);
@@ -67,6 +77,7 @@ class WideKeyCodec {
   std::vector<std::uint32_t> cardinalities_;
   std::vector<unsigned> words_;         // 0 = lo, 1 = hi
   std::vector<std::uint64_t> strides_;  // stride within the word
+  std::uint64_t extents_[2] = {1, 1};   // joint state count per word
 };
 
 /// Projects wide keys onto a marginal-table index (Eq. 4 per kept variable).

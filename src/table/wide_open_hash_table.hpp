@@ -1,99 +1,6 @@
-// Single-writer open-addressing count table over wide (128-bit) keys — the
-// per-core table of the wide-key construction path. Mirrors OpenHashTable;
-// the empty slot is marked by an all-ones key, which WideKeyCodec can never
-// produce (each word stays below 2^63).
+// Compatibility forwarding header: the wide-key count table is the same
+// BasicOpenHashTable template as the narrow one, instantiated over WideKey
+// (KeyTraits<WideKey> supplies the all-ones sentinel and the two-word hash).
 #pragma once
 
-#include <bit>
-#include <cstdint>
-#include <utility>
-#include <vector>
-
-#include "table/wide_key_codec.hpp"
-
-namespace wfbn {
-
-class WideOpenHashTable {
- public:
-  static constexpr WideKey kEmptyKey{~0ULL, ~0ULL};
-
-  explicit WideOpenHashTable(std::size_t expected_entries = 16) {
-    rehash_for(expected_entries);
-  }
-
-  void increment(WideKey key, std::uint64_t delta = 1) {
-    std::size_t index = slot_of(key);
-    for (;;) {
-      Entry& entry = entries_[index];
-      if (entry.key == key) {
-        entry.count += delta;
-        return;
-      }
-      if (entry.key == kEmptyKey) {
-        entry.key = key;
-        entry.count = delta;
-        if (++size_ * 10 > capacity() * 7) grow();
-        return;
-      }
-      index = (index + 1) & mask_;
-    }
-  }
-
-  [[nodiscard]] std::uint64_t count(WideKey key) const noexcept {
-    std::size_t index = slot_of(key);
-    for (;;) {
-      const Entry& entry = entries_[index];
-      if (entry.key == key) return entry.count;
-      if (entry.key == kEmptyKey) return 0;
-      index = (index + 1) & mask_;
-    }
-  }
-
-  [[nodiscard]] std::size_t size() const noexcept { return size_; }
-  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
-  [[nodiscard]] std::size_t capacity() const noexcept { return entries_.size(); }
-
-  [[nodiscard]] std::uint64_t total_count() const noexcept {
-    std::uint64_t total = 0;
-    for (const Entry& e : entries_) {
-      if (!(e.key == kEmptyKey)) total += e.count;
-    }
-    return total;
-  }
-
-  template <typename Fn>
-  void for_each(Fn&& fn) const {
-    for (const Entry& e : entries_) {
-      if (!(e.key == kEmptyKey)) fn(e.key, e.count);
-    }
-  }
-
- private:
-  struct Entry {
-    WideKey key = kEmptyKey;
-    std::uint64_t count = 0;
-  };
-
-  [[nodiscard]] std::size_t slot_of(WideKey key) const noexcept {
-    return static_cast<std::size_t>(wide_key_hash(key)) & mask_;
-  }
-
-  void rehash_for(std::size_t expected_entries) {
-    const std::size_t wanted =
-        std::bit_ceil(std::max<std::size_t>(expected_entries * 10 / 7 + 1, 16));
-    std::vector<Entry> old = std::exchange(entries_, std::vector<Entry>(wanted));
-    mask_ = wanted - 1;
-    size_ = 0;
-    for (const Entry& e : old) {
-      if (!(e.key == kEmptyKey)) increment(e.key, e.count);
-    }
-  }
-
-  void grow() { rehash_for(size_ * 2); }
-
-  std::vector<Entry> entries_;
-  std::size_t mask_ = 0;
-  std::size_t size_ = 0;
-};
-
-}  // namespace wfbn
+#include "table/open_hash_table.hpp"

@@ -105,6 +105,12 @@ std::string arm_random_schedule(std::uint64_t seed) {
   // Only throwing points participate: spawn/pin/cache-insert arming changes
   // behavior via degradation instead of an error, which the fuzz sweeps
   // exercise separately from their match-or-typed-error oracle.
+  //
+  // Every point here is width-generic: the builder, marginalizer, MI, and
+  // serve kernels are one key-trait-templated implementation, so a schedule
+  // armed through this function fires identically under narrow (64-bit) and
+  // wide (two-word) keys. The wide sweep in tests/test_fault_injection.cpp
+  // relies on this — there is no separate wide point list to keep in sync.
   static constexpr Point kThrowing[] = {
       Point::kSpscChunkAlloc, Point::kStage1Row,  Point::kBarrier,
       Point::kStage2Drain,    Point::kPipelineDrain, Point::kAppendCommit,

@@ -27,6 +27,7 @@
 // potential-table representation
 #include "table/dense_table.hpp"
 #include "table/key_codec.hpp"
+#include "table/key_traits.hpp"
 #include "table/marginal_table.hpp"
 #include "table/open_hash_table.hpp"
 #include "table/partitioned_table.hpp"
@@ -40,7 +41,6 @@
 #include "core/marginalizer.hpp"
 #include "core/query.hpp"
 #include "core/wait_free_builder.hpp"
-#include "core/wide_builder.hpp"
 
 // serving: versioned snapshots + concurrent query serving
 #include "serve/result_cache.hpp"

@@ -368,6 +368,114 @@ TEST(FaultInjection, WatchdogStaysQuietOnHealthyBuilds) {
   expect_equal_counts(table, reference_counts(data));
 }
 
+// --------------------------------------------------- wide-key schedule sweep
+
+// The unified key-trait-templated kernel means every fault point above is
+// also a wide-path fault point: the same WFBN_FAULT_POINT sites execute when
+// the builder runs over two-word keys. This sweep arms random schedules
+// (same generator the narrow fuzz harness uses) and drives them through a
+// wide build at n = 100 binary variables — past the 64-bit key limit — with
+// the same oracle: a typed error or the exact reference table, never a
+// crash, hang, or corrupted result.
+
+std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+wide_snapshot(const WidePotentialTable& table) {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> counts;
+  table.for_each([&](WideKey key, std::uint64_t c) {
+    counts[{key.lo, key.hi}] += c;
+  });
+  return counts;
+}
+
+TEST(WideFaultInjection, RandomSchedulesThrowTypedErrorsOrStayExact) {
+  const Dataset data = generate_chain_correlated(6000, 100, 2, 0.8, 61);
+  WideBuilderOptions options;
+  options.threads = 4;
+  options.stall_timeout_seconds = 5.0;
+  const auto reference = wide_snapshot(WideWaitFreeBuilder(options).build(data));
+
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    fault::ScopedFaultInjection injection;
+    const std::string schedule = fault::arm_random_schedule(seed);
+    for (const bool pipelined : {false, true}) {
+      WideBuilderOptions faulted = options;
+      faulted.pipelined = pipelined;
+      WideWaitFreeBuilder builder(faulted);
+      try {
+        const WidePotentialTable table = builder.build(data);
+        ASSERT_TRUE(table.validate()) << "schedule: " << schedule;
+        EXPECT_EQ(wide_snapshot(table), reference) << "schedule: " << schedule;
+      } catch (const InjectedFault&) {
+      } catch (const StallError&) {
+      }
+    }
+  }
+}
+
+TEST(WideFaultInjection, MidAppendThrowLeavesWideTableBitIdentical) {
+  const Dataset base = generate_chain_correlated(4000, 100, 2, 0.8, 62);
+  const Dataset batch = generate_chain_correlated(8000, 100, 2, 0.8, 63);
+  WideBuilderOptions options;
+  options.threads = 2;
+  WideWaitFreeBuilder builder(options);
+
+  WidePotentialTable reference_table = builder.build(base);
+  const auto before = wide_snapshot(reference_table);
+  const std::uint64_t samples_before = reference_table.sample_count();
+  builder.append(batch, reference_table);
+  const auto combined = wide_snapshot(reference_table);
+
+  // Either/or oracle per point: with hash-based wide ownership some points
+  // are traffic-dependent (e.g. chunk allocation needs a queue to overflow
+  // its first chunk), so an armed point that is never reached must leave a
+  // complete append — and one that fires must leave the table bit-identical
+  // and the append retryable from exactly the pre-fault state.
+  for (const auto& [point, fire_on] :
+       {std::make_pair(fault::Point::kStage1Row, std::uint64_t{1}),
+        std::make_pair(fault::Point::kStage1Row, std::uint64_t{5000}),
+        std::make_pair(fault::Point::kSpscChunkAlloc, std::uint64_t{1}),
+        std::make_pair(fault::Point::kStage2Drain, std::uint64_t{100}),
+        std::make_pair(fault::Point::kAppendCommit, std::uint64_t{1})}) {
+    WidePotentialTable table = builder.build(base);
+    fault::ScopedFaultInjection injection;
+    fault::arm(point, fire_on);
+    bool fired = false;
+    try {
+      builder.append(batch, table);
+    } catch (const InjectedFault&) {
+      fired = true;
+    }
+    if (fired) {
+      EXPECT_EQ(table.sample_count(), samples_before)
+          << fault::point_name(point);
+      EXPECT_EQ(wide_snapshot(table), before) << fault::point_name(point);
+      ASSERT_TRUE(table.validate());
+      fault::reset();
+      builder.append(batch, table);  // transient: the retry lands whole
+    }
+    EXPECT_EQ(table.sample_count(), samples_before + batch.sample_count());
+    EXPECT_EQ(wide_snapshot(table), combined) << fault::point_name(point);
+    ASSERT_TRUE(table.validate());
+  }
+}
+
+TEST(WideFaultInjection, SpawnFailureDegradesWideBuildToFewerWorkers) {
+  const Dataset data = generate_chain_correlated(5000, 80, 2, 0.8, 64);
+  WideBuilderOptions options;
+  options.threads = 6;
+  const auto reference = wide_snapshot(WideWaitFreeBuilder(options).build(data));
+
+  fault::ScopedFaultInjection injection;
+  fault::arm(fault::Point::kThreadSpawn, 3);
+  WideWaitFreeBuilder builder(options);
+  const WidePotentialTable table = builder.build(data);
+
+  EXPECT_EQ(wide_snapshot(table), reference);
+  EXPECT_EQ(builder.stats().requested_workers, 6u);
+  EXPECT_EQ(builder.stats().effective_workers, 2u);
+  EXPECT_TRUE(builder.stats().degraded());
+}
+
 // ------------------------------------------------------ framework basics
 
 TEST(FaultInjection, DisabledPointsNeverFire) {

@@ -395,6 +395,160 @@ TEST(ServeFaults, RandomFaultSchedulesThroughIngestPublishPath) {
   EXPECT_GT(faulted, 0) << published << " published";
 }
 
+// ------------------------------------------------------- wide-key serving
+
+// The key-trait-templated serve stack makes the same contracts hold past the
+// 64-bit key limit: these round-trips run at n = 100 binary variables
+// (joint state space 2^100), where narrow keys cannot even encode a row.
+
+WidePotentialTable wide_build(const Dataset& data, std::size_t threads = 4) {
+  WideBuilderOptions options;
+  options.threads = threads;
+  return WideWaitFreeBuilder(options).build(data);
+}
+
+// Contract 1 at wide keys: concurrent readers over a WideTableStore observe
+// only complete versions (same completeness oracle as the narrow test).
+TEST(WideTableStore, ConcurrentReadersSeeOnlyCompleteVersions) {
+  constexpr std::size_t kBaseRows = 1200;
+  constexpr std::size_t kBatchRows = 600;
+  constexpr std::size_t kBatches = 6;
+  constexpr std::size_t kReaders = 3;
+
+  const Dataset base = generate_chain_correlated(kBaseRows, 100, 2, 0.8, 0xA1);
+  serve::WideTableStore store(wide_build(base));
+  EXPECT_EQ(store.version(), 1u);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> observations{0};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_version = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const serve::WideSnapshotPtr snap = store.current();
+        const std::uint64_t v = snap->version();
+        const std::uint64_t expected_m =
+            kBaseRows + (v - 1) * static_cast<std::uint64_t>(kBatchRows);
+        if (v < last_version || v > kBatches + 1 ||
+            snap->table().sample_count() != expected_m ||
+            snap->table().total_count() != expected_m) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        last_version = v;
+        observations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    const Dataset batch =
+        generate_chain_correlated(kBatchRows, 100, 2, 0.8, 0xA2 + b);
+    const IngestStats stats = store.ingest(batch);
+    EXPECT_EQ(stats.published_version, b + 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(observations.load(), 0u);
+  EXPECT_EQ(store.version(), kBatches + 1);
+}
+
+// Contract 2 at wide keys: every cached wide answer is byte-identical to an
+// uncached WideQueryEngine over the same snapshot, across the full query mix
+// (marginal, conditional, pair MI) — including a pair straddling the word
+// boundary of the two-word codec.
+TEST(WideServeEngine, CachedWideAnswersMatchUncached) {
+  const Dataset data = generate_chain_correlated(4000, 100, 2, 0.8, 0xB1);
+  serve::WideTableStore store(wide_build(data));
+  serve::WideServeEngine engine(store);
+  const WideQueryEngine reference(store.current()->table(), 1);
+
+  const std::vector<std::vector<std::size_t>> marginals = {
+      {0}, {50}, {99}, {0, 99}, {62, 63}};  // {62,63} spans the word boundary
+  const std::vector<Evidence> evidence = {{1, 0}};
+
+  for (int round = 0; round < 2; ++round) {
+    const bool expect_hit = round == 1;
+    for (const std::vector<std::size_t>& vars : marginals) {
+      const ServeResult served = engine.marginal(vars);
+      EXPECT_EQ(served.version, 1u);
+      EXPECT_EQ(served.cache_hit, expect_hit);
+      EXPECT_TRUE(bytes_equal(served.values, reference.marginal(vars)));
+    }
+    const std::size_t cond_vars[] = {0};
+    const ServeResult cond = engine.conditional(cond_vars, evidence);
+    EXPECT_EQ(cond.cache_hit, expect_hit);
+    EXPECT_TRUE(bytes_equal(cond.values,
+                            reference.conditional(cond_vars, evidence)));
+    const ServeResult mi = engine.pair_mi(62, 63);
+    EXPECT_EQ(mi.cache_hit, expect_hit);
+    ASSERT_EQ(mi.values.size(), 1u);
+    const std::size_t pair[] = {62, 63};
+    EXPECT_EQ(mi.values[0],
+              mutual_information(
+                  store.current()->table().marginalize_sequential(pair)));
+  }
+
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, marginals.size() + 2);
+  EXPECT_EQ(stats.misses, marginals.size() + 2);
+}
+
+// Round-trip across a publish: the version bump invalidates wide cached
+// answers and recomputation matches an uncached engine over the new snapshot.
+TEST(WideServeEngine, PublishInvalidatesAndRecomputesWideAnswers) {
+  const Dataset base = generate_chain_correlated(2500, 100, 2, 0.8, 0xB2);
+  const Dataset batch = generate_chain_correlated(2500, 100, 2, 0.8, 0xB3);
+  serve::WideTableStore store(wide_build(base));
+  serve::WideServeEngine engine(store);
+
+  const std::size_t vars[] = {62, 63};
+  const ServeResult before = engine.marginal(vars);
+  EXPECT_EQ(before.version, 1u);
+  EXPECT_TRUE(engine.marginal(vars).cache_hit);
+
+  const IngestStats ingest = engine.ingest(batch);
+  EXPECT_EQ(ingest.published_version, 2u);
+  EXPECT_EQ(store.current()->table().sample_count(),
+            base.sample_count() + batch.sample_count());
+
+  const ServeResult after = engine.marginal(vars);
+  EXPECT_EQ(after.version, 2u);
+  EXPECT_FALSE(after.cache_hit);
+  const WideQueryEngine reference(store.current()->table(), 1);
+  EXPECT_TRUE(bytes_equal(after.values, reference.marginal(vars)));
+  EXPECT_TRUE(engine.marginal(vars).cache_hit);
+}
+
+// Contract 3 at wide keys: a failed wide publish leaves the served version
+// untouched and retryable (the strong guarantee the unified kernel threads
+// through both widths).
+TEST(WideServeFaults, FailedWidePublishLeavesServedVersionUntouched) {
+  const Dataset base = generate_chain_correlated(2000, 100, 2, 0.8, 0xC1);
+  const Dataset batch = generate_chain_correlated(1500, 100, 2, 0.8, 0xC2);
+  serve::WideTableStore store(wide_build(base));
+
+  fault::ScopedFaultInjection injection;
+  fault::arm(fault::Point::kServePublish, 1);
+  EXPECT_THROW((void)store.ingest(batch), InjectedFault);
+  EXPECT_EQ(store.version(), 1u);
+  EXPECT_EQ(store.current()->table().sample_count(), base.sample_count());
+  EXPECT_TRUE(store.current()->table().validate());
+
+  fault::reset();
+  const IngestStats stats = store.ingest(batch);
+  EXPECT_EQ(stats.published_version, 2u);
+  EXPECT_EQ(store.current()->table().sample_count(),
+            base.sample_count() + batch.sample_count());
+}
+
 TEST(ResultCache, EvictionReclaimsSupersededVersionsFirst) {
   serve::ResultCache cache(1, 4);  // one shard, tiny capacity
   auto key = [](std::uint64_t version, std::uint64_t payload) {

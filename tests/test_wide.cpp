@@ -7,7 +7,7 @@
 
 #include "core/all_pairs_mi.hpp"
 #include "core/wait_free_builder.hpp"
-#include "core/wide_builder.hpp"
+#include "core/marginalizer.hpp"
 #include "core/info_theory.hpp"
 #include "data/generators.hpp"
 #include "util/rng.hpp"
