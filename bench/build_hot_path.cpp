@@ -1,0 +1,273 @@
+// Block-routing hot-path sweep: stage-1 + stage-2 construction throughput as
+// a function of the write-combining buffer size (route_buffer_keys) and the
+// stage-2 probe-prefetch lookahead (prefetch_distance), against the scalar
+// baseline (route_buffer_keys = 1, prefetch_distance = 0,
+// encode_block_rows = 1) on the same workload.
+//
+// Every swept configuration is verified to produce a table identical to the
+// scalar baseline (same distinct keys, same total count, same
+// order-independent content checksum) before its timing is reported — a
+// faster build of a different table would be worthless.
+//
+// Reported per configuration: best-of-reps wall clock, the critical path
+// max_p(stage1_p) + max_p(stage2_p) (the makespan a P-core machine would
+// observe; on hosts with fewer cores than P the wall clock serializes the
+// workers and stops being informative — the JSON records host_cores), rows/s
+// on the critical path, speedup vs the scalar baseline, and the transfer
+// efficiency counters (foreign keys per flush, drained keys per bulk pop).
+//
+// Machine-readable output: a BENCH_build_hot_path.json datapoint (path
+// configurable with --json-out, empty string disables), plus the same JSON
+// on stdout.
+//
+//   ./build_hot_path --samples 1000000 --variables 30 --threads 8
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/wait_free_builder.hpp"
+#include "data/generators.hpp"
+#include "table/key_traits.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace wfbn;
+
+struct SweepConfig {
+  std::size_t samples = 0;
+  std::size_t variables = 0;
+  std::uint32_t cardinality = 2;
+  std::size_t threads = 8;
+  std::size_t reps = 2;
+  bool pipelined = false;
+  std::uint64_t seed = 42;
+};
+
+struct TableDigest {
+  std::uint64_t distinct = 0;
+  std::uint64_t total = 0;
+  std::uint64_t checksum = 0;  // order-independent content hash
+
+  [[nodiscard]] bool operator==(const TableDigest&) const = default;
+};
+
+TableDigest digest_of(const PotentialTable& table) {
+  TableDigest digest;
+  table.partitions().for_each([&](Key key, std::uint64_t c) {
+    ++digest.distinct;
+    digest.total += c;
+    // Commutative fold: summing per-entry mixes is insensitive to the sweep
+    // order, which differs across partition geometries.
+    std::uint64_t h = key * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    digest.checksum += h ^ (c * 0x94D049BB133111EBULL);
+  });
+  return digest;
+}
+
+struct ConfigResult {
+  std::size_t buffer = 0;
+  std::size_t prefetch = 0;
+  double wall_seconds = 0.0;
+  double critical_seconds = 0.0;
+  std::uint64_t route_flushes = 0;
+  std::uint64_t bulk_pops = 0;
+  std::uint64_t foreign = 0;
+  std::uint64_t drained = 0;
+  bool identical = false;
+
+  [[nodiscard]] double rows_per_sec(std::size_t m) const {
+    return critical_seconds == 0.0
+               ? 0.0
+               : static_cast<double>(m) / critical_seconds;
+  }
+};
+
+WaitFreeBuilderOptions options_for(const SweepConfig& config,
+                                   std::size_t buffer, std::size_t prefetch,
+                                   std::size_t strip) {
+  WaitFreeBuilderOptions options;
+  options.threads = config.threads;
+  options.pipelined = config.pipelined;
+  options.route_buffer_keys = buffer;
+  options.prefetch_distance = prefetch;
+  options.encode_block_rows = strip;
+  return options;
+}
+
+ConfigResult run_config(const Dataset& data, const SweepConfig& config,
+                        std::size_t buffer, std::size_t prefetch,
+                        std::size_t strip, const TableDigest& reference) {
+  ConfigResult result;
+  result.buffer = buffer;
+  result.prefetch = prefetch;
+  result.wall_seconds = 1e300;
+  result.critical_seconds = 1e300;
+  WaitFreeBuilder builder(options_for(config, buffer, prefetch, strip));
+  for (std::size_t rep = 0; rep < config.reps; ++rep) {
+    const PotentialTable table = builder.build(data);
+    const BuildStats& stats = builder.stats();
+    if (stats.total_seconds < result.wall_seconds) {
+      result.wall_seconds = stats.total_seconds;
+    }
+    if (stats.critical_path_seconds() < result.critical_seconds) {
+      result.critical_seconds = stats.critical_path_seconds();
+    }
+    result.route_flushes = stats.total_route_flushes();
+    result.bulk_pops = stats.total_bulk_pops();
+    result.foreign = stats.total_foreign_pushes();
+    result.drained = 0;
+    for (const WorkerStats& w : stats.workers) result.drained += w.stage2_pops;
+    if (rep == 0) result.identical = digest_of(table) == reference;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "build_hot_path — write-combining / bulk-transfer sweep of the "
+      "two-stage construction kernel");
+  cli.add_option("samples", "1000000", "Training rows m");
+  cli.add_option("variables", "30", "Variables n");
+  cli.add_option("cardinality", "2", "States per variable r");
+  cli.add_option("threads", "8", "Workers (= partitions) P");
+  cli.add_option("buffers", "1,16,64,256",
+                 "route_buffer_keys values to sweep (1 = scalar routing)");
+  cli.add_option("prefetch", "0,4,8", "prefetch_distance values to sweep");
+  cli.add_option("encode-rows", "32",
+                 "encode_block_rows for swept configs (baseline always 1)");
+  cli.add_option("reps", "2", "Repetitions per configuration (best-of)");
+  cli.add_option("seed", "42", "Workload seed");
+  cli.add_flag("pipelined", "Sweep the barrier-free pipelined variant");
+  cli.add_option("json-out", "BENCH_build_hot_path.json",
+                 "JSON datapoint path (empty disables the file)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  SweepConfig config;
+  config.samples = static_cast<std::size_t>(cli.get_int("samples"));
+  config.variables = static_cast<std::size_t>(cli.get_int("variables"));
+  config.cardinality = static_cast<std::uint32_t>(cli.get_int("cardinality"));
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  config.reps = static_cast<std::size_t>(cli.get_int("reps"));
+  config.pipelined = cli.get_bool("pipelined");
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto strip = static_cast<std::size_t>(cli.get_int("encode-rows"));
+  const std::string json_out = cli.get("json-out");
+
+  std::printf("generating %zu x %zu (r=%u) workload...\n", config.samples,
+              config.variables, config.cardinality);
+  const Dataset data = generate_uniform(config.samples, config.variables,
+                                        config.cardinality, config.seed);
+
+  // Scalar baseline: block size 1 at every layer.
+  WaitFreeBuilder scalar(options_for(config, 1, 0, 1));
+  TableDigest reference;
+  double scalar_wall = 1e300;
+  double scalar_critical = 1e300;
+  for (std::size_t rep = 0; rep < config.reps; ++rep) {
+    const PotentialTable table = scalar.build(data);
+    if (rep == 0) reference = digest_of(table);
+    scalar_wall = std::min(scalar_wall, scalar.stats().total_seconds);
+    scalar_critical =
+        std::min(scalar_critical, scalar.stats().critical_path_seconds());
+  }
+  std::printf("scalar baseline: wall %.3fs, critical path %.3fs\n",
+              scalar_wall, scalar_critical);
+
+  std::vector<ConfigResult> results;
+  for (const std::int64_t buffer : cli.get_int_list("buffers")) {
+    for (const std::int64_t prefetch : cli.get_int_list("prefetch")) {
+      results.push_back(run_config(data, config,
+                                   static_cast<std::size_t>(buffer),
+                                   static_cast<std::size_t>(prefetch), strip,
+                                   reference));
+    }
+  }
+
+  TablePrinter table({"buffer", "prefetch", "wall s", "critical s", "rows/s",
+                      "speedup", "keys/flush", "keys/pop", "identical"});
+  for (const ConfigResult& r : results) {
+    const double keys_per_flush =
+        r.route_flushes == 0 ? 0.0
+                             : static_cast<double>(r.foreign) /
+                                   static_cast<double>(r.route_flushes);
+    const double keys_per_pop =
+        r.bulk_pops == 0 ? 0.0
+                         : static_cast<double>(r.drained) /
+                               static_cast<double>(r.bulk_pops);
+    table.add_row({std::to_string(r.buffer), std::to_string(r.prefetch),
+                   TablePrinter::fmt(r.wall_seconds, 3),
+                   TablePrinter::fmt(r.critical_seconds, 3),
+                   TablePrinter::fmt(r.rows_per_sec(config.samples), 0),
+                   TablePrinter::fmt(scalar_critical / r.critical_seconds, 2),
+                   TablePrinter::fmt(keys_per_flush, 1),
+                   TablePrinter::fmt(keys_per_pop, 1),
+                   r.identical ? "yes" : "NO"});
+  }
+  table.print("build_hot_path — block routing sweep (P=" +
+              std::to_string(config.threads) + ")");
+
+  std::string json = "{\n  \"bench\": \"build_hot_path\",\n";
+  json += "  \"host_cores\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"config\": {\"samples\": " + std::to_string(config.samples) +
+          ", \"variables\": " + std::to_string(config.variables) +
+          ", \"cardinality\": " + std::to_string(config.cardinality) +
+          ", \"threads\": " + std::to_string(config.threads) +
+          ", \"encode_block_rows\": " + std::to_string(strip) +
+          ", \"pipelined\": " + (config.pipelined ? "true" : "false") +
+          ", \"reps\": " + std::to_string(config.reps) +
+          ", \"seed\": " + std::to_string(config.seed) + "},\n";
+  char baseline[160];
+  std::snprintf(baseline, sizeof baseline,
+                "  \"scalar_baseline\": {\"wall_seconds\": %.6f, "
+                "\"critical_path_seconds\": %.6f},\n",
+                scalar_wall, scalar_critical);
+  json += baseline;
+  json += "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    char row[400];
+    std::snprintf(
+        row, sizeof row,
+        "    {\"route_buffer_keys\": %zu, \"prefetch_distance\": %zu, "
+        "\"wall_seconds\": %.6f, \"critical_path_seconds\": %.6f, "
+        "\"rows_per_sec\": %.1f, \"speedup_vs_scalar\": %.3f, "
+        "\"route_flushes\": %llu, \"bulk_pops\": %llu, "
+        "\"identical_to_scalar\": %s}%s\n",
+        r.buffer, r.prefetch, r.wall_seconds, r.critical_seconds,
+        r.rows_per_sec(config.samples), scalar_critical / r.critical_seconds,
+        static_cast<unsigned long long>(r.route_flushes),
+        static_cast<unsigned long long>(r.bulk_pops),
+        r.identical ? "true" : "false", i + 1 == results.size() ? "" : ",");
+    json += row;
+  }
+  json += "  ]\n}\n";
+
+  std::printf("\n-- JSON --\n%s", json.c_str());
+  if (!json_out.empty()) {
+    if (std::FILE* f = std::fopen(json_out.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_out.c_str());
+    } else {
+      std::printf("could not write %s\n", json_out.c_str());
+    }
+  }
+
+  bool all_identical = true;
+  for (const ConfigResult& r : results) all_identical &= r.identical;
+  if (!all_identical) {
+    std::printf("ERROR: a swept configuration diverged from the scalar "
+                "baseline table\n");
+    return 1;
+  }
+  return 0;
+}

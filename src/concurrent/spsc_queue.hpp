@@ -9,10 +9,20 @@
 // chunk's fill count with release stores, consumer reads with acquire loads),
 // which is what the pipelined builder variant exercises.
 //
-// Progress: push() is wait-free except for chunk allocation (amortized one
-// allocation per kChunkCapacity pushes); try_pop() is wait-free.
+// Two transfer granularities share the chunk representation:
+//  - item-at-a-time: push() / try_pop(), one release/acquire pair per item;
+//  - block transfer: push_block() copies a whole span and publishes one
+//    release store per touched chunk, consume() hands the consumer every
+//    currently published span with one acquire load per chunk. The builders'
+//    write-combining routers use the block path; the per-item API remains for
+//    callers without batching opportunities.
+//
+// Progress: all producer operations are wait-free except for chunk allocation
+// (amortized one allocation per kChunkCapacity items); all consumer
+// operations are wait-free.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -70,26 +80,91 @@ class SpscQueue {
     ++pushed_;
   }
 
+  /// Bulk producer: copies `count` items from `items` and publishes one
+  /// release store per touched chunk instead of one per item — the
+  /// write-combining flush path of the builders. FIFO order is preserved
+  /// relative to push(). Wait-free except for chunk allocation (amortized
+  /// one per kChunkCapacity items). If an allocation throws mid-block (OOM
+  /// or an injected fault), the prefix already published stays enqueued and
+  /// both ends stay valid; the remainder of the block is not enqueued.
+  void push_block(const T* items, std::size_t count) {
+    Chunk* chunk = tail_chunk_;
+    std::size_t fill = chunk->count.load(std::memory_order_relaxed);
+    while (count != 0) {
+      if (fill == kChunkCapacity) {
+        WFBN_FAULT_POINT(fault::Point::kSpscChunkAlloc);
+        auto* fresh = new Chunk;
+        const std::size_t take = std::min(count, kChunkCapacity);
+        std::copy_n(items, take, fresh->items);
+        fresh->count.store(take, std::memory_order_relaxed);
+        // As in push(): fill first, then publish via the link, so a linked
+        // chunk is never observed with unpublished leading elements.
+        chunk->next.store(fresh, std::memory_order_release);
+        tail_chunk_ = fresh;
+        pushed_ += take;
+        items += take;
+        count -= take;
+        chunk = fresh;
+        fill = take;
+        continue;
+      }
+      const std::size_t take = std::min(count, kChunkCapacity - fill);
+      std::copy_n(items, take, chunk->items + fill);
+      fill += take;
+      chunk->count.store(fill, std::memory_order_release);
+      pushed_ += take;
+      items += take;
+      count -= take;
+    }
+  }
+
   /// Consumer side. Returns false when no item is currently available (the
   /// producer may still push more later — emptiness is transient unless the
   /// producer is known to be done, e.g. after the construction barrier).
   bool try_pop(T& out) {
     Chunk* chunk = head_chunk_;
-    const std::size_t available = chunk->count.load(std::memory_order_acquire);
-    if (read_index_ < available) {
-      out = chunk->items[read_index_++];
-      return true;
-    }
-    if (read_index_ == kChunkCapacity) {
-      Chunk* next = chunk->next.load(std::memory_order_acquire);
-      if (next != nullptr) {
-        delete chunk;
-        head_chunk_ = next;
-        read_index_ = 0;
-        return try_pop(out);
+    for (;;) {
+      const std::size_t available = chunk->count.load(std::memory_order_acquire);
+      if (read_index_ < available) {
+        out = chunk->items[read_index_++];
+        return true;
       }
+      Chunk* next = next_of_exhausted(chunk, read_index_);
+      if (next == nullptr) return false;
+      delete chunk;
+      head_chunk_ = next;
+      read_index_ = 0;
+      chunk = next;
     }
-    return false;
+  }
+
+  /// Bulk consumer: hands every currently published span to
+  /// fn(const T* items, std::size_t count) — one call (and one acquire load)
+  /// per contiguous span, at most one span per chunk — advancing and freeing
+  /// chunks as they are exhausted. Returns the total number of items
+  /// consumed; 0 means nothing was available right now (same transiency
+  /// caveat as try_pop). The span is only marked consumed after fn returns:
+  /// if fn throws, the items of the throwing call are redelivered on the
+  /// next consume()/try_pop().
+  template <typename Fn>
+  std::size_t consume(Fn&& fn) {
+    std::size_t total = 0;
+    Chunk* chunk = head_chunk_;
+    for (;;) {
+      const std::size_t available = chunk->count.load(std::memory_order_acquire);
+      if (read_index_ < available) {
+        fn(chunk->items + read_index_, available - read_index_);
+        total += available - read_index_;
+        read_index_ = available;
+        continue;  // re-load: the producer may have published more meanwhile
+      }
+      Chunk* next = next_of_exhausted(chunk, read_index_);
+      if (next == nullptr) return total;
+      delete chunk;
+      head_chunk_ = next;
+      read_index_ = 0;
+      chunk = next;
+    }
   }
 
   /// Total number of items ever pushed. Producer-thread view; used by the
@@ -99,12 +174,14 @@ class SpscQueue {
   /// True iff a try_pop() right now would fail. Consumer-thread view.
   [[nodiscard]] bool empty() const noexcept {
     Chunk* chunk = head_chunk_;
-    if (read_index_ < chunk->count.load(std::memory_order_acquire)) return false;
-    if (read_index_ == kChunkCapacity &&
-        chunk->next.load(std::memory_order_acquire) != nullptr) {
-      return false;
+    std::size_t index = read_index_;
+    for (;;) {
+      if (index < chunk->count.load(std::memory_order_acquire)) return false;
+      Chunk* next = next_of_exhausted(chunk, index);
+      if (next == nullptr) return true;
+      chunk = next;
+      index = 0;
     }
-    return true;
   }
 
   static constexpr std::size_t chunk_capacity() noexcept { return kChunkCapacity; }
@@ -115,6 +192,16 @@ class SpscQueue {
     std::atomic<std::size_t> count{0};  // published fill level (producer writes)
     std::atomic<Chunk*> next{nullptr};
   };
+
+  /// The one chunk-advance rule, shared by try_pop/consume/empty: a chunk is
+  /// exhausted only once the consumer has read all kChunkCapacity items, and
+  /// its successor becomes visible through the producer's release-linked
+  /// next pointer. Returns the successor, or nullptr when the chunk is not
+  /// exhausted or no successor is linked yet.
+  static Chunk* next_of_exhausted(Chunk* chunk, std::size_t read_index) noexcept {
+    if (read_index != kChunkCapacity) return nullptr;
+    return chunk->next.load(std::memory_order_acquire);
+  }
 
   // Producer-only and consumer-only state live on separate cache lines so the
   // pipelined builder variant does not induce false sharing between the ends.

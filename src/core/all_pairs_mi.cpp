@@ -188,6 +188,14 @@ MiMatrix BasicAllPairsMi<K>::compute_fused(const Table& table,
   std::vector<std::vector<std::uint64_t>> worker_counts(
       pool.size(), std::vector<std::uint64_t>(offsets.back(), 0));
 
+  // Decode-of-interest recipes (Eq. 4) for every variable, hoisted out of
+  // the sweep. decode_leg extracts each variable independently of the others
+  // ((key / stride) % r), so the n extractions per key pipeline instead of
+  // forming decode_all's chain of dependent divisions.
+  std::vector<typename Traits::VarLeg> legs;
+  legs.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) legs.push_back(Traits::leg_of(codec, v));
+
   pool.run([&](std::size_t w) {
     Timer timer;
     std::uint64_t visited = 0;
@@ -197,7 +205,9 @@ MiMatrix BasicAllPairsMi<K>::compute_fused(const Table& table,
     for (std::size_t p = lo; p < hi; ++p) {
       WFBN_FAULT_POINT(fault::Point::kMiSweep);
       table.partitions().partition(p).for_each([&](K key, std::uint64_t c) {
-        codec.decode_all(key, states);
+        for (std::size_t v = 0; v < n; ++v) {
+          states[v] = static_cast<State>(Traits::decode_leg(legs[v], key));
+        }
         ++visited;
         for (std::size_t k = 0; k < pairs.size(); ++k) {
           const auto [i, j] = pairs[k];
@@ -210,13 +220,19 @@ MiMatrix BasicAllPairsMi<K>::compute_fused(const Table& table,
     stats_.worker_entries_visited[w] = visited;
   });
 
-  // Merge worker buffers, then score each pair.
+  // Merge worker buffers into worker 0's, the pool splitting the cell range:
+  // each worker folds a disjoint block of cells across all buffers, so the
+  // merge parallelizes without any two workers writing the same word.
   std::vector<std::uint64_t>& merged = worker_counts[0];
-  for (std::size_t w = 1; w < worker_counts.size(); ++w) {
-    for (std::size_t c = 0; c < merged.size(); ++c) {
-      merged[c] += worker_counts[w][c];
-    }
-  }
+  pool.parallel_for(0, merged.size(),
+                    [&](std::size_t, std::size_t lo, std::size_t hi) {
+                      for (std::size_t w = 1; w < worker_counts.size(); ++w) {
+                        const std::vector<std::uint64_t>& src = worker_counts[w];
+                        for (std::size_t c = lo; c < hi; ++c) {
+                          merged[c] += src[c];
+                        }
+                      }
+                    });
   MiMatrix out(n);
   for (std::size_t k = 0; k < pairs.size(); ++k) {
     const auto [i, j] = pairs[k];

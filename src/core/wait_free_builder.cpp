@@ -40,6 +40,59 @@ class QueueFabric {
   std::vector<std::unique_ptr<Queue>> cells_;
 };
 
+/// Per-worker software write-combining router (stage 1): a small staging
+/// buffer per destination worker; a full buffer is flushed into the SPSC
+/// fabric with one bulk publish (SpscQueue::push_block) instead of one
+/// release store per key. The caller flushes the remainder at stage/batch
+/// boundaries (flush_all, ascending destination order). With
+/// buffer_keys == 1 every route() flushes immediately, which is exactly the
+/// pre-block scalar behavior.
+template <typename K>
+class KeyRouter {
+ public:
+  KeyRouter(QueueFabric<K>& queues, std::size_t src, std::size_t workers,
+            std::size_t buffer_keys)
+      : queues_(queues),
+        src_(src),
+        capacity_(buffer_keys),
+        staging_(workers * buffer_keys),
+        fill_(workers, 0) {}
+
+  /// Stages `key` for `dst`; flushes that destination's buffer when full.
+  /// Returns the number of flushes performed (0 or 1).
+  std::uint64_t route(std::size_t dst, K key) {
+    K* buffer = staging_.data() + dst * capacity_;
+    buffer[fill_[dst]++] = key;
+    if (fill_[dst] == capacity_) {
+      queues_.at(src_, dst).push_block(buffer, capacity_);
+      fill_[dst] = 0;
+      return 1;
+    }
+    return 0;
+  }
+
+  /// Flushes every destination with staged keys, ascending dst order.
+  /// Returns the number of (non-empty) flushes performed.
+  std::uint64_t flush_all() {
+    std::uint64_t flushes = 0;
+    for (std::size_t dst = 0; dst < fill_.size(); ++dst) {
+      if (fill_[dst] == 0) continue;
+      queues_.at(src_, dst).push_block(staging_.data() + dst * capacity_,
+                                       fill_[dst]);
+      fill_[dst] = 0;
+      ++flushes;
+    }
+    return flushes;
+  }
+
+ private:
+  QueueFabric<K>& queues_;
+  std::size_t src_;
+  std::size_t capacity_;
+  std::vector<K> staging_;
+  std::vector<std::size_t> fill_;
+};
+
 /// Which worker writes each partition. With workers == partitions this is the
 /// identity map (the paper's one-core-per-hashtable configuration); with a
 /// degraded pool each worker owns a contiguous block of partitions, which
@@ -74,6 +127,18 @@ std::uint64_t BuildStats::total_local_updates() const noexcept {
   return total;
 }
 
+std::uint64_t BuildStats::total_route_flushes() const noexcept {
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : workers) total += w.route_flushes;
+  return total;
+}
+
+std::uint64_t BuildStats::total_bulk_pops() const noexcept {
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : workers) total += w.bulk_pops;
+  return total;
+}
+
 double BuildStats::critical_path_seconds() const noexcept {
   double stage1 = 0.0;
   double stage2 = 0.0;
@@ -89,6 +154,10 @@ BasicWaitFreeBuilder<K>::BasicWaitFreeBuilder(WaitFreeBuilderOptions options)
     : options_(options) {
   WFBN_EXPECT(options_.threads >= 1, "builder needs at least one thread");
   WFBN_EXPECT(options_.pipeline_batch >= 1, "pipeline batch must be >= 1");
+  WFBN_EXPECT(options_.route_buffer_keys >= 1,
+              "route buffer must hold at least one key");
+  WFBN_EXPECT(options_.encode_block_rows >= 1,
+              "encode block must hold at least one row");
   WFBN_EXPECT(options_.stall_timeout_seconds >= 0.0,
               "stall timeout cannot be negative");
 }
@@ -203,8 +272,11 @@ void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
   stats_.effective_workers = W;
   const std::vector<std::size_t> part_owner = partition_owners(parts, W);
   std::atomic<std::size_t> pin_failures{0};
+  std::vector<double> barrier_waits(W, 0.0);
 
   const std::size_t m = data.sample_count();
+  const std::size_t strip = options_.encode_block_rows;
+  const std::size_t prefetch = options_.prefetch_distance;
 
   pool.run([&](std::size_t w) {
     if (options_.pin_threads && !pin_current_thread(w)) {
@@ -217,26 +289,44 @@ void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
     const bool inject = fault::enabled();
 
     // ---- Stage 1 (Algorithm 1): scan my block, route keys by ownership.
+    // Rows are encoded in strips (the codec's multiply chain pipelines) and
+    // foreign keys go through the write-combining router; the router is
+    // fully flushed before the barrier so stage-2 emptiness stays final.
     // A throw here is caught and re-raised only after the barrier: every
     // worker must cross it exactly once or the others would spin forever.
     std::exception_ptr stage1_error;
     Timer stage_timer;
+    KeyRouter<K> router(queues, w, W, options_.route_buffer_keys);
+    std::vector<K> keys(strip);
     try {
       const auto [lo, hi] = ThreadPool::block_range(m, W, w);
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (inject) fault::fire(fault::Point::kStage1Row);
-        const K key = codec.encode(data.row(i));
-        ++ws.rows_encoded;
-        const std::size_t q = table.owner_of(key);
-        const std::size_t dst = part_owner[q];
-        if (dst == w) {
-          table.partition(q).increment(key);
-          ++ws.local_updates;
+      for (std::size_t i = lo; i < hi;) {
+        const std::size_t count = std::min(strip, hi - i);
+        if (inject) {
+          for (std::size_t r = 0; r < count; ++r) {
+            fault::fire(fault::Point::kStage1Row);
+            keys[r] = codec.encode(data.row(i + r));
+            ++ws.rows_encoded;
+          }
         } else {
-          queues.at(w, dst).push(key);
-          ++ws.foreign_pushes;
+          codec.encode_block(data.row(i).data(), count, keys.data());
+          ws.rows_encoded += count;
         }
+        for (std::size_t r = 0; r < count; ++r) {
+          const K key = keys[r];
+          const std::size_t q = table.owner_of(key);
+          const std::size_t dst = part_owner[q];
+          if (dst == w) {
+            table.partition(q).increment(key);
+            ++ws.local_updates;
+          } else {
+            ws.route_flushes += router.route(dst, key);
+            ++ws.foreign_pushes;
+          }
+        }
+        i += count;
       }
+      ws.route_flushes += router.flush_all();
       if (inject) fault::fire(fault::Point::kBarrier);
     } catch (...) {
       stage1_error = std::current_exception();
@@ -246,35 +336,50 @@ void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
     // ---- The single synchronization step between the stages.
     Timer barrier_timer;
     barrier.arrive_and_wait();
-    if (w == 0) stats_.barrier_seconds = barrier_timer.seconds();
+    barrier_waits[w] = barrier_timer.seconds();
     if (stage1_error) std::rethrow_exception(stage1_error);
 
-    // ---- Stage 2 (Algorithm 2): drain queues addressed to me. After a
-    // throw there is no further synchronization, so exceptions propagate
-    // directly (the pool collects the first one).
+    // ---- Stage 2 (Algorithm 2): drain queues addressed to me, one whole
+    // published chunk span per acquire load, batch-folding each span with
+    // probe prefetching. After a throw there is no further synchronization,
+    // so exceptions propagate directly (the pool collects the first one).
     stage_timer.reset();
     if (my_lo < my_hi) {
       BasicOpenHashTable<K>* sole =
           (my_hi - my_lo == 1) ? &table.partition(my_lo) : nullptr;
-      K key{};
       for (std::size_t src = 0; src < W; ++src) {
         if (src == w) continue;
         SpscQueue<K>& queue = queues.at(src, w);
-        while (queue.try_pop(key)) {
-          if (inject) fault::fire(fault::Point::kStage2Drain);
-          if (sole != nullptr) {
-            sole->increment(key);
+        ws.stage2_pops += queue.consume([&](const K* span, std::size_t count) {
+          ++ws.bulk_pops;
+          if (inject) {
+            // Scalar fallback keeps the once-per-drained-key fault-point
+            // semantics the injection sweeps rely on.
+            for (std::size_t k = 0; k < count; ++k) {
+              fault::fire(fault::Point::kStage2Drain);
+              if (sole != nullptr) {
+                sole->increment(span[k]);
+              } else {
+                table.partition(table.owner_of(span[k])).increment(span[k]);
+              }
+            }
+          } else if (sole != nullptr) {
+            sole->increment_block(span, count, prefetch);
           } else {
-            table.partition(table.owner_of(key)).increment(key);
+            for (std::size_t k = 0; k < count; ++k) {
+              table.partition(table.owner_of(span[k])).increment(span[k]);
+            }
           }
-          ++ws.stage2_pops;
-        }
+        });
       }
     }
     ws.stage2_seconds = stage_timer.seconds();
   });
 
   stats_.pin_failures = pin_failures.load(std::memory_order_relaxed);
+  // The slowest worker's wait bounds what the barrier costs the makespan.
+  stats_.barrier_seconds =
+      *std::max_element(barrier_waits.begin(), barrier_waits.end());
 }
 
 template <typename K>
@@ -304,6 +409,8 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
 
   const std::size_t m = data.sample_count();
   const std::size_t batch = options_.pipeline_batch;
+  const std::size_t strip = options_.encode_block_rows;
+  const std::size_t prefetch = options_.prefetch_distance;
   const double stall_timeout = options_.stall_timeout_seconds;
   const bool watchdog = stall_timeout > 0.0;
   Timer total_timer;
@@ -319,16 +426,17 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
 
     auto drain_once = [&] {
       if (inject) fault::fire(fault::Point::kPipelineDrain);
-      K key{};
       for (std::size_t src = 0; src < P; ++src) {
         if (src == p) continue;
         SpscQueue<K>& queue = queues.at(src, p);
-        while (queue.try_pop(key)) {
-          mine.increment(key);
-          ++ws.stage2_pops;
-          if (watchdog) {
-            progress[p].value.fetch_add(1, std::memory_order_relaxed);
-          }
+        const std::size_t drained =
+            queue.consume([&](const K* span, std::size_t count) {
+              ++ws.bulk_pops;
+              mine.increment_block(span, count, prefetch);
+            });
+        ws.stage2_pops += drained;
+        if (watchdog && drained != 0) {
+          progress[p].value.fetch_add(drained, std::memory_order_relaxed);
         }
       }
     };
@@ -338,27 +446,46 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
     // worker can spin forever waiting on this one.
     bool counted_done = false;
     try {
-      // Interleave producing batches with draining inbound keys.
+      // Interleave producing batches with draining inbound keys. The router
+      // is flushed after every batch, so the consumers' drain interleave
+      // (and the stall watchdog's progress accounting) observe the same
+      // cadence as the scalar path — at most one batch of keys is ever
+      // staged privately.
+      KeyRouter<K> router(queues, p, P, options_.route_buffer_keys);
+      std::vector<K> keys(strip);
       const auto [lo, hi] = ThreadPool::block_range(m, P, p);
       std::size_t i = lo;
       while (i < hi && !aborted.load(std::memory_order_acquire)) {
         const std::size_t stop = std::min(hi, i + batch);
-        for (; i < stop; ++i) {
-          if (inject) fault::fire(fault::Point::kStage1Row);
-          const K key = codec.encode(data.row(i));
-          ++ws.rows_encoded;
-          const std::size_t owner = table.owner_of(key);
-          if (owner == p) {
-            mine.increment(key);
-            ++ws.local_updates;
+        while (i < stop) {
+          const std::size_t count = std::min(strip, stop - i);
+          if (inject) {
+            for (std::size_t r = 0; r < count; ++r) {
+              fault::fire(fault::Point::kStage1Row);
+              keys[r] = codec.encode(data.row(i + r));
+              ++ws.rows_encoded;
+            }
           } else {
-            queues.at(p, owner).push(key);
-            ++ws.foreign_pushes;
+            codec.encode_block(data.row(i).data(), count, keys.data());
+            ws.rows_encoded += count;
+          }
+          for (std::size_t r = 0; r < count; ++r) {
+            const K key = keys[r];
+            const std::size_t owner = table.owner_of(key);
+            if (owner == p) {
+              mine.increment(key);
+              ++ws.local_updates;
+            } else {
+              ws.route_flushes += router.route(owner, key);
+              ++ws.foreign_pushes;
+            }
           }
           if (watchdog) {
-            progress[p].value.fetch_add(1, std::memory_order_relaxed);
+            progress[p].value.fetch_add(count, std::memory_order_relaxed);
           }
+          i += count;
         }
+        ws.route_flushes += router.flush_all();
         drain_once();
       }
       ws.stage1_seconds = stage_timer.seconds();

@@ -46,6 +46,20 @@ struct WaitFreeBuilderOptions {
   std::size_t expected_distinct_keys = 0;
   /// Rows a pipelined producer processes between drain attempts.
   std::size_t pipeline_batch = 4096;
+  /// Stage-1 write-combining: keys staged per destination worker before the
+  /// router flushes them into the SPSC fabric with one bulk publish
+  /// (SpscQueue::push_block). 1 reproduces the pre-block behavior of one
+  /// release store per key. Buffers are always flushed at stage/batch
+  /// boundaries — see docs/ALGORITHMS.md ("Block routing fast path").
+  std::size_t route_buffer_keys = 64;
+  /// Stage-2 drain lookahead: while resolving a drained key, software-
+  /// prefetch the probe slot of the key this many positions ahead in the
+  /// consumed chunk span. 0 disables the hint.
+  std::size_t prefetch_distance = 4;
+  /// Rows encoded per strip in stage 1 before any routing, so the codec's
+  /// mixed-radix multiply chain pipelines instead of alternating with
+  /// table/queue traffic. 1 reproduces the row-at-a-time behavior.
+  std::size_t encode_block_rows = 32;
   /// Stall watchdog for the pipelined variant: if no worker makes progress
   /// (rows scanned + keys drained) for this long while the drain phase is
   /// still waiting on producers, the build aborts with a StallError carrying
@@ -61,6 +75,8 @@ struct WorkerStats {
   std::uint64_t local_updates = 0;   ///< stage-1 updates into its own table
   std::uint64_t foreign_pushes = 0;  ///< stage-1 keys routed to other owners
   std::uint64_t stage2_pops = 0;     ///< stage-2 keys drained into its table
+  std::uint64_t route_flushes = 0;   ///< write-combining buffer flushes issued
+  std::uint64_t bulk_pops = 0;       ///< published chunk spans consumed whole
   double stage1_seconds = 0.0;
   double stage2_seconds = 0.0;
 };
@@ -68,7 +84,9 @@ struct WorkerStats {
 struct BuildStats {
   std::vector<WorkerStats> workers;
   double total_seconds = 0.0;
-  double barrier_seconds = 0.0;  ///< caller-observed barrier crossing cost
+  /// Barrier crossing cost: the max over workers of the time spent inside
+  /// arrive_and_wait (the slowest worker's wait dominates the makespan).
+  double barrier_seconds = 0.0;
 
   /// Requested vs. effective parallelism: the two differ when thread spawn
   /// failed mid-construction and the build degraded to fewer workers (see
@@ -84,6 +102,12 @@ struct BuildStats {
 
   [[nodiscard]] std::uint64_t total_foreign_pushes() const noexcept;
   [[nodiscard]] std::uint64_t total_local_updates() const noexcept;
+  /// Routing efficiency counters of the block fast path: how many bulk
+  /// flushes stage 1 issued and how many whole chunk spans stage 2 consumed.
+  /// foreign_pushes / flushes ≈ keys per release store; stage2_pops /
+  /// bulk_pops ≈ keys per acquire load.
+  [[nodiscard]] std::uint64_t total_route_flushes() const noexcept;
+  [[nodiscard]] std::uint64_t total_bulk_pops() const noexcept;
   /// max_p(stage1_p) + max_p(stage2_p): the makespan a P-core machine would
   /// observe if each worker ran on its own core.
   [[nodiscard]] double critical_path_seconds() const noexcept;

@@ -46,6 +46,19 @@ Key KeyCodec::encode(std::span<const State> states) const noexcept {
   return key;
 }
 
+void KeyCodec::encode_block(const State* rows, std::size_t row_count,
+                            Key* out) const noexcept {
+  const std::size_t n = strides_.size();
+  for (std::size_t i = 0; i < row_count; ++i) {
+    const State* row = rows + i * n;
+    Key key = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      key += static_cast<Key>(row[j]) * strides_[j];
+    }
+    out[i] = key;
+  }
+}
+
 Key KeyCodec::encode_checked(std::span<const State> states) const {
   if (states.size() != cardinalities_.size()) {
     throw DataError("state string length " + std::to_string(states.size()) +

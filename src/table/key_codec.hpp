@@ -50,6 +50,14 @@ class KeyCodec {
   /// untrusted input paths (CSV ingestion).
   [[nodiscard]] Key encode_checked(std::span<const State> states) const;
 
+  /// Eq. 3 over a contiguous row-major strip of `row_count` state strings
+  /// (row_count * variable_count() states at `rows`), writing one key per
+  /// row into `out`. Encoding a strip back to back keeps the mixed-radix
+  /// multiply-add chain pipelined instead of alternating with hashtable and
+  /// queue traffic — the stage-1 fast path of the wait-free builder.
+  void encode_block(const State* rows, std::size_t row_count,
+                    Key* out) const noexcept;
+
   /// Eq. 4: decodes variable j from a key.
   [[nodiscard]] State decode(Key key, std::size_t j) const noexcept {
     return static_cast<State>((key / strides_[j]) % cardinalities_[j]);

@@ -73,6 +73,25 @@ WideKey WideKeyCodec::encode_checked(std::span<const State> states) const {
   return encode(states);
 }
 
+void WideKeyCodec::encode_block(const State* rows, std::size_t row_count,
+                                WideKey* out) const noexcept {
+  const std::size_t n = cardinalities_.size();
+  for (std::size_t i = 0; i < row_count; ++i) {
+    const State* row = rows + i * n;
+    WideKey key;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t term =
+          static_cast<std::uint64_t>(row[j]) * strides_[j];
+      if (words_[j] == 0) {
+        key.lo += term;
+      } else {
+        key.hi += term;
+      }
+    }
+    out[i] = key;
+  }
+}
+
 void WideKeyCodec::decode_all(WideKey key, std::span<State> out) const noexcept {
   for (std::size_t j = 0; j < cardinalities_.size(); ++j) {
     out[j] = decode(key, j);

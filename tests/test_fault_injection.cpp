@@ -227,6 +227,91 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "Hit" + std::to_string(p.param.second);
     });
 
+// ------------------------------------- block-routing flush points
+
+// The write-combining router introduced new flush sites: a full per-
+// destination buffer mid-scan, the stage-1-end flush_all before the barrier,
+// and the per-batch flush of the pipelined variant. All of them funnel into
+// SpscQueue::push_block, whose chunk allocations fire kSpscChunkAlloc — so
+// arming that point with routing enabled throws in the middle of a bulk
+// flush. A buffer larger than the queue's chunk capacity makes a single
+// flush straddle a chunk boundary, forcing the allocation mid-block.
+struct FlushConfig {
+  std::size_t route_buffer_keys;
+  bool pipelined;
+  std::uint64_t fire_on;
+};
+
+class FlushPointSweep : public ::testing::TestWithParam<FlushConfig> {};
+
+TEST_P(FlushPointSweep, ThrowMidFlushYieldsTypedErrorOrExactBuild) {
+  const FlushConfig config = GetParam();
+  const Dataset data = generate_uniform(12000, 10, 2, 42);
+  const auto reference = reference_counts(data);
+
+  fault::ScopedFaultInjection injection;
+  fault::arm(fault::Point::kSpscChunkAlloc, config.fire_on);
+
+  WaitFreeBuilderOptions options;
+  // Two workers concentrate ~3000 foreign keys into each of the two live
+  // queues, so chunk allocation (one per 2048 pushes) is actually reached.
+  options.threads = 2;
+  options.pipelined = config.pipelined;
+  options.route_buffer_keys = config.route_buffer_keys;
+  options.stall_timeout_seconds = 5.0;
+  WaitFreeBuilder builder(options);
+  try {
+    const PotentialTable table = builder.build(data);
+    ASSERT_TRUE(table.validate());
+    expect_equal_counts(table, reference);
+  } catch (const InjectedFault&) {
+    EXPECT_GE(fault::hits(fault::Point::kSpscChunkAlloc), config.fire_on);
+  } catch (const StallError&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FlushPointSweep,
+    ::testing::Values(FlushConfig{64, false, 1}, FlushConfig{64, true, 1},
+                      FlushConfig{4096, false, 1}, FlushConfig{4096, true, 1},
+                      FlushConfig{4096, false, 2}, FlushConfig{4096, true, 3}),
+    [](const auto& p) {
+      return "Buffer" + std::to_string(p.param.route_buffer_keys) +
+             (p.param.pipelined ? "Pipelined" : "Phased") + "Hit" +
+             std::to_string(p.param.fire_on);
+    });
+
+TEST(FaultInjection, ThrowMidFlushKeepsAppendStrongGuarantee) {
+  // append() stages into scratch partitions, so a bulk flush that throws
+  // halfway through push_block (prefix published, remainder dropped) only
+  // ever corrupts the scratch — the live table must stay bit-identical.
+  const Dataset base = generate_uniform(6000, 10, 2, 24);
+  const Dataset batch = generate_uniform(12000, 10, 2, 25);
+  WaitFreeBuilderOptions options;
+  options.threads = 2;
+  options.route_buffer_keys = 4096;  // one flush spans > one 2048-item chunk
+  WaitFreeBuilder builder(options);
+  PotentialTable table = builder.build(base);
+  const auto before = snapshot(table);
+  const std::uint64_t samples_before = table.sample_count();
+
+  fault::ScopedFaultInjection injection;
+  fault::arm(fault::Point::kSpscChunkAlloc, 1);
+  EXPECT_THROW(builder.append(batch, table), InjectedFault);
+
+  EXPECT_EQ(table.sample_count(), samples_before);
+  EXPECT_EQ(snapshot(table), before);
+  ASSERT_TRUE(table.validate());
+
+  fault::reset();
+  builder.append(batch, table);
+  std::map<Key, std::uint64_t> combined = reference_counts(base);
+  for (const auto& [key, count] : reference_counts(batch)) {
+    combined[key] += count;
+  }
+  expect_equal_counts(table, combined);
+}
+
 // ------------------------------------------------- graceful degradation
 
 TEST(FaultInjection, SpawnFailureDegradesToFewerWorkers) {

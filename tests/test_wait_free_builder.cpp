@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <type_traits>
+#include <utility>
 
 #include "core/wait_free_builder.hpp"
 #include "data/generators.hpp"
@@ -270,6 +272,143 @@ TEST(WaitFreeBuilder, InvalidOptionsRejected) {
   WaitFreeBuilderOptions zero_batch;
   zero_batch.pipeline_batch = 0;
   EXPECT_THROW(WaitFreeBuilder{zero_batch}, PreconditionError);
+  WaitFreeBuilderOptions zero_buffer;
+  zero_buffer.route_buffer_keys = 0;
+  EXPECT_THROW(WaitFreeBuilder{zero_buffer}, PreconditionError);
+  WaitFreeBuilderOptions zero_strip;
+  zero_strip.encode_block_rows = 0;
+  EXPECT_THROW(WaitFreeBuilder{zero_strip}, PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Block routing fast path: the batched configuration (write-combining router,
+// strip encoding, prefetched bulk drains) must produce a table byte-for-byte
+// identical to the scalar configuration (block size 1 everywhere), for both
+// key widths, both variants, and for append as well as build.
+
+/// Key-width-agnostic full table snapshot; two tables are byte-identical in
+/// the sense that matters iff their snapshots are equal.
+template <typename K>
+std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> snapshot_of(
+    const BasicPotentialTable<K>& table) {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> counts;
+  table.partitions().for_each([&](K key, std::uint64_t c) {
+    if constexpr (std::is_same_v<K, WideKey>) {
+      counts[{key.lo, key.hi}] = c;
+    } else {
+      counts[{key, 0}] = c;
+    }
+  });
+  return counts;
+}
+
+WaitFreeBuilderOptions scalar_options(std::size_t threads, bool pipelined) {
+  WaitFreeBuilderOptions options;
+  options.threads = threads;
+  options.pipelined = pipelined;
+  options.route_buffer_keys = 1;
+  options.prefetch_distance = 0;
+  options.encode_block_rows = 1;
+  return options;
+}
+
+template <typename K>
+class BlockRoutingOracle : public ::testing::Test {};
+
+using OracleKeyTypes = ::testing::Types<Key, WideKey>;
+TYPED_TEST_SUITE(BlockRoutingOracle, OracleKeyTypes);
+
+TYPED_TEST(BlockRoutingOracle, BatchedBuildIsByteIdenticalToScalarBuild) {
+  const Dataset data = generate_uniform(30000, 12, 3, 21);
+  for (const bool pipelined : {false, true}) {
+    BasicWaitFreeBuilder<TypeParam> scalar(scalar_options(4, pipelined));
+    const auto scalar_table = scalar.build(data);
+    // With a one-key buffer every route is its own flush and every drained
+    // span is at most one key ahead of the scalar cadence.
+    EXPECT_EQ(scalar.stats().total_route_flushes(),
+              scalar.stats().total_foreign_pushes());
+
+    // Sweep block geometries including sizes coprime with the row count and
+    // chunk capacity, so partial-buffer flushes and chunk-straddling blocks
+    // are all exercised.
+    for (const std::size_t buffer : {2u, 7u, 64u, 5000u}) {
+      WaitFreeBuilderOptions options = scalar_options(4, pipelined);
+      options.route_buffer_keys = buffer;
+      options.prefetch_distance = 4;
+      options.encode_block_rows = 32;
+      BasicWaitFreeBuilder<TypeParam> batched(options);
+      const auto batched_table = batched.build(data);
+      EXPECT_EQ(snapshot_of(batched_table), snapshot_of(scalar_table))
+          << "buffer=" << buffer << " pipelined=" << pipelined;
+      EXPECT_EQ(batched_table.sample_count(), scalar_table.sample_count());
+
+      const BuildStats& stats = batched.stats();
+      EXPECT_EQ(stats.total_foreign_pushes(),
+                scalar.stats().total_foreign_pushes());
+      // Buffering compresses flushes: strictly fewer than one per key.
+      EXPECT_LT(stats.total_route_flushes(), stats.total_foreign_pushes());
+      EXPECT_GT(stats.total_route_flushes(), 0u);
+      EXPECT_GT(stats.total_bulk_pops(), 0u);
+      // Every routed key is still drained exactly once, in bulk spans.
+      std::uint64_t pops = 0;
+      for (const WorkerStats& w : stats.workers) pops += w.stage2_pops;
+      EXPECT_EQ(pops, stats.total_foreign_pushes());
+      EXPECT_LE(stats.total_bulk_pops(), pops);
+    }
+  }
+}
+
+TYPED_TEST(BlockRoutingOracle, BatchedAppendIsByteIdenticalToScalarAppend) {
+  const Dataset base = generate_uniform(8000, 10, 2, 22);
+  const Dataset batch = generate_uniform(6000, 10, 2, 23);
+
+  BasicWaitFreeBuilder<TypeParam> scalar(scalar_options(4, false));
+  auto scalar_table = scalar.build(base);
+  scalar.append(batch, scalar_table);
+
+  WaitFreeBuilderOptions options = scalar_options(4, false);
+  options.route_buffer_keys = 48;
+  options.prefetch_distance = 8;
+  options.encode_block_rows = 16;
+  BasicWaitFreeBuilder<TypeParam> batched(options);
+  auto batched_table = batched.build(base);
+  batched.append(batch, batched_table);
+
+  EXPECT_EQ(snapshot_of(batched_table), snapshot_of(scalar_table));
+  EXPECT_EQ(batched_table.sample_count(), scalar_table.sample_count());
+}
+
+TEST(WaitFreeBuilder, TotalHelpersSumPerWorkerRoutingCounters) {
+  const Dataset data = generate_uniform(20000, 12, 2, 24);
+  WaitFreeBuilderOptions options;
+  options.threads = 4;
+  WaitFreeBuilder builder(options);
+  (void)builder.build(data);
+  const BuildStats& stats = builder.stats();
+  std::uint64_t flushes = 0;
+  std::uint64_t bulk = 0;
+  for (const WorkerStats& w : stats.workers) {
+    flushes += w.route_flushes;
+    bulk += w.bulk_pops;
+  }
+  EXPECT_EQ(stats.total_route_flushes(), flushes);
+  EXPECT_EQ(stats.total_bulk_pops(), bulk);
+  EXPECT_GT(flushes, 0u);
+  EXPECT_GT(bulk, 0u);
+}
+
+TEST(WaitFreeBuilder, BarrierSecondsIsMaxOverWorkers) {
+  // With a skewed row split the fastest worker waits at the barrier for the
+  // slowest; the reported crossing cost must reflect that wait, not worker
+  // 0's (possibly zero) one.
+  const Dataset data = generate_uniform(50000, 14, 2, 25);
+  WaitFreeBuilderOptions options;
+  options.threads = 8;
+  WaitFreeBuilder builder(options);
+  (void)builder.build(data);
+  EXPECT_GE(builder.stats().barrier_seconds, 0.0);
+  // The max-over-workers barrier cost is bounded by the build itself.
+  EXPECT_LE(builder.stats().barrier_seconds, builder.stats().total_seconds);
 }
 
 }  // namespace
