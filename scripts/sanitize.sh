@@ -6,18 +6,62 @@
 #   scripts/sanitize.sh thread test_fault_injection test_fuzz
 #   scripts/sanitize.sh thread test_serve     # serving layer: readers live
 #                                             # during snapshot publishes
+#   scripts/sanitize.sh thread -- -DWFBN_WERROR=ON
+#   CXX=clang++ scripts/sanitize.sh thread test_serve -- -DWFBN_BENCH=OFF
 #
 # The first argument is passed to -DWFBN_SANITIZE; any further arguments
-# select specific test binaries (default: the full ctest suite). Each
-# sanitizer gets its own build tree (build-<sanitizer>) so configurations
-# don't clobber each other.
+# select specific test binaries (default: the full ctest suite). Everything
+# after a literal `--` is forwarded verbatim to the CMake configure step, so
+# one-off flags (a different standard, an option toggle) don't require
+# editing this script.
+#
+# Each sanitizer gets its own build tree (build-<sanitizer>) so
+# configurations don't clobber each other. A tree configured with a
+# DIFFERENT compiler than the current environment requests is rejected up
+# front: sanitizer runtimes are not ABI-compatible across compilers, and a
+# silent reuse of the stale cache produces link errors — or worse, a clean
+# run with the wrong instrumentation. Remove the tree (or unset CXX) to
+# proceed.
 set -euo pipefail
 
-SANITIZER="${1:?usage: scripts/sanitize.sh <thread|address,undefined|...> [test ...]}"
+SANITIZER="${1:?usage: scripts/sanitize.sh <thread|address,undefined|...> [test ...] [-- cmake-args...]}"
 shift || true
+
+# Split remaining arguments into test targets and pass-through CMake args.
+TESTS=()
+CMAKE_EXTRA=()
+seen_dashdash=0
+for arg in "$@"; do
+  if [[ $seen_dashdash -eq 1 ]]; then
+    CMAKE_EXTRA+=("$arg")
+  elif [[ "$arg" == "--" ]]; then
+    seen_dashdash=1
+  else
+    TESTS+=("$arg")
+  fi
+done
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-${SANITIZER//,/-}"
+
+# Fail fast on a stale tree: if build-<sanitizer> was configured with a
+# different C++ compiler than this invocation would use, the cached
+# configuration wins over the environment and the mismatch surfaces late
+# (or not at all). Detect it here and stop with instructions instead.
+CACHE="${BUILD}/CMakeCache.txt"
+if [[ -f "${CACHE}" && -n "${CXX:-}" ]]; then
+  cached_cxx="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "${CACHE}" | head -n 1)"
+  want_cxx="$(command -v "${CXX}" || echo "${CXX}")"
+  if [[ -n "${cached_cxx}" && "${cached_cxx}" != "${want_cxx}" ]]; then
+    echo "error: ${BUILD} was configured with" >&2
+    echo "         ${cached_cxx}" >&2
+    echo "       but CXX=${CXX} resolves to" >&2
+    echo "         ${want_cxx}" >&2
+    echo "       Sanitizer runtimes are not compatible across compilers." >&2
+    echo "       Remove the tree (rm -rf ${BUILD}) or unset CXX." >&2
+    exit 2
+  fi
+fi
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
@@ -25,14 +69,15 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 cmake -B "${BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DWFBN_SANITIZE="${SANITIZER}"
+  -DWFBN_SANITIZE="${SANITIZER}" \
+  ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}
 
-if [[ $# -eq 0 ]]; then
+if [[ ${#TESTS[@]} -eq 0 ]]; then
   cmake --build "${BUILD}" -j
   ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 else
-  cmake --build "${BUILD}" -j --target "$@"
-  for test in "$@"; do
+  cmake --build "${BUILD}" -j --target "${TESTS[@]}"
+  for test in "${TESTS[@]}"; do
     "${BUILD}/tests/${test}"
   done
 fi

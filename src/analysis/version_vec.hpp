@@ -1,0 +1,57 @@
+// Vector clocks for the wfcheck model checker (docs/VERIFICATION.md): the
+// happens-before machinery everything else builds on.
+//
+// A VersionVec maps each model thread to the newest event of that thread
+// known to the clock's owner. Merging a store's release view into a loading
+// thread's clock is how acquire/release synchronization is simulated;
+// pointwise comparison is how the race detector asks "is that write ordered
+// before this access?".
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wfbn::mc {
+
+/// Hard cap on model threads per execution (test body + spawned threads).
+/// Checker harnesses use 2-4 threads; the cap keeps clocks flat and cheap.
+inline constexpr std::size_t kMaxThreads = 8;
+
+class VersionVec {
+ public:
+  [[nodiscard]] std::uint32_t at(std::size_t tid) const { return c_[tid]; }
+  void set(std::size_t tid, std::uint32_t v) { c_[tid] = v; }
+  void tick(std::size_t tid) { ++c_[tid]; }
+
+  /// Pointwise maximum: afterwards *this knows everything `other` knew.
+  void merge(const VersionVec& other) {
+    for (std::size_t t = 0; t < kMaxThreads; ++t)
+      c_[t] = std::max(c_[t], other.c_[t]);
+  }
+
+  /// True iff *this <= other pointwise, i.e. every event known here is also
+  /// known to `other` (this clock happens-before-or-equals that one).
+  [[nodiscard]] bool leq(const VersionVec& other) const {
+    for (std::size_t t = 0; t < kMaxThreads; ++t)
+      if (c_[t] > other.c_[t]) return false;
+    return true;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t t = 0; t < kMaxThreads; ++t) {
+      if (c_[t] == 0) continue;
+      if (out.size() > 1) out += ' ';
+      out += 'T' + std::to_string(t) + ':' + std::to_string(c_[t]);
+    }
+    return out + "]";
+  }
+
+ private:
+  std::array<std::uint32_t, kMaxThreads> c_{};
+};
+
+}  // namespace wfbn::mc

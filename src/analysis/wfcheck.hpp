@@ -1,0 +1,21 @@
+// Umbrella header for the wfcheck model checker: pull in the Model, the
+// trace types, and the ModelAtomics policy in one include. Harnesses
+// typically need nothing else:
+//
+//   #include "analysis/wfcheck.hpp"
+//   #include "concurrent/spsc_queue.hpp"
+//
+//   wfbn::mc::ModelOptions opts;
+//   auto result = wfbn::mc::check(opts, [] {
+//     auto* q = new wfbn::SpscQueue<int, 2, wfbn::mc::ModelAtomics>();
+//     std::size_t producer = wfbn::mc::spawn([&] { ... });
+//     ...
+//     wfbn::mc::join(producer);
+//     delete q;
+//   });
+#pragma once
+
+#include "analysis/model.hpp"        // IWYU pragma: export
+#include "analysis/model_atomic.hpp" // IWYU pragma: export
+#include "analysis/trace.hpp"        // IWYU pragma: export
+#include "analysis/version_vec.hpp"  // IWYU pragma: export

@@ -1,0 +1,53 @@
+// Atomics policy: the seam between production atomics and the wfcheck
+// deterministic model checker (src/analysis/).
+//
+// The wait-free protocol classes (SpscQueue, SpinBarrier, the serve layer's
+// snapshot cell) are templates over a Policy that supplies
+//
+//   Policy::Atomic<T>   — the atomic cell type (std::atomic<T> in production),
+//   Policy::Data<T>     — a plain shared-but-non-atomic cell (exactly T in
+//                         production; a race-checked cell under the model),
+//   Policy::yield()     — what a spin loop does while it waits,
+//   Policy::kSpinYieldThreshold — loop iterations before yield() kicks in.
+//
+// RealAtomics is the default everywhere and compiles to *identical* code as
+// before the seam existed: Atomic<T> is std::atomic<T>, Data<T> is an alias
+// for T itself (no wrapper object, no layout or codegen change), and yield()
+// is std::this_thread::yield(). The model policy (analysis/model_atomic.hpp:
+// ModelAtomics) routes every load/store/RMW — with its memory_order — through
+// a cooperative scheduler that enumerates interleavings and simulates weak
+// memory, so the same protocol source is what gets checked.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace wfbn {
+
+struct RealAtomics {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+
+  /// Shared non-atomic data published via a release/acquire edge on some
+  /// Atomic. In production this is literally T: zero overhead, zero layout
+  /// change. Under the model it is a happens-before-checked cell, which is
+  /// how wfcheck turns a missing release edge into a reported data race.
+  template <typename T>
+  using Data = T;
+
+  /// Spin iterations before a waiter starts yielding. The model policy sets
+  /// this to 0 so its scheduler sees every wait immediately.
+  static constexpr std::size_t kSpinYieldThreshold = 64;
+
+  /// Whether this policy's atomic operations are non-throwing. Protocol
+  /// methods declare noexcept(Policy::kNoexceptOps): with real atomics that
+  /// is the unconditional noexcept they always had; under the model it is
+  /// false, because the checker unwinds threads by throwing through the
+  /// protocol code when it aborts an execution.
+  static constexpr bool kNoexceptOps = true;
+
+  static void yield() noexcept { std::this_thread::yield(); }
+};
+
+}  // namespace wfbn

@@ -5,29 +5,36 @@
 // stage 1 and stage 2 is an explicit cost in the scaling model) and (b)
 // spin-waiting, since the construction stages are short and the threads are
 // pinned compute threads, not general tasks.
+//
+// The Policy parameter (concurrent/atomics_policy.hpp) selects the atomics
+// backend: RealAtomics (the default, identical codegen to the pre-template
+// barrier) or the wfcheck model policy, under which this exact source is
+// exhaustively interleaved by the deterministic checker.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <thread>
 
+#include "concurrent/atomics_policy.hpp"
 #include "util/error.hpp"
 
 namespace wfbn {
 
-class SpinBarrier {
+template <typename Policy = RealAtomics>
+class BasicSpinBarrier {
  public:
-  explicit SpinBarrier(std::size_t participants)
+  explicit BasicSpinBarrier(std::size_t participants)
       : participants_(participants), remaining_(participants) {
     WFBN_EXPECT(participants > 0, "barrier needs at least one participant");
   }
 
-  SpinBarrier(const SpinBarrier&) = delete;
-  SpinBarrier& operator=(const SpinBarrier&) = delete;
+  BasicSpinBarrier(const BasicSpinBarrier&) = delete;
+  BasicSpinBarrier& operator=(const BasicSpinBarrier&) = delete;
 
   /// Blocks until all participants have arrived. Safe to reuse for any number
   /// of phases (sense reversal).
-  void arrive_and_wait() noexcept {
+  void arrive_and_wait() noexcept(Policy::kNoexceptOps) {
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last arriver: reset the count and flip the sense, releasing everyone.
@@ -38,7 +45,7 @@ class SpinBarrier {
       while (sense_.load(std::memory_order_acquire) != my_sense) {
         // Back off to yield after a short spin so the barrier also behaves
         // on oversubscribed machines (this repo's CI has 1 hardware core).
-        if (++spins > 64) std::this_thread::yield();
+        if (++spins > Policy::kSpinYieldThreshold) Policy::yield();
       }
     }
   }
@@ -46,9 +53,14 @@ class SpinBarrier {
   [[nodiscard]] std::size_t participants() const noexcept { return participants_; }
 
  private:
+  template <typename U>
+  using Atomic = typename Policy::template Atomic<U>;
+
   const std::size_t participants_;
-  std::atomic<std::size_t> remaining_;
-  std::atomic<bool> sense_{false};
+  Atomic<std::size_t> remaining_;
+  Atomic<bool> sense_{false};
 };
+
+using SpinBarrier = BasicSpinBarrier<RealAtomics>;
 
 }  // namespace wfbn

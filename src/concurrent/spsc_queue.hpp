@@ -20,6 +20,11 @@
 // Progress: all producer operations are wait-free except for chunk allocation
 // (amortized one allocation per kChunkCapacity items); all consumer
 // operations are wait-free.
+//
+// The Policy parameter (concurrent/atomics_policy.hpp) selects the atomics
+// backend: RealAtomics (std::atomic, the default — identical codegen to a
+// non-templated queue) or the wfcheck model policy, under which this exact
+// source runs inside the deterministic concurrency checker.
 #pragma once
 
 #include <algorithm>
@@ -28,15 +33,22 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "concurrent/atomics_policy.hpp"
 #include "util/fault_injection.hpp"
 
 namespace wfbn {
 
-template <typename T, std::size_t kChunkCapacity = 2048>
+template <typename T, std::size_t kChunkCapacity = 2048,
+          typename Policy = RealAtomics>
 class SpscQueue {
   static_assert(std::is_trivially_copyable_v<T>,
                 "SpscQueue requires trivially copyable items");
   static_assert(kChunkCapacity >= 2, "chunk must hold at least two items");
+
+  template <typename U>
+  using Atomic = typename Policy::template Atomic<U>;
+  template <typename U>
+  using Data = typename Policy::template Data<U>;
 
  public:
   SpscQueue() {
@@ -139,7 +151,8 @@ class SpscQueue {
   }
 
   /// Bulk consumer: hands every currently published span to
-  /// fn(const T* items, std::size_t count) — one call (and one acquire load)
+  /// fn(const Data<T>* items, std::size_t count) — with the default policy
+  /// Data<T> is T itself — one call (and one acquire load)
   /// per contiguous span, at most one span per chunk — advancing and freeing
   /// chunks as they are exhausted. Returns the total number of items
   /// consumed; 0 means nothing was available right now (same transiency
@@ -172,7 +185,7 @@ class SpscQueue {
   [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
 
   /// True iff a try_pop() right now would fail. Consumer-thread view.
-  [[nodiscard]] bool empty() const noexcept {
+  [[nodiscard]] bool empty() const noexcept(Policy::kNoexceptOps) {
     Chunk* chunk = head_chunk_;
     std::size_t index = read_index_;
     for (;;) {
@@ -188,9 +201,9 @@ class SpscQueue {
 
  private:
   struct Chunk {
-    T items[kChunkCapacity];
-    std::atomic<std::size_t> count{0};  // published fill level (producer writes)
-    std::atomic<Chunk*> next{nullptr};
+    Data<T> items[kChunkCapacity];
+    Atomic<std::size_t> count{0};  // published fill level (producer writes)
+    Atomic<Chunk*> next{nullptr};
   };
 
   /// The one chunk-advance rule, shared by try_pop/consume/empty: a chunk is
@@ -198,7 +211,8 @@ class SpscQueue {
   /// its successor becomes visible through the producer's release-linked
   /// next pointer. Returns the successor, or nullptr when the chunk is not
   /// exhausted or no successor is linked yet.
-  static Chunk* next_of_exhausted(Chunk* chunk, std::size_t read_index) noexcept {
+  static Chunk* next_of_exhausted(Chunk* chunk, std::size_t read_index)
+      noexcept(Policy::kNoexceptOps) {
     if (read_index != kChunkCapacity) return nullptr;
     return chunk->next.load(std::memory_order_acquire);
   }

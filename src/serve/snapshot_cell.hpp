@@ -25,35 +25,39 @@
 // on arrive/toggle and the acquire/release pairing on depart/drain) implies
 // every reader that could have been copying that instance has finished.
 //
-// The cell is a template over the key type only through the snapshot payload
-// it publishes; the protocol itself is key-agnostic.
+// The protocol is generic twice over: BasicPtrCell publishes any copyable
+// pointer-like payload (the serve layer instantiates it with a snapshot
+// shared_ptr), and the Policy parameter (concurrent/atomics_policy.hpp)
+// selects real atomics or the wfcheck model backend, under which this exact
+// publish/pin source is exhaustively interleaved and its instances_ slots
+// are happens-before-checked.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
 #include <utility>
 
+#include "concurrent/atomics_policy.hpp"
 #include "serve/snapshot.hpp"
 
 namespace wfbn::serve {
 
-template <typename K>
-class BasicSnapshotCell {
+template <typename PtrT, typename Policy = RealAtomics>
+class BasicPtrCell {
  public:
-  using Ptr = BasicSnapshotPtr<K>;
+  using Ptr = PtrT;
 
-  explicit BasicSnapshotCell(Ptr initial) noexcept {
+  explicit BasicPtrCell(Ptr initial) noexcept(Policy::kNoexceptOps) {
     instances_[0] = std::move(initial);
-    instances_[1] = instances_[0];
+    instances_[1] = static_cast<Ptr>(instances_[0]);
   }
 
-  BasicSnapshotCell(const BasicSnapshotCell&) = delete;
-  BasicSnapshotCell& operator=(const BasicSnapshotCell&) = delete;
+  BasicPtrCell(const BasicPtrCell&) = delete;
+  BasicPtrCell& operator=(const BasicPtrCell&) = delete;
 
   /// Wait-free reader side: pins and returns the currently published
   /// snapshot. Safe from any thread, any number of concurrent readers.
-  [[nodiscard]] Ptr load() const noexcept {
+  [[nodiscard]] Ptr load() const noexcept(Policy::kNoexceptOps) {
     const std::size_t vi = version_index_.load(std::memory_order_seq_cst);
     readers_[vi].count.fetch_add(1, std::memory_order_seq_cst);
     const std::size_t lr = left_right_.load(std::memory_order_seq_cst);
@@ -65,7 +69,7 @@ class BasicSnapshotCell {
   /// Publishes `next`. SINGLE WRITER: callers must serialize store() calls
   /// externally (TableStore holds its ingest mutex across this). May wait
   /// for in-flight readers to drain; never makes a reader wait.
-  void store(Ptr next) noexcept {
+  void store(Ptr next) noexcept(Policy::kNoexceptOps) {
     const std::size_t lr = left_right_.load(std::memory_order_relaxed);
     // No reader copies instances_[1 - lr]: stragglers from the previous
     // publish were drained before it was last written.
@@ -81,23 +85,36 @@ class BasicSnapshotCell {
   }
 
  private:
-  void drain(std::size_t vi) const noexcept {
+  template <typename U>
+  using Atomic = typename Policy::template Atomic<U>;
+
+  void drain(std::size_t vi) const noexcept(Policy::kNoexceptOps) {
     std::size_t spins = 0;
-    while (readers_[vi].count.load(std::memory_order_acquire) != 0) {
-      if (++spins > 64) std::this_thread::yield();
+    // seq_cst, not acquire: arrive/drain is a Dekker pattern (reader writes
+    // the indicator then reads left_right_; writer writes left_right_ then
+    // reads the indicator), and Dekker needs the SC total order on BOTH
+    // sides. With an acquire load here the C++ model lets the writer miss an
+    // announced reader entirely and reuse the instance it is still copying —
+    // found by wfcheck (tests/test_wfcheck.cpp, model_snapshot_publish).
+    // Same codegen as acquire on the writer-side spin for x86 and ARM.
+    while (readers_[vi].count.load(std::memory_order_seq_cst) != 0) {
+      if (++spins > Policy::kSpinYieldThreshold) Policy::yield();
     }
   }
 
   // Read indicators on separate cache lines: every reader RMWs one of them.
   struct alignas(64) Indicator {
-    std::atomic<std::uint64_t> count{0};
+    Atomic<std::uint64_t> count{0};
   };
 
-  Ptr instances_[2];
-  std::atomic<std::size_t> left_right_{0};    ///< which instance readers copy
-  std::atomic<std::size_t> version_index_{0};  ///< which indicator they use
+  typename Policy::template Data<Ptr> instances_[2];
+  Atomic<std::size_t> left_right_{0};    ///< which instance readers copy
+  Atomic<std::size_t> version_index_{0};  ///< which indicator they use
   mutable Indicator readers_[2];
 };
+
+template <typename K, typename Policy = RealAtomics>
+using BasicSnapshotCell = BasicPtrCell<BasicSnapshotPtr<K>, Policy>;
 
 using SnapshotCell = BasicSnapshotCell<Key>;
 using WideSnapshotCell = BasicSnapshotCell<WideKey>;

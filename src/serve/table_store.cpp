@@ -5,14 +5,14 @@
 
 namespace wfbn::serve {
 
-template <typename K>
-BasicTableStore<K>::BasicTableStore(Table initial,
+template <typename K, typename Policy>
+BasicTableStore<K, Policy>::BasicTableStore(Table initial,
                                     WaitFreeBuilderOptions ingest_options)
     : current_(std::make_shared<const BasicSnapshot<K>>(std::move(initial), 1)),
       builder_(ingest_options) {}
 
-template <typename K>
-IngestStats BasicTableStore<K>::ingest(const Dataset& batch) {
+template <typename K, typename Policy>
+IngestStats BasicTableStore<K, Policy>::ingest(const Dataset& batch) {
   const std::lock_guard<std::mutex> lock(ingest_mutex_);
   Timer total_timer;
   IngestStats stats;

@@ -18,7 +18,10 @@
 //
 // A template over the key type: TableStore serves narrow tables,
 // WideTableStore serves two-word-key tables, through the identical
-// publish/pin machinery.
+// publish/pin machinery. The Policy parameter threads the atomics backend
+// (concurrent/atomics_policy.hpp) through the publish path — the snapshot
+// cell and the publish counter — so the same publish/pin source that serves
+// production traffic is what the wfcheck model checker interleaves.
 #pragma once
 
 #include <atomic>
@@ -26,6 +29,7 @@
 #include <memory>
 #include <mutex>
 
+#include "concurrent/atomics_policy.hpp"
 #include "core/wait_free_builder.hpp"
 #include "data/dataset.hpp"
 #include "serve/snapshot.hpp"
@@ -41,7 +45,7 @@ struct IngestStats {
   double total_seconds = 0.0;   ///< shadow + publish (and writer-lock wait)
 };
 
-template <typename K>
+template <typename K, typename Policy = RealAtomics>
 class BasicTableStore {
  public:
   using Table = BasicPotentialTable<K>;
@@ -74,10 +78,10 @@ class BasicTableStore {
   }
 
  private:
-  BasicSnapshotCell<K> current_;
+  BasicSnapshotCell<K, Policy> current_;
   std::mutex ingest_mutex_;              ///< serializes writers only
   BasicWaitFreeBuilder<K> builder_;      ///< guarded by ingest_mutex_
-  std::atomic<std::uint64_t> publishes_{1};
+  typename Policy::template Atomic<std::uint64_t> publishes_{1};
 };
 
 extern template class BasicTableStore<Key>;
