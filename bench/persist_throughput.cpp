@@ -1,0 +1,216 @@
+// Snapshot save/load throughput for the durability layer.
+//
+// For each (width, checksums on/off) configuration: serialize + atomically
+// write a published snapshot `repeat` times (save MB/s), then parse + fully
+// validate it back `repeat` times (load MB/s). The segment byte size is the
+// numerator on both sides, so the two rates are directly comparable and the
+// checksum on/off delta isolates the FNV-1a cost from the IO cost.
+//
+// The sweep runs at both key widths from the same binary — narrow entries
+// are 16 bytes on disk, wide entries 24 — so the trajectory tracks the
+// wide-key serialization overhead alongside the narrow baseline.
+//
+// Machine-readable output: a BENCH_persist.json datapoint (path configurable
+// with --json-out, empty string disables), plus the same JSON on stdout.
+//
+//   ./persist_throughput --samples 200000 --repeat 5
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/wait_free_builder.hpp"
+#include "data/generators.hpp"
+#include "serve/persist/format.hpp"
+#include "serve/persist/snapshot_reader.hpp"
+#include "serve/persist/snapshot_writer.hpp"
+#include "serve/snapshot.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace wfbn;
+namespace persist = serve::persist;
+
+struct ConfigResult {
+  const char* width = "narrow";
+  bool checksums = true;
+  std::size_t variables = 0;
+  std::uint64_t distinct_keys = 0;
+  std::size_t segment_bytes = 0;
+  double save_seconds = 0.0;  ///< serialize + atomic write + fsync, summed
+  double load_seconds = 0.0;  ///< read + parse + full validation, summed
+  int repeat = 1;
+
+  [[nodiscard]] double save_mb_per_sec() const {
+    return save_seconds == 0.0
+               ? 0.0
+               : static_cast<double>(segment_bytes) *
+                     static_cast<double>(repeat) / save_seconds / 1e6;
+  }
+  [[nodiscard]] double load_mb_per_sec() const {
+    return load_seconds == 0.0
+               ? 0.0
+               : static_cast<double>(segment_bytes) *
+                     static_cast<double>(repeat) / load_seconds / 1e6;
+  }
+};
+
+struct SweepConfig {
+  std::size_t samples = 0;
+  std::size_t variables = 0;
+  std::size_t threads = 0;
+  int repeat = 1;
+  bool fsync = true;
+  std::uint64_t seed = 0;
+  std::filesystem::path dir;
+};
+
+template <typename K>
+void run_sweep(const SweepConfig& config, std::vector<ConfigResult>& results) {
+  WaitFreeBuilderOptions build_options;
+  build_options.threads = config.threads;
+  const Dataset data = generate_chain_correlated(
+      config.samples, config.variables, 2, 0.8, config.seed);
+  const serve::BasicSnapshot<K> snap(
+      BasicWaitFreeBuilder<K>(build_options).build(data), 1);
+
+  for (const bool checksums : {true, false}) {
+    const std::filesystem::path dir =
+        config.dir / (std::string(KeyTraits<K>::kWidthName) +
+                      (checksums ? "_crc" : "_nocrc"));
+    std::filesystem::create_directories(dir);
+    persist::WriterOptions options;
+    options.section_checksums = checksums;
+    options.fsync = config.fsync;
+    persist::BasicSnapshotWriter<K> writer(dir, options);
+
+    ConfigResult cr;
+    cr.width = KeyTraits<K>::kWidthName;
+    cr.checksums = checksums;
+    cr.variables = config.variables;
+    cr.distinct_keys = snap.table().distinct_keys();
+    cr.repeat = config.repeat;
+
+    writer.write(snap);  // warm-up write; also sizes the segment
+    cr.segment_bytes = static_cast<std::size_t>(
+        std::filesystem::file_size(dir / persist::segment_name(1)));
+
+    {
+      Timer timer;
+      for (int i = 0; i < config.repeat; ++i) writer.write(snap);
+      cr.save_seconds = timer.seconds();
+    }
+    {
+      Timer timer;
+      for (int i = 0; i < config.repeat; ++i) {
+        const auto loaded =
+            persist::read_segment<K>(dir / persist::segment_name(1));
+        if (loaded.table.sample_count() != snap.table().sample_count()) {
+          std::fprintf(stderr, "load verification failed\n");
+          std::exit(1);
+        }
+      }
+      cr.load_seconds = timer.seconds();
+    }
+    results.push_back(cr);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("persist_throughput — snapshot save/load throughput");
+  cli.add_option("samples", "200000", "Rows folded into the persisted table");
+  cli.add_option("variables", "12", "Binary variables (narrow store)");
+  cli.add_option("wide-variables", "100",
+                 "Binary variables for the wide-key sweep (0 disables it)");
+  cli.add_option("threads", "4", "Builder threads (= table partitions)");
+  cli.add_option("repeat", "5", "Timed save/load iterations per config");
+  cli.add_option("fsync", "1", "fsync on every atomic write (0 disables)");
+  cli.add_option("seed", "42", "Workload seed");
+  cli.add_option("dir", "", "Scratch directory (default: a temp dir)");
+  cli.add_option("json-out", "BENCH_persist.json",
+                 "JSON datapoint path (empty disables the file)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  SweepConfig config;
+  config.samples = static_cast<std::size_t>(cli.get_int("samples"));
+  config.variables = static_cast<std::size_t>(cli.get_int("variables"));
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  config.repeat = static_cast<int>(cli.get_int("repeat"));
+  config.fsync = cli.get_int("fsync") != 0;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto wide_n = static_cast<std::size_t>(cli.get_int("wide-variables"));
+  const std::string json_out = cli.get("json-out");
+
+  const std::string dir_arg = cli.get("dir");
+  config.dir = dir_arg.empty()
+                   ? std::filesystem::temp_directory_path() / "wfbn_persist_bench"
+                   : std::filesystem::path(dir_arg);
+  std::filesystem::create_directories(config.dir);
+
+  std::vector<ConfigResult> results;
+  run_sweep<Key>(config, results);
+  if (wide_n > 0) {
+    SweepConfig wide_config = config;
+    wide_config.variables = wide_n;
+    run_sweep<WideKey>(wide_config, results);
+  }
+
+  TablePrinter table({"width", "checksums", "vars", "keys", "segment MB",
+                      "save MB/s", "load MB/s"});
+  for (const ConfigResult& cr : results) {
+    table.add_row({cr.width, cr.checksums ? "on" : "off",
+                   std::to_string(cr.variables),
+                   std::to_string(cr.distinct_keys),
+                   TablePrinter::fmt(
+                       static_cast<double>(cr.segment_bytes) / 1e6, 2),
+                   TablePrinter::fmt(cr.save_mb_per_sec(), 1),
+                   TablePrinter::fmt(cr.load_mb_per_sec(), 1)});
+  }
+  table.print("persist_throughput — snapshot save/load");
+
+  std::string json = "{\n  \"bench\": \"persist_throughput\",\n";
+  json += "  \"host_cores\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"config\": {\"samples\": " + std::to_string(config.samples) +
+          ", \"variables\": " + std::to_string(config.variables) +
+          ", \"wide_variables\": " + std::to_string(wide_n) +
+          ", \"partitions\": " + std::to_string(config.threads) +
+          ", \"repeat\": " + std::to_string(config.repeat) +
+          ", \"fsync\": " + (config.fsync ? "true" : "false") +
+          ", \"seed\": " + std::to_string(config.seed) + "},\n";
+  json += "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& cr = results[i];
+    char row[320];
+    std::snprintf(row, sizeof row,
+                  "    {\"width\": \"%s\", \"checksums\": %s, "
+                  "\"variables\": %zu, \"distinct_keys\": %llu, "
+                  "\"segment_bytes\": %zu, \"save_mb_per_sec\": %.1f, "
+                  "\"load_mb_per_sec\": %.1f}%s\n",
+                  cr.width, cr.checksums ? "true" : "false", cr.variables,
+                  static_cast<unsigned long long>(cr.distinct_keys),
+                  cr.segment_bytes, cr.save_mb_per_sec(), cr.load_mb_per_sec(),
+                  i + 1 == results.size() ? "" : ",");
+    json += row;
+  }
+  json += "  ]\n}\n";
+
+  std::printf("\n-- JSON --\n%s", json.c_str());
+  if (!json_out.empty()) {
+    if (std::FILE* f = std::fopen(json_out.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_out.c_str());
+    } else {
+      std::printf("could not write %s\n", json_out.c_str());
+    }
+  }
+  return 0;
+}

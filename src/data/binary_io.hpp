@@ -1,0 +1,93 @@
+// Shared binary IO helpers: fixed-layout POD (de)serialization over streams
+// and over in-memory buffers.
+//
+// Two consumers share these: the binary dataset format (data/io.cpp) reads
+// and writes PODs against iostreams, and the snapshot persistence layer
+// (serve/persist/) serializes whole sections into a byte buffer first so it
+// can checksum and fsync them as a unit. Keeping both flavors in one header
+// keeps the layout rules identical — native byte order, no padding words,
+// `sizeof(T)` bytes per value — so a field written by one path is readable
+// by the other.
+//
+// All types must be trivially copyable; the buffer readers throw DataError
+// on underrun instead of reading past the end, which is what turns a
+// truncated file into a typed error rather than garbage.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wfbn::bio {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in, const char* what = "binary stream") {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw DataError(std::string("truncated ") + what);
+  return value;
+}
+
+/// Appends `value`'s bytes to `buffer`.
+template <typename T>
+void put_pod(std::vector<std::uint8_t>& buffer, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  buffer.insert(buffer.end(), bytes, bytes + sizeof value);
+}
+
+/// Cursor over a read-only byte buffer. get() advances; throws DataError on
+/// underrun (with the caller's context string) so torn/truncated inputs
+/// surface as typed errors at the exact field that fell off the end.
+class BufferReader {
+ public:
+  BufferReader(const std::uint8_t* data, std::size_t size,
+               const char* what = "binary buffer")
+      : cursor_(data), end_(data + size), what_(what) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    if (remaining() < sizeof value) {
+      throw DataError(std::string("truncated ") + what_);
+    }
+    std::memcpy(&value, cursor_, sizeof value);
+    cursor_ += sizeof value;
+    return value;
+  }
+
+  /// Raw view of the next `size` bytes without copying; advances the cursor.
+  [[nodiscard]] const std::uint8_t* get_span(std::size_t size) {
+    if (remaining() < size) {
+      throw DataError(std::string("truncated ") + what_);
+    }
+    const std::uint8_t* out = cursor_;
+    cursor_ += size;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - cursor_);
+  }
+  [[nodiscard]] const std::uint8_t* cursor() const noexcept { return cursor_; }
+
+ private:
+  const std::uint8_t* cursor_;
+  const std::uint8_t* end_;
+  const char* what_;
+};
+
+}  // namespace wfbn::bio

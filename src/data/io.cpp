@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "data/binary_io.hpp"
+#include "util/checksum.hpp"
 #include "util/error.hpp"
 
 namespace wfbn {
@@ -101,27 +103,14 @@ constexpr char kMagic[4] = {'W', 'F', 'B', 'N'};
 // Version-1 files (no checksum) are still readable.
 constexpr std::uint32_t kVersion = 2;
 
-/// FNV-1a 64-bit over the row payload.
-std::uint64_t fnv1a(const State* bytes, std::size_t count) noexcept {
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
-  for (std::size_t i = 0; i < count; ++i) {
-    hash ^= static_cast<std::uint64_t>(bytes[i]);
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
-}
-
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+  bio::write_pod(out, value);
 }
 
 template <typename T>
 T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw DataError("truncated binary dataset");
-  return value;
+  return bio::read_pod<T>(in, "binary dataset");
 }
 }  // namespace
 
@@ -134,7 +123,7 @@ void write_binary_file(const Dataset& data, const std::string& path) {
   write_pod(out, static_cast<std::uint32_t>(data.variable_count()));
   for (const std::uint32_t r : data.cardinalities()) write_pod(out, r);
   const auto raw = data.raw();
-  write_pod(out, fnv1a(raw.data(), raw.size()));
+  write_pod(out, fnv1a_bytes(raw.data(), raw.size()));
   out.write(reinterpret_cast<const char*>(raw.data()),
             static_cast<std::streamsize>(raw.size()));
   if (!out) throw DataError("write failed: " + path);
@@ -163,7 +152,8 @@ Dataset read_binary_file(const std::string& path) {
   in.read(reinterpret_cast<char*>(cells.data()),
           static_cast<std::streamsize>(cells.size()));
   if (!in) throw DataError("truncated binary dataset: " + path);
-  if (version >= 2 && fnv1a(cells.data(), cells.size()) != expected_checksum) {
+  if (version >= 2 &&
+      fnv1a_bytes(cells.data(), cells.size()) != expected_checksum) {
     throw DataError("corrupt dataset (payload checksum mismatch): " + path);
   }
   return Dataset(static_cast<std::size_t>(samples), std::move(cards),

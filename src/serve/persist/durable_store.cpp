@@ -1,0 +1,194 @@
+#include "serve/persist/durable_store.hpp"
+
+#include <utility>
+
+#include "serve/persist/fs_util.hpp"
+
+namespace wfbn::serve::persist {
+
+template <typename K>
+BasicDurableTableStore<K>::BasicDurableTableStore(std::filesystem::path dir,
+                                                  Table initial,
+                                                  DurableOptions options)
+    : BasicDurableTableStore(std::move(dir), std::move(initial), options,
+                             /*initial_version=*/1, /*persist_initial=*/true) {}
+
+template <typename K>
+BasicDurableTableStore<K>::BasicDurableTableStore(std::filesystem::path dir,
+                                                  Table initial,
+                                                  DurableOptions options,
+                                                  std::uint64_t initial_version,
+                                                  bool persist_initial)
+    : store_(std::move(initial), options.ingest, initial_version),
+      writer_(std::move(dir), options.writer),
+      options_(options) {
+  std::filesystem::create_directories(writer_.directory());
+  remove_stale_temps(writer_.directory());
+  if (persist_initial) {
+    // A durable store must be recoverable from its first instant, so the
+    // initial snapshot is persisted synchronously — and a failure here is a
+    // construction failure, not a lagging-durability condition.
+    requested_.fetch_add(1, std::memory_order_relaxed);
+    writer_.write(*store_.current());
+    persisted_.fetch_add(1, std::memory_order_relaxed);
+    last_durable_.store(initial_version, std::memory_order_release);
+  } else {
+    last_durable_.store(initial_version, std::memory_order_release);
+  }
+  if (options_.async) {
+    persist_thread_ = std::thread([this] { persist_loop(); });
+  }
+}
+
+template <typename K>
+std::unique_ptr<BasicDurableTableStore<K>> BasicDurableTableStore<K>::open(
+    std::filesystem::path dir, DurableOptions options,
+    RecoveryReport* report) {
+  RecoveryResult<K> recovery = recover_store_dir<K>(dir);
+  if (report) *report = recovery.report;
+  if (!recovery.table) return nullptr;
+  std::unique_ptr<BasicDurableTableStore> store(new BasicDurableTableStore(
+      std::move(dir), std::move(*recovery.table), options,
+      recovery.report.recovered_version, /*persist_initial=*/false));
+  // Repair a missing, corrupt, or stale manifest so it names the recovered
+  // version again. Best-effort: the segments alone are already sufficient
+  // for recovery.
+  if (!recovery.report.manifest_valid ||
+      recovery.report.manifest_version !=
+          recovery.report.recovered_version) {
+    try {
+      store->writer_.write_manifest(recovery.report.recovered_version);
+    } catch (const std::exception& e) {
+      store->failures_.fetch_add(1, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> io(store->io_mutex_);
+      store->last_error_ = e.what();
+    }
+  }
+  return store;
+}
+
+template <typename K>
+BasicDurableTableStore<K>::~BasicDurableTableStore() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (persist_thread_.joinable()) persist_thread_.join();
+}
+
+template <typename K>
+IngestStats BasicDurableTableStore<K>::ingest(const Dataset& batch) {
+  IngestStats stats = store_.ingest(batch);
+  // current() rather than the exact published snapshot: if a concurrent
+  // ingest already superseded it, persisting the newer one is strictly
+  // better (each segment is self-contained).
+  if (options_.async) {
+    enqueue(store_.current());
+  } else {
+    requested_.fetch_add(1, std::memory_order_relaxed);
+    persist_one(store_.current());
+  }
+  return stats;
+}
+
+template <typename K>
+void BasicDurableTableStore<K>::enqueue(Ptr snapshot) {
+  requested_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_ && pending_->version() >= snapshot->version()) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      return;  // the mailbox already covers this request
+    }
+    if (pending_) coalesced_.fetch_add(1, std::memory_order_relaxed);
+    pending_ = std::move(snapshot);
+  }
+  work_cv_.notify_one();
+}
+
+template <typename K>
+void BasicDurableTableStore<K>::persist_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || pending_ != nullptr; });
+    if (!pending_) break;  // stop requested and the mailbox is drained
+    const Ptr snapshot = std::move(pending_);
+    pending_ = nullptr;
+    busy_ = true;
+    lock.unlock();
+    persist_one(snapshot);
+    lock.lock();
+    busy_ = false;
+    done_cv_.notify_all();
+  }
+}
+
+template <typename K>
+void BasicDurableTableStore<K>::persist_one(const Ptr& snapshot) noexcept {
+  const std::lock_guard<std::mutex> io(io_mutex_);
+  const std::uint64_t version = snapshot->version();
+  if (version <= last_durable_.load(std::memory_order_relaxed)) {
+    return;  // a newer (or this) version is already durable
+  }
+  try {
+    writer_.write_segment(*snapshot);
+  } catch (const std::exception& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    last_error_ = e.what();
+    return;
+  }
+  // The segment rename made the snapshot recoverable; durability is reached
+  // here, before the manifest — which only buys the next recovery its fast
+  // path, so its failure is counted but does not retract durability.
+  last_durable_.store(version, std::memory_order_release);
+  persisted_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    writer_.write_manifest(version);
+    writer_.prune();
+  } catch (const std::exception& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    last_error_ = e.what();
+  }
+}
+
+template <typename K>
+bool BasicDurableTableStore<K>::flush() {
+  const Ptr snapshot = store_.current();
+  const std::uint64_t target = snapshot->version();
+  if (last_durable_version() >= target) return true;
+  if (!options_.async) {
+    persist_one(snapshot);
+    return last_durable_version() >= target;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if ((!pending_ || pending_->version() < target) &&
+      last_durable_.load(std::memory_order_relaxed) < target) {
+    requested_.fetch_add(1, std::memory_order_relaxed);
+    if (pending_) coalesced_.fetch_add(1, std::memory_order_relaxed);
+    pending_ = snapshot;
+    work_cv_.notify_one();
+  }
+  done_cv_.wait(lock, [this] { return !busy_ && pending_ == nullptr; });
+  return last_durable_version() >= target;
+}
+
+template <typename K>
+PersistStats BasicDurableTableStore<K>::persist_stats() const {
+  PersistStats out;
+  out.requested = requested_.load(std::memory_order_relaxed);
+  out.persisted = persisted_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.failures = failures_.load(std::memory_order_relaxed);
+  out.last_durable_version = last_durable_.load(std::memory_order_acquire);
+  {
+    const std::lock_guard<std::mutex> io(io_mutex_);
+    out.last_error = last_error_;
+  }
+  return out;
+}
+
+template class BasicDurableTableStore<Key>;
+template class BasicDurableTableStore<WideKey>;
+
+}  // namespace wfbn::serve::persist

@@ -1,0 +1,159 @@
+// DurableTableStore: a restartable TableStore.
+//
+// Wraps BasicTableStore with the persistence layer so that:
+//
+//  - every published snapshot becomes durable *asynchronously*: ingest()
+//    publishes through the store's wait-free cell exactly as before, then
+//    hands the new snapshot to a background persist thread through a
+//    single-slot coalescing mailbox. Readers and the publish path never wait
+//    on the disk; the store holds at most two snapshots for durability (one
+//    being written, one pending) — bounded lag by construction. When
+//    publishes outrun the disk, intermediate versions are skipped (each
+//    segment is a complete self-contained snapshot, so durability jumps
+//    straight to the newest).
+//  - reopening a directory recovers the newest fully-valid snapshot
+//    (snapshot_reader.hpp) and resumes the version sequence from it.
+//
+// Persist failures (full disk, injected faults) are counted and retryable —
+// the serving side keeps publishing; flush() re-enqueues the current version
+// and reports whether it became durable. A persist failure never unpublishes
+// a snapshot: durability lags, it does not veto.
+//
+// Synchronous mode (options.async = false) persists inline in ingest() —
+// for tests and benchmarks that want deterministic timing; the wait-free
+// *read* path is still never involved.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/persist/snapshot_reader.hpp"
+#include "serve/persist/snapshot_writer.hpp"
+#include "serve/table_store.hpp"
+
+namespace wfbn::serve::persist {
+
+struct DurableOptions {
+  WriterOptions writer;
+  WaitFreeBuilderOptions ingest;
+  bool async = true;  ///< false: persist inline in ingest() (tests/benches)
+};
+
+/// Counters describing the durability side. Snapshot-consistent reads are
+/// not needed; each field is independently monotonic.
+struct PersistStats {
+  std::uint64_t requested = 0;   ///< snapshots handed to the persist side
+  std::uint64_t persisted = 0;   ///< segments durably published
+  std::uint64_t coalesced = 0;   ///< superseded in the mailbox before writing
+  std::uint64_t failures = 0;    ///< persist attempts that threw
+  std::uint64_t last_durable_version = 0;
+  std::string last_error;        ///< what() of the most recent failure
+};
+
+template <typename K>
+class BasicDurableTableStore {
+ public:
+  using Store = BasicTableStore<K>;
+  using Table = typename Store::Table;
+  using Ptr = typename Store::Ptr;
+
+  /// Fresh store on `dir`: publishes `initial` as version 1 and persists it
+  /// synchronously before returning (a durable store must be recoverable
+  /// from its first instant). Throws on persist failure.
+  BasicDurableTableStore(std::filesystem::path dir, Table initial,
+                         DurableOptions options = {});
+
+  /// Reopens a store directory: recovers the newest fully-valid snapshot,
+  /// repairs the manifest if it was stale or invalid, removes crash orphans,
+  /// and resumes the version sequence. Returns nullptr when nothing is
+  /// recoverable (empty/missing directory, all segments corrupt) — the
+  /// caller decides whether that means "start fresh" or "refuse to serve".
+  /// `report`, when non-null, receives the full recovery trace either way.
+  static std::unique_ptr<BasicDurableTableStore> open(
+      std::filesystem::path dir, DurableOptions options = {},
+      RecoveryReport* report = nullptr);
+
+  /// Drains the mailbox (final pending snapshot included), then stops the
+  /// persist thread. Does not retry earlier failures.
+  ~BasicDurableTableStore();
+
+  BasicDurableTableStore(const BasicDurableTableStore&) = delete;
+  BasicDurableTableStore& operator=(const BasicDurableTableStore&) = delete;
+
+  /// Wait-free snapshot pin — exactly TableStore::current().
+  [[nodiscard]] Ptr current() const noexcept { return store_.current(); }
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return store_.version();
+  }
+
+  /// Publishes the next version through the wait-free path, then enqueues it
+  /// for persistence (async) or persists inline (sync). Throws exactly what
+  /// TableStore::ingest throws; an inline persist failure in sync mode is
+  /// counted, not thrown — durability lags, serving continues.
+  IngestStats ingest(const Dataset& batch);
+
+  /// Makes the currently served version durable, retrying a failed persist
+  /// if necessary. Returns true when last_durable_version() caught up to the
+  /// version observed at entry; false when the persist attempt failed (the
+  /// call may simply be retried).
+  bool flush();
+
+  [[nodiscard]] std::uint64_t last_durable_version() const noexcept {
+    return last_durable_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] PersistStats persist_stats() const;
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return writer_.directory();
+  }
+
+  /// The wrapped store, for callers wiring a ServeEngine on top.
+  [[nodiscard]] Store& store() noexcept { return store_; }
+
+ private:
+  BasicDurableTableStore(std::filesystem::path dir, Table initial,
+                         DurableOptions options, std::uint64_t initial_version,
+                         bool persist_initial);
+
+  void enqueue(Ptr snapshot);
+  void persist_loop();
+  /// One persist attempt; updates counters, never throws.
+  void persist_one(const Ptr& snapshot) noexcept;
+
+  Store store_;
+  BasicSnapshotWriter<K> writer_;
+  DurableOptions options_;
+
+  std::mutex mutex_;                  ///< guards the mailbox + worker state
+  std::condition_variable work_cv_;   ///< persist thread wakeup
+  std::condition_variable done_cv_;   ///< flush()/destructor wakeup
+  Ptr pending_;                       ///< single-slot coalescing mailbox
+  bool busy_ = false;                 ///< a persist attempt is in flight
+  bool stop_ = false;
+
+  /// Serializes persist_one (sync-mode callers race) and guards last_error_;
+  /// mutable so persist_stats() can copy the error out of a const store.
+  mutable std::mutex io_mutex_;
+
+  std::atomic<std::uint64_t> last_durable_{0};
+  std::atomic<std::uint64_t> requested_{0};
+  std::atomic<std::uint64_t> persisted_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::string last_error_;  ///< guarded by io_mutex_
+
+  std::thread persist_thread_;  ///< last member: joins before the rest dies
+};
+
+extern template class BasicDurableTableStore<Key>;
+extern template class BasicDurableTableStore<WideKey>;
+
+using DurableTableStore = BasicDurableTableStore<Key>;
+using WideDurableTableStore = BasicDurableTableStore<WideKey>;
+
+}  // namespace wfbn::serve::persist

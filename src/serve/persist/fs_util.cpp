@@ -1,0 +1,139 @@
+#include "serve/persist/fs_util.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "serve/persist/format.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+#if defined(_WIN32)
+#error "serve/persist requires a POSIX platform (open/fsync/rename)"
+#endif
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace wfbn::serve::persist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::filesystem::path& path) {
+  throw DataError(what + " " + path.string() + ": " + std::strerror(errno));
+}
+
+/// Closes the fd on scope exit unless release()d first (the success path
+/// closes explicitly so the close error is checkable).
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) noexcept : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::filesystem::path& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write failed for", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void fsync_directory(const std::filesystem::path& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) throw_errno("cannot open directory for fsync", dir);
+  FdGuard guard(dfd);
+  if (::fsync(dfd) != 0) throw_errno("directory fsync failed for", dir);
+}
+
+void write_file_atomic(const std::filesystem::path& dir,
+                       const std::string& name,
+                       std::span<const std::uint8_t> bytes, bool do_fsync) {
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path temp_path = dir / (name + kTempSuffix);
+  const std::filesystem::path final_path = dir / name;
+
+  WFBN_FAULT_POINT(fault::Point::kPersistOpen);
+  const int fd = ::open(temp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("cannot create", temp_path);
+  {
+    FdGuard guard(fd);
+    // An injected fault from here on abandons the temp file exactly as a
+    // power cut would: the guard closes the fd, the orphan stays on disk,
+    // and the final name still holds the previous complete version.
+    WFBN_FAULT_POINT(fault::Point::kPersistWrite);
+    write_all(fd, bytes.data(), bytes.size(), temp_path);
+    if (do_fsync) {
+      WFBN_FAULT_POINT(fault::Point::kPersistFsync);
+      if (::fsync(fd) != 0) throw_errno("fsync failed for", temp_path);
+    }
+    if (::close(guard.release()) != 0) throw_errno("close failed for", temp_path);
+  }
+
+  WFBN_FAULT_POINT(fault::Point::kPersistRename);
+  if (::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    throw_errno("rename failed for", final_path);
+  }
+  if (do_fsync) {
+    // Second hit of persist.fsync per atomic write: a crash here models the
+    // window where the rename happened in memory but the directory entry was
+    // not yet durable. The file is visible either way, so recovery treats
+    // both sides of this window identically.
+    WFBN_FAULT_POINT(fault::Point::kPersistFsync);
+    fsync_directory(dir);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DataError("cannot open for reading: " + path.string());
+  std::vector<std::uint8_t> bytes;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) throw DataError("cannot size: " + path.string());
+  in.seekg(0, std::ios::beg);
+  bytes.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) throw DataError("read failed: " + path.string());
+  return bytes;
+}
+
+std::size_t remove_stale_temps(const std::filesystem::path& dir) noexcept {
+  std::size_t removed = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > std::strlen(kTempSuffix) &&
+        name.compare(name.size() - std::strlen(kTempSuffix),
+                     std::strlen(kTempSuffix), kTempSuffix) == 0) {
+      if (std::filesystem::remove(entry.path(), ec)) ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace wfbn::serve::persist

@@ -1,0 +1,43 @@
+// Crash-safe filesystem primitives for the persistence layer.
+//
+// write_file_atomic() is the one way bytes reach a store directory: write to
+// a `<name>.tmp` sibling, fsync the file, rename() over the final name, and
+// fsync the directory so the rename itself is durable. The named fault
+// points persist.open / persist.write / persist.fsync / persist.rename fire
+// immediately before the corresponding syscall, so an injected fault leaves
+// the directory exactly as a power cut at that instant would — including the
+// orphaned temp file, which recovery must (and does) ignore.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wfbn::serve::persist {
+
+/// Atomically publishes `bytes` as `dir/name`. Throws DataError on any IO
+/// error (with errno context) and InjectedFault from armed persist.* points.
+/// On failure the final file is either absent or still the previous complete
+/// version — never a torn mix; at most a `<name>.tmp` orphan is left behind.
+/// `do_fsync` false skips both fsyncs (benchmarks measuring serialization
+/// cost; real durability requires true).
+void write_file_atomic(const std::filesystem::path& dir,
+                       const std::string& name,
+                       std::span<const std::uint8_t> bytes, bool do_fsync);
+
+/// Reads a whole file. Throws DataError when the file cannot be opened or
+/// read (the caller turns that into a recovery rejection, not a crash).
+[[nodiscard]] std::vector<std::uint8_t> read_file(
+    const std::filesystem::path& path);
+
+/// Removes `*.tmp` orphans left by crashes or injected faults. Best-effort:
+/// returns the number removed, never throws.
+std::size_t remove_stale_temps(const std::filesystem::path& dir) noexcept;
+
+/// fsyncs a directory so a completed rename survives power loss. Throws
+/// DataError on failure.
+void fsync_directory(const std::filesystem::path& dir);
+
+}  // namespace wfbn::serve::persist

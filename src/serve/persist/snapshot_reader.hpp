@@ -1,0 +1,105 @@
+// SnapshotReader: corruption-tolerant parsing of segments and recovery of a
+// store directory back to the newest fully-valid snapshot.
+//
+// read_segment() is strict: every defect — wrong magic, wrong key width,
+// truncation at any field, a failing header or section checksum, trailing
+// garbage, out-of-range keys, zero counts, a count sum disagreeing with the
+// recorded sample count — surfaces as a typed DataError naming the defect.
+// It never returns a partially-loaded table.
+//
+// recover_store_dir() turns those strict failures into fallback: it walks
+// the segments newest-first until one validates end-to-end, recording every
+// rejection in the RecoveryReport. The newest valid segment wins even when
+// the manifest lags behind it — a crash between the segment rename and the
+// manifest update must not roll durability back — so the manifest is a
+// cross-check (reported, repaired on reopen), never the routing decision.
+// A directory where nothing validates — including a missing or empty
+// directory — recovers to "no snapshot" (recovered_version 0) rather than
+// an error: a fresh store is the correct degraded state after losing
+// everything.
+//
+// The recover.checksum fault point routes through every checksum comparison
+// made during recovery (manifest, segment header, sections), using the
+// non-throwing should_fail flavor: firing it forces that one comparison to
+// report a mismatch, deterministically driving the fallback path in tests.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/potential_table.hpp"
+
+namespace wfbn::serve::persist {
+
+/// A fully parsed and validated segment.
+template <typename K>
+struct SegmentData {
+  BasicPotentialTable<K> table;
+  std::uint64_t version = 0;
+};
+
+/// Parses and validates one segment file. Throws DataError naming the defect
+/// on any corruption; never returns a partial table.
+template <typename K>
+[[nodiscard]] SegmentData<K> read_segment(const std::filesystem::path& path);
+
+/// Parses `bytes` as a segment (the file-reading step already done). Same
+/// contract as read_segment().
+template <typename K>
+[[nodiscard]] SegmentData<K> parse_segment(
+    const std::vector<std::uint8_t>& bytes);
+
+/// One segment recovery gave up on, and why.
+struct RejectedSegment {
+  std::uint64_t version = 0;
+  std::string reason;
+};
+
+struct RecoveryReport {
+  /// Version served after recovery; 0 = nothing recoverable (fresh start).
+  std::uint64_t recovered_version = 0;
+  /// True when the manifest itself parsed and checksummed clean. It may
+  /// still disagree with recovered_version (stale after a crash between
+  /// segment rename and manifest update, or naming a rejected segment).
+  bool manifest_valid = false;
+  /// The version the manifest names; 0 when the manifest was invalid.
+  std::uint64_t manifest_version = 0;
+  /// Segments read during the newest-first scan.
+  std::size_t segments_scanned = 0;
+  /// Every segment tried and rejected, newest first, with the defect —
+  /// plus an entry when a valid manifest names a segment that is missing.
+  std::vector<RejectedSegment> rejected;
+};
+
+template <typename K>
+struct RecoveryResult {
+  /// The newest fully-valid snapshot table, or nullopt for a fresh start.
+  std::optional<BasicPotentialTable<K>> table;
+  RecoveryReport report;
+};
+
+/// Recovers `dir` to the newest fully-valid snapshot via a newest-first
+/// scan, falling back version by version past rejected segments. Only
+/// throws on programming errors — corruption and missing files degrade into
+/// the report instead.
+template <typename K>
+[[nodiscard]] RecoveryResult<K> recover_store_dir(
+    const std::filesystem::path& dir);
+
+extern template SegmentData<Key> read_segment<Key>(
+    const std::filesystem::path&);
+extern template SegmentData<WideKey> read_segment<WideKey>(
+    const std::filesystem::path&);
+extern template SegmentData<Key> parse_segment<Key>(
+    const std::vector<std::uint8_t>&);
+extern template SegmentData<WideKey> parse_segment<WideKey>(
+    const std::vector<std::uint8_t>&);
+extern template RecoveryResult<Key> recover_store_dir<Key>(
+    const std::filesystem::path&);
+extern template RecoveryResult<WideKey> recover_store_dir<WideKey>(
+    const std::filesystem::path&);
+
+}  // namespace wfbn::serve::persist

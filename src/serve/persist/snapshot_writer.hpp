@@ -1,0 +1,84 @@
+// SnapshotWriter: serializes a published snapshot into a per-version segment
+// file and records the new durable frontier in the manifest.
+//
+// write() is the full durable-publish sequence:
+//
+//   1. serialize the snapshot (schema + per-partition count sections, each
+//      FNV-1a checksummed) into one buffer;
+//   2. publish it as segment-<version>.wfs via write-to-temp + fsync +
+//      atomic-rename (fs_util.hpp) — after this step the snapshot is
+//      recoverable even if everything later fails;
+//   3. update the MANIFEST (persist.manifest fires first) through the same
+//      atomic path;
+//   4. prune segments older than options.keep_segments (best-effort).
+//
+// The writer holds no reference to the store and runs entirely off the
+// serving threads: callers (BasicDurableTableStore's persist thread, tests,
+// benchmarks) pass in the immutable snapshot they pinned. A throw from any
+// step leaves the directory recoverable — the invariant the crash-point
+// sweep in tests/test_persist.cpp enforces at every persist fault point.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+
+namespace wfbn::serve::persist {
+
+struct WriterOptions {
+  bool section_checksums = true;  ///< per-partition FNV-1a trailers
+  bool fsync = true;   ///< false skips fsyncs (benchmarks only — not durable)
+  std::size_t keep_segments = 4;  ///< newest segments retained by prune()
+};
+
+template <typename K>
+class BasicSnapshotWriter {
+ public:
+  using Snapshot = BasicSnapshot<K>;
+
+  explicit BasicSnapshotWriter(std::filesystem::path dir,
+                               WriterOptions options = {});
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return dir_;
+  }
+  [[nodiscard]] const WriterOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Serializes `snapshot` into the segment byte layout (format.hpp).
+  [[nodiscard]] static std::vector<std::uint8_t> serialize(
+      const Snapshot& snapshot, bool section_checksums);
+
+  /// Steps 1+2: atomically publishes segment-<version>.wfs. After a normal
+  /// return the snapshot is durable and recoverable by directory scan even
+  /// without a manifest.
+  void write_segment(const Snapshot& snapshot);
+
+  /// Step 3: atomically points the manifest at `version`. Fires
+  /// persist.manifest, then the usual persist.open/write/fsync/rename
+  /// sequence of the inner atomic write.
+  void write_manifest(std::uint64_t version);
+
+  /// Step 4: removes segments beyond the options.keep_segments newest.
+  /// Best-effort and never throws — retention is an optimization, not a
+  /// correctness property.
+  std::size_t prune() noexcept;
+
+  /// The full durable-publish sequence (segment, manifest, prune).
+  void write(const Snapshot& snapshot);
+
+ private:
+  std::filesystem::path dir_;
+  WriterOptions options_;
+};
+
+extern template class BasicSnapshotWriter<Key>;
+extern template class BasicSnapshotWriter<WideKey>;
+
+using SnapshotWriter = BasicSnapshotWriter<Key>;
+using WideSnapshotWriter = BasicSnapshotWriter<WideKey>;
+
+}  // namespace wfbn::serve::persist

@@ -3,31 +3,16 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/checksum.hpp"
 #include "util/fault_injection.hpp"
 
 namespace wfbn::serve {
 
-namespace {
-
-/// FNV-1a over the key words, byte order independent of endianness concerns
-/// because the words are hashed as 64-bit values directly.
-std::uint64_t fnv1a(const std::vector<std::uint64_t>& words) noexcept {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const std::uint64_t w : words) {
-    h = (h ^ w) * 0x100000001B3ULL;
-  }
-  // Avalanche the tail so both the shard index (high bits) and the map
-  // bucket (low bits) see well-mixed values even for near-identical keys.
-  h ^= h >> 33;
-  h *= 0xFF51AFD7ED558CCDULL;
-  h ^= h >> 33;
-  return h;
-}
-
-}  // namespace
-
+// The shared FNV-1a word hash plus the avalanche finalizer, so both the
+// shard index (high bits) and the map bucket (low bits) see well-mixed
+// values even for near-identical keys.
 CacheKey::CacheKey(std::vector<std::uint64_t> words)
-    : words_(std::move(words)), hash_(fnv1a(words_)) {}
+    : words_(std::move(words)), hash_(avalanche64(fnv1a_words(words_))) {}
 
 ResultCache::ResultCache(std::size_t shards, std::size_t max_entries_per_shard)
     : max_entries_per_shard_(std::max<std::size_t>(max_entries_per_shard, 1)) {

@@ -1,5 +1,6 @@
 #include "serve/table_store.hpp"
 
+#include "util/error.hpp"
 #include "util/fault_injection.hpp"
 #include "util/timer.hpp"
 
@@ -7,8 +8,13 @@ namespace wfbn::serve {
 
 template <typename K, typename Policy>
 BasicTableStore<K, Policy>::BasicTableStore(Table initial,
-                                    WaitFreeBuilderOptions ingest_options)
-    : current_(std::make_shared<const BasicSnapshot<K>>(std::move(initial), 1)),
+                                    WaitFreeBuilderOptions ingest_options,
+                                    std::uint64_t initial_version)
+    : current_([&] {
+        WFBN_EXPECT(initial_version >= 1, "snapshot versions are 1-based");
+        return std::make_shared<const BasicSnapshot<K>>(std::move(initial),
+                                                        initial_version);
+      }()),
       builder_(ingest_options) {}
 
 template <typename K, typename Policy>

@@ -51,11 +51,16 @@ class BasicTableStore {
   using Table = BasicPotentialTable<K>;
   using Ptr = BasicSnapshotPtr<K>;
 
-  /// Takes ownership of `initial` and publishes it as version 1.
+  /// Takes ownership of `initial` and publishes it as `initial_version`
+  /// (defaults to 1 for a fresh store; recovery passes the restored durable
+  /// version so ingestion resumes the version sequence instead of reissuing
+  /// version numbers that already name different snapshots on disk).
   /// `ingest_options` configure the builder the ingestion path uses (worker
   /// count, pinning, pipeline batch — see WaitFreeBuilderOptions).
+  /// Throws PreconditionError when `initial_version` is 0.
   explicit BasicTableStore(Table initial,
-                           WaitFreeBuilderOptions ingest_options = {});
+                           WaitFreeBuilderOptions ingest_options = {},
+                           std::uint64_t initial_version = 1);
 
   /// The currently served snapshot. Wait-free; never returns null.
   [[nodiscard]] Ptr current() const noexcept { return current_.load(); }

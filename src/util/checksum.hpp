@@ -1,0 +1,64 @@
+// The library's one checksum: 64-bit FNV-1a, plus the avalanche finalizer
+// the hashed-key consumers mix on top.
+//
+// Three subsystems need exactly the same primitive — the binary dataset
+// format (payload checksum, data/io.cpp), the serving result cache (packed
+// query-key hash, serve/result_cache.cpp), and the snapshot persistence
+// layer (per-section corruption detection, serve/persist/) — so it lives
+// here once instead of as three private copies. The byte flavor is seedable,
+// which lets a caller checksum a file in sections while still getting one
+// number per section; the word flavor hashes 64-bit lanes directly (cheaper
+// than byte-at-a-time for packed keys, and what the result cache has always
+// done — its on-disk-invisible hash values are unchanged by this move).
+//
+// FNV-1a is a detection code, not a MAC: it catches bit rot, truncation and
+// torn writes, which is the threat model of every caller here. Anything
+// adversarial needs a real MAC and does not belong in this header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace wfbn {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+/// FNV-1a over raw bytes. Pass a previous result as `seed` to checksum a
+/// byte stream incrementally (fnv1a(ab) == fnv1a(b, fnv1a(a))).
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(
+    const void* data, std::size_t size,
+    std::uint64_t seed = kFnv1aOffsetBasis) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<std::uint64_t>(bytes[i]);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// FNV-1a over 64-bit lanes (one xor-multiply per word, not per byte).
+/// Endianness-independent because the words are hashed as values.
+[[nodiscard]] inline std::uint64_t fnv1a_words(
+    std::span<const std::uint64_t> words,
+    std::uint64_t seed = kFnv1aOffsetBasis) noexcept {
+  std::uint64_t hash = seed;
+  for (const std::uint64_t w : words) {
+    hash = (hash ^ w) * kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// Murmur3-style finalizer: avalanches the tail of an FNV chain so both the
+/// high bits (shard/partition selection) and the low bits (table masking)
+/// are well mixed even for near-identical inputs.
+[[nodiscard]] inline std::uint64_t avalanche64(std::uint64_t h) noexcept {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace wfbn

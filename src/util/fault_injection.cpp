@@ -53,6 +53,12 @@ const char* point_name(Point point) noexcept {
     case Point::kMiSweep: return "all_pairs_mi.sweep";
     case Point::kServePublish: return "serve.publish";
     case Point::kServeCache: return "serve.cache_insert";
+    case Point::kPersistOpen: return "persist.open";
+    case Point::kPersistWrite: return "persist.write";
+    case Point::kPersistFsync: return "persist.fsync";
+    case Point::kPersistRename: return "persist.rename";
+    case Point::kPersistManifest: return "persist.manifest";
+    case Point::kRecoverChecksum: return "recover.checksum";
   }
   return "unknown";
 }
@@ -102,9 +108,9 @@ std::uint64_t hits(Point point) noexcept {
 }
 
 std::string arm_random_schedule(std::uint64_t seed) {
-  // Only throwing points participate: spawn/pin/cache-insert arming changes
-  // behavior via degradation instead of an error, which the fuzz sweeps
-  // exercise separately from their match-or-typed-error oracle.
+  // Only throwing points participate: spawn/pin/cache-insert/recover-checksum
+  // arming changes behavior via degradation instead of an error, which the
+  // fuzz sweeps exercise separately from their match-or-typed-error oracle.
   //
   // Every point here is width-generic: the builder, marginalizer, MI, and
   // serve kernels are one key-trait-templated implementation, so a schedule
@@ -115,6 +121,8 @@ std::string arm_random_schedule(std::uint64_t seed) {
       Point::kSpscChunkAlloc, Point::kStage1Row,  Point::kBarrier,
       Point::kStage2Drain,    Point::kPipelineDrain, Point::kAppendCommit,
       Point::kMarginalizeSweep, Point::kMiSweep, Point::kServePublish,
+      Point::kPersistOpen,    Point::kPersistWrite, Point::kPersistFsync,
+      Point::kPersistRename,  Point::kPersistManifest,
   };
   constexpr std::size_t kThrowingCount = sizeof kThrowing / sizeof kThrowing[0];
   reset();

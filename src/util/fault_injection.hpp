@@ -47,8 +47,16 @@ enum class Point : int {
                       ///< before the atomic snapshot swap
   kServeCache,        ///< ResultCache::insert, before storing a computed
                       ///< answer (degrades: the answer is served uncached)
+  kPersistOpen,       ///< persist: before opening/creating a temp file
+  kPersistWrite,      ///< persist: before writing serialized bytes
+  kPersistFsync,      ///< persist: before fsyncing a written file
+  kPersistRename,     ///< persist: before the atomic rename publish
+  kPersistManifest,   ///< persist: before the manifest update begins
+  kRecoverChecksum,   ///< recovery: during checksum validation (degrades:
+                      ///< the section is treated as corrupt and recovery
+                      ///< falls back — it never throws)
 };
-inline constexpr int kPointCount = static_cast<int>(Point::kServeCache) + 1;
+inline constexpr int kPointCount = static_cast<int>(Point::kRecoverChecksum) + 1;
 
 [[nodiscard]] const char* point_name(Point point) noexcept;
 

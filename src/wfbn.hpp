@@ -49,6 +49,13 @@
 #include "serve/snapshot_cell.hpp"
 #include "serve/table_store.hpp"
 
+// serving durability: crash-safe snapshot persistence + recovery
+#include "serve/persist/durable_store.hpp"
+#include "serve/persist/format.hpp"
+#include "serve/persist/fs_util.hpp"
+#include "serve/persist/snapshot_reader.hpp"
+#include "serve/persist/snapshot_writer.hpp"
+
 // baselines
 #include "baselines/builders.hpp"
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <utility>
@@ -17,6 +18,10 @@
 #include "core/marginalizer.hpp"
 #include "core/wait_free_builder.hpp"
 #include "data/generators.hpp"
+#include "serve/persist/format.hpp"
+#include "serve/persist/snapshot_reader.hpp"
+#include "serve/persist/snapshot_writer.hpp"
+#include "serve/snapshot.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
 
@@ -598,6 +603,100 @@ TEST(FaultInjection, PointNamesAreUniqueAndStable) {
   }
   EXPECT_EQ(seen.size(), static_cast<std::size_t>(fault::kPointCount));
   EXPECT_EQ(seen.count("unknown"), 0u);
+}
+
+// ------------------------------------------------------ persist/recover fuzz
+
+TEST(PersistFaults, RandomFaultSchedulesNeverCorruptRecovery) {
+  // 200 randomized schedules (now drawing from the persist.* points too)
+  // against a write-two-versions-then-recover cycle. Whatever fires and
+  // wherever it lands, recovery must surface a version whose counts are
+  // bit-exact for that version — a crash may lose the tail, never truth.
+  const Dataset base = generate_chain_correlated(1200, 8, 2, 0.8, 0x90);
+  const Dataset more = generate_chain_correlated(2400, 8, 2, 0.8, 0x91);
+  WaitFreeBuilderOptions options;
+  options.threads = 2;
+  WaitFreeBuilder builder(options);
+  const PotentialTable t1 = builder.build(base);
+  const PotentialTable t2 = builder.build(more);
+  const std::map<Key, std::uint64_t> ref1 = snapshot(t1);
+  const std::map<Key, std::uint64_t> ref2 = snapshot(t2);
+
+  const std::filesystem::path root =
+      std::filesystem::path(::testing::TempDir()) / "wfbn_persist_fuzz";
+  std::filesystem::remove_all(root);
+
+  int completed = 0;
+  int faulted = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const std::filesystem::path dir = root / std::to_string(seed);
+    std::filesystem::create_directories(dir);
+    serve::persist::SnapshotWriter writer(dir);
+
+    fault::ScopedFaultInjection injection;
+    const std::string schedule = fault::arm_random_schedule(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + schedule);
+    try {
+      writer.write(serve::Snapshot(t1, 1));
+      writer.write(serve::Snapshot(t2, 2));
+      ++completed;
+    } catch (const InjectedFault&) {
+      ++faulted;  // simulated crash: no cleanup, recover from what's on disk
+    }
+    fault::reset();  // recovery below must not trip the same schedule
+
+    const auto recovery = serve::persist::recover_store_dir<Key>(dir);
+    const std::uint64_t v = recovery.report.recovered_version;
+    ASSERT_LE(v, 2u);
+    if (v == 0) {
+      // Nothing durable yet: only possible when even version 1 never
+      // finished its rename.
+      ASSERT_FALSE(
+          std::filesystem::exists(dir / serve::persist::segment_name(1)));
+      continue;
+    }
+    ASSERT_TRUE(recovery.table.has_value());
+    EXPECT_EQ(snapshot(*recovery.table), v == 2 ? ref2 : ref1);
+    EXPECT_TRUE(recovery.table->validate());
+  }
+  // The schedule pool must actually exercise both arms.
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(faulted, 0);
+}
+
+TEST(PersistFaults, RecoverChecksumFaultForcesFallbackOneVersion) {
+  // recover.checksum is a degradation point: firing it makes exactly one
+  // checksum comparison report a mismatch. Hit 1 is the manifest, hit 2 the
+  // newest segment's header — forcing that one rejects version 2 and
+  // recovery must fall back to version 1, recording the rejection.
+  const Dataset base = generate_chain_correlated(1200, 8, 2, 0.8, 0x92);
+  const Dataset more = generate_chain_correlated(2400, 8, 2, 0.8, 0x93);
+  WaitFreeBuilderOptions options;
+  options.threads = 2;
+  WaitFreeBuilder builder(options);
+  const PotentialTable t1 = builder.build(base);
+  const PotentialTable t2 = builder.build(more);
+
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "wfbn_recover_checksum";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  serve::persist::SnapshotWriter writer(dir);
+  writer.write(serve::Snapshot(t1, 1));
+  writer.write(serve::Snapshot(t2, 2));
+
+  fault::ScopedFaultInjection injection;
+  fault::arm(fault::Point::kRecoverChecksum, 2);
+  const auto recovery = serve::persist::recover_store_dir<Key>(dir);
+  ASSERT_TRUE(recovery.table.has_value());
+  EXPECT_EQ(recovery.report.recovered_version, 1u);
+  EXPECT_TRUE(recovery.report.manifest_valid);  // hit 1 passed untouched
+  ASSERT_FALSE(recovery.report.rejected.empty());
+  EXPECT_EQ(recovery.report.rejected.front().version, 2u);
+  EXPECT_EQ(recovery.report.rejected.front().reason,
+            "segment header checksum mismatch");
+  EXPECT_EQ(snapshot(*recovery.table), snapshot(t1));
+  EXPECT_GE(fault::hits(fault::Point::kRecoverChecksum), 2u);
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <thread>
 #include <vector>
@@ -22,6 +24,10 @@
 #include "core/query.hpp"
 #include "core/wait_free_builder.hpp"
 #include "data/generators.hpp"
+#include "serve/persist/durable_store.hpp"
+#include "serve/persist/format.hpp"
+#include "serve/persist/snapshot_reader.hpp"
+#include "serve/persist/snapshot_writer.hpp"
 #include "serve/serve_engine.hpp"
 #include "serve/table_store.hpp"
 #include "util/error.hpp"
@@ -564,6 +570,156 @@ TEST(ResultCache, EvictionReclaimsSupersededVersionsFirst) {
   ASSERT_TRUE(cache.lookup(key(2, 0)).has_value());
   EXPECT_EQ(cache.stats().evicted_entries, 4u);
   EXPECT_FALSE(cache.lookup(key(1, 0)).has_value());
+}
+
+// ---------------------------------------------------------------- recovery
+// Edge cases at the seam between the serving layer and the durability layer
+// (the persist subsystem's own tests live in test_persist.cpp).
+
+namespace persist = serve::persist;
+
+std::filesystem::path recovery_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("wfbn_serve_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(ServeRecovery, EmptyStoreDirectoryIsAFreshStartNotAnError) {
+  const std::filesystem::path dir = recovery_dir("empty");
+  const auto recovery = persist::recover_store_dir<Key>(dir);
+  EXPECT_FALSE(recovery.table.has_value());
+  EXPECT_EQ(recovery.report.recovered_version, 0u);
+  EXPECT_FALSE(recovery.report.manifest_valid);
+  EXPECT_EQ(recovery.report.segments_scanned, 0u);
+  EXPECT_TRUE(recovery.report.rejected.empty());
+  // A directory that does not exist at all degrades the same way.
+  const auto missing =
+      persist::recover_store_dir<Key>(dir / "never_created");
+  EXPECT_FALSE(missing.table.has_value());
+  EXPECT_EQ(missing.report.recovered_version, 0u);
+}
+
+TEST(ServeRecovery, ManifestNamingMissingSegmentFallsBackToNewestPresent) {
+  const Dataset data = generate_chain_correlated(3000, 8, 2, 0.8, 0xC1);
+  const PotentialTable table = build(data);
+  const std::filesystem::path dir = recovery_dir("missing_segment");
+  persist::SnapshotWriter writer(dir);
+  writer.write(serve::Snapshot(table, 1));
+  writer.write(serve::Snapshot(table, 2));  // manifest now names version 2
+  ASSERT_TRUE(std::filesystem::remove(dir / persist::segment_name(2)));
+
+  const auto recovery = persist::recover_store_dir<Key>(dir);
+  ASSERT_TRUE(recovery.table.has_value());
+  EXPECT_EQ(recovery.report.recovered_version, 1u);
+  EXPECT_TRUE(recovery.report.manifest_valid);
+  EXPECT_EQ(recovery.report.manifest_version, 2u);
+  ASSERT_FALSE(recovery.report.rejected.empty());
+  EXPECT_EQ(recovery.report.rejected.front().version, 2u);
+  EXPECT_EQ(recovery.report.rejected.front().reason,
+            "manifest names a missing segment");
+  EXPECT_EQ(table_counts(*recovery.table), table_counts(table));
+}
+
+TEST(ServeRecovery, BitFlipMidSectionIsRejectedAndFallsBackOneVersion) {
+  const Dataset base = generate_chain_correlated(3000, 8, 2, 0.8, 0xC2);
+  const Dataset more = generate_chain_correlated(5000, 8, 2, 0.8, 0xC3);
+  const PotentialTable t1 = build(base);
+  const PotentialTable t2 = build(more);
+  const std::filesystem::path dir = recovery_dir("bit_flip");
+  persist::SnapshotWriter writer(dir);
+  writer.write(serve::Snapshot(t1, 1));
+  writer.write(serve::Snapshot(t2, 2));
+
+  // Flip one bit deep inside the newest segment's entry data. The section
+  // checksum must catch it; recovery must fall back to version 1 rather
+  // than serve a silently-wrong count table.
+  const std::filesystem::path victim = dir / persist::segment_name(2);
+  std::fstream file(victim,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::int64_t>(file.tellg());
+  const std::int64_t offset = (size * 3) / 4;  // well past the header
+  file.seekg(offset);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  file.seekp(offset);
+  file.write(&byte, 1);
+  file.close();
+
+  const auto recovery = persist::recover_store_dir<Key>(dir);
+  ASSERT_TRUE(recovery.table.has_value());
+  EXPECT_EQ(recovery.report.recovered_version, 1u);
+  ASSERT_FALSE(recovery.report.rejected.empty());
+  EXPECT_EQ(recovery.report.rejected.front().version, 2u);
+  EXPECT_EQ(table_counts(*recovery.table), table_counts(t1));
+  EXPECT_TRUE(recovery.table->validate());
+}
+
+TEST(ServeRecovery, WideKeyRoundTripThroughPersistAndRecover) {
+  const Dataset data = generate_chain_correlated(3000, 100, 2, 0.8, 0xC4);
+  const WidePotentialTable table = wide_build(data);
+  const std::filesystem::path dir = recovery_dir("wide_rt");
+  persist::WideSnapshotWriter writer(dir);
+  writer.write(serve::WideSnapshot(table, 3));
+
+  const auto recovery = persist::recover_store_dir<WideKey>(dir);
+  ASSERT_TRUE(recovery.table.has_value());
+  EXPECT_EQ(recovery.report.recovered_version, 3u);
+  EXPECT_EQ(recovery.table->sample_count(), table.sample_count());
+  EXPECT_EQ(recovery.table->distinct_keys(), table.distinct_keys());
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> expected;
+  table.partitions().for_each([&](WideKey key, std::uint64_t c) {
+    expected[{key.lo, key.hi}] += c;
+  });
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> actual;
+  recovery.table->partitions().for_each([&](WideKey key, std::uint64_t c) {
+    actual[{key.lo, key.hi}] += c;
+  });
+  EXPECT_EQ(actual, expected);
+  EXPECT_TRUE(recovery.table->validate());
+}
+
+TEST(ServeRecovery, AsyncPersistNeverBlocksWaitFreeReaders) {
+  // The durability wrapper must leave the wait-free read/publish contract
+  // untouched: readers spin on current() across async persists and must
+  // only ever observe complete, monotonically-versioned snapshots.
+  const Dataset base = generate_chain_correlated(2000, 8, 2, 0.8, 0xC5);
+  const Dataset batch = generate_chain_correlated(500, 8, 2, 0.8, 0xC6);
+  const std::filesystem::path dir = recovery_dir("readers");
+  persist::DurableTableStore store(dir, build(base));
+
+  constexpr int kReaders = 4;
+  constexpr int kIngests = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> observed_torn{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_version = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const SnapshotPtr snap = store.current();
+        if (snap->version() < last_version ||
+            snap->table().total_count() != snap->table().sample_count()) {
+          observed_torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_version = snap->version();
+      }
+    });
+  }
+  for (int i = 0; i < kIngests; ++i) (void)store.ingest(batch);
+  EXPECT_TRUE(store.flush());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(observed_torn.load(), 0u);
+  EXPECT_EQ(store.version(), static_cast<std::uint64_t>(kIngests) + 1);
+  EXPECT_EQ(store.last_durable_version(), store.version());
+  EXPECT_EQ(store.persist_stats().failures, 0u);
 }
 
 }  // namespace
