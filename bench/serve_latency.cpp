@@ -1,0 +1,415 @@
+// Open-loop latency of the network serving front end, and the admission-
+// control overload property.
+//
+// A ServeServer runs on loopback over a freshly built store. Three traffic
+// classes hit it concurrently, each from its own generator thread with its
+// own connection:
+//
+//   interactive — marginal / pair-MI queries at a fixed arrival rate,
+//   ingest      — observation batches at a configurable flood rate,
+//   admin       — a light stats poll.
+//
+// Generation is OPEN-LOOP: every request has a scheduled due time
+// (i / rate), requests are sent as soon as they are due regardless of how
+// many are still in flight (pipelined on the connection), and latency is
+// measured from the DUE time to response receipt. A server that falls
+// behind therefore accrues queueing delay in the recorded latencies instead
+// of silently slowing the generator down — the standard fix for coordinated
+// omission.
+//
+// Two phases per admission mode (enabled / disabled):
+//
+//   baseline — interactive + admin only.
+//   overload — the ingest flood added.
+//
+// With admission enabled, ingest lives in its own bounded queue with its own
+// dispatcher: the flood gets explicit OVERLOADED rejections and interactive
+// p99 stays near baseline. Disabled reproduces the naive front end — one
+// shared FIFO, one dispatcher — where every query queues behind whole ingest
+// builds, and interactive p99 inflates by orders of magnitude. The emitted
+// BENCH_serve_latency.json records both, plus the property verdict.
+//
+//   ./serve_latency --duration-ms 1000 --query-rate 2000 --ingest-rate 60
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/wait_free_builder.hpp"
+#include "data/generators.hpp"
+#include "net/serve_client.hpp"
+#include "net/serve_server.hpp"
+#include "serve/serve_engine.hpp"
+#include "serve/table_store.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace wfbn;
+
+using Clock = std::chrono::steady_clock;
+
+double now_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ClassResult {
+  std::string phase;
+  bool admission = false;
+  std::string traffic_class;
+  double target_rate = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latencies_ms;  ///< due-time latency of OK responses
+
+  [[nodiscard]] double percentile(double p) const {
+    if (latencies_ms.empty()) return 0.0;
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+  [[nodiscard]] double max_ms() const {
+    return latencies_ms.empty()
+               ? 0.0
+               : *std::max_element(latencies_ms.begin(), latencies_ms.end());
+  }
+};
+
+/// One open-loop generator: sends `make(i)` at due time i/rate for
+/// `duration` seconds, drains responses continuously, then collects
+/// stragglers. Latency of response id is receipt - due(id).
+template <typename MakeRequest>
+ClassResult run_generator(std::uint16_t port, double rate, double duration,
+                          MakeRequest make, const std::string& cls) {
+  ClassResult result;
+  result.traffic_class = cls;
+  result.target_rate = rate;
+  if (rate <= 0.0) return result;
+
+  net::ClientOptions options;
+  options.port = port;
+  options.timeout_ms = 10000;
+  net::ServeClient client(options);
+
+  const Clock::time_point start = Clock::now();
+  std::vector<double> due_s;  // due time of request id i, seconds from start
+  const auto drain = [&](int timeout_ms) {
+    while (std::optional<net::Response> r = client.try_receive(timeout_ms)) {
+      switch (r->status) {
+        case net::Status::kOk:
+          ++result.ok;
+          result.latencies_ms.push_back(
+              (now_seconds(start) - due_s[r->id]) * 1e3);
+          break;
+        case net::Status::kOverloaded:
+          ++result.overloaded;
+          break;
+        default:
+          ++result.errors;
+          break;
+      }
+      if (timeout_ms != 0) break;  // straggler mode: one at a time
+    }
+  };
+
+  std::uint64_t next_id = 0;
+  while (true) {
+    const double t = now_seconds(start);
+    if (t >= duration) break;
+    // Send everything due by now — behind-schedule requests go out
+    // immediately and their queueing delay lands in the measured latency.
+    while (static_cast<double>(next_id) / rate <= t) {
+      due_s.push_back(static_cast<double>(next_id) / rate);
+      client.send(make(next_id));
+      ++result.sent;
+      ++next_id;
+    }
+    drain(0);
+    const double next_due = static_cast<double>(next_id) / rate;
+    const double sleep_s = std::min(next_due - now_seconds(start), 1e-3);
+    if (sleep_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    }
+  }
+  // Collect stragglers (bounded: an unresponsive server must not hang the
+  // bench; anything still missing counts as an error).
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(5000);
+  while (result.ok + result.overloaded + result.errors < result.sent &&
+         Clock::now() < deadline) {
+    try {
+      drain(50);
+    } catch (const std::exception&) {
+      break;
+    }
+  }
+  result.errors += result.sent - (result.ok + result.overloaded + result.errors);
+  return result;
+}
+
+struct PhaseConfig {
+  std::string name;
+  bool admission = true;
+  double query_rate = 0.0;
+  double ingest_rate = 0.0;
+  double admin_rate = 0.0;
+  /// Token-bucket cap on admitted ingest (admission-on phases): the
+  /// operator's knob that keeps a flood from saturating the host. Excess
+  /// batches get explicit OVERLOADED + retry-after. 0 = uncapped.
+  double ingest_admit_rate = 0.0;
+};
+
+std::vector<ClassResult> run_phase(const PhaseConfig& phase,
+                                   const Dataset& base, const Dataset& batch,
+                                   double duration, std::size_t threads) {
+  // Fresh store + engine per phase so ingest from a previous phase cannot
+  // change the table the next phase queries.
+  serve::TableStore store([&] {
+    WaitFreeBuilderOptions options;
+    options.threads = threads;
+    return WaitFreeBuilder(options).build(base);
+  }());
+  serve::ServeEngine engine(store);
+  ThreadPool pool(threads);
+  net::ServerOptions server_options;
+  server_options.admission.enabled = phase.admission;
+  if (phase.admission && phase.ingest_admit_rate > 0.0) {
+    net::ClassPolicy& ingest_policy =
+        server_options.admission
+            .per_class[static_cast<std::size_t>(net::RequestClass::kIngest)];
+    ingest_policy.rate_per_sec = phase.ingest_admit_rate;
+    ingest_policy.burst = 16;
+  }
+  net::ServeServer server(engine, pool, server_options);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  const std::size_t n = base.cardinalities().size();
+  {
+    // Warm-up outside the measurement: first-touch page faults, the pool's
+    // first serve_batch, and the connection handshake all land here instead
+    // of in the first phase's percentiles.
+    net::ClientOptions options;
+    options.port = port;
+    net::ServeClient warm(options);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      net::Request request;
+      request.id = i;
+      request.opcode = net::Opcode::kMarginal;
+      request.query.kind = serve::QueryKind::kMarginal;
+      request.query.variables = {i % n};
+      (void)warm.call(request);
+    }
+  }
+  std::vector<ClassResult> results(3);
+  std::thread interactive([&] {
+    results[0] = run_generator(
+        port, phase.query_rate, duration,
+        [&](std::uint64_t id) {
+          net::Request request;
+          request.id = id;
+          if (id % 4 == 3) {
+            request.opcode = net::Opcode::kPairMi;
+            request.query.kind = serve::QueryKind::kPairMi;
+            request.query.variables = {id % n, (id + 1) % n};
+          } else {
+            request.opcode = net::Opcode::kMarginal;
+            request.query.kind = serve::QueryKind::kMarginal;
+            request.query.variables = {id % n, (id + 3) % n};
+          }
+          return request;
+        },
+        "interactive");
+  });
+  std::thread ingest([&] {
+    results[1] = run_generator(
+        port, phase.ingest_rate, duration,
+        [&](std::uint64_t id) {
+          net::Request request;
+          request.id = id;
+          request.opcode = net::Opcode::kIngest;
+          request.ingest_samples = batch.sample_count();
+          request.ingest_cardinalities = batch.cardinalities();
+          request.ingest_cells.assign(batch.raw().begin(), batch.raw().end());
+          return request;
+        },
+        "ingest");
+  });
+  std::thread admin([&] {
+    results[2] = run_generator(
+        port, phase.admin_rate, duration,
+        [&](std::uint64_t id) {
+          net::Request request;
+          request.id = id;
+          request.opcode = net::Opcode::kStats;
+          return request;
+        },
+        "admin");
+  });
+  interactive.join();
+  ingest.join();
+  admin.join();
+  for (ClassResult& r : results) {
+    r.phase = phase.name;
+    r.admission = phase.admission;
+  }
+  server.stop();
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Open-loop latency of the network serving front end: per-class "
+      "p50/p95/p99 plus the overload sweep showing per-class admission "
+      "control holding interactive tail latency under ingest flood.");
+  cli.add_option("samples", "60000", "Rows in the base table");
+  cli.add_option("variables", "10", "Variables (binary)");
+  cli.add_option("threads", "4", "Server worker threads");
+  cli.add_option("duration-ms", "1200", "Open-loop generation time per phase");
+  cli.add_option("query-rate", "1500", "Interactive arrivals/sec");
+  cli.add_option("ingest-rate", "400", "Overload-phase ingest batches/sec");
+  cli.add_option("ingest-admit-rate", "120",
+                 "Admission-on cap on admitted ingest batches/sec");
+  cli.add_option("ingest-batch", "16000", "Rows per ingest batch");
+  cli.add_option("admin-rate", "20", "Admin stats polls/sec");
+  cli.add_option("seed", "42", "Workload seed");
+  cli.add_option("json-out", "BENCH_serve_latency.json",
+                 "Write the JSON datapoint here ('' disables)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t samples = static_cast<std::size_t>(cli.get_int("samples"));
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("variables"));
+  const std::size_t threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const double duration = static_cast<double>(cli.get_int("duration-ms")) / 1e3;
+  const double query_rate = static_cast<double>(cli.get_int("query-rate"));
+  const double ingest_rate = static_cast<double>(cli.get_int("ingest-rate"));
+  const double ingest_admit_rate =
+      static_cast<double>(cli.get_int("ingest-admit-rate"));
+  const double admin_rate = static_cast<double>(cli.get_int("admin-rate"));
+  const std::size_t batch_rows =
+      static_cast<std::size_t>(cli.get_int("ingest-batch"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const Dataset base = generate_uniform(samples, n, 2, seed, threads);
+  const Dataset batch = generate_uniform(batch_rows, n, 2, seed + 1, threads);
+
+  const std::vector<PhaseConfig> phases = {
+      {"baseline", true, query_rate, 0.0, admin_rate, ingest_admit_rate},
+      {"overload", true, query_rate, ingest_rate, admin_rate,
+       ingest_admit_rate},
+      {"baseline", false, query_rate, 0.0, admin_rate, 0.0},
+      {"overload", false, query_rate, ingest_rate, admin_rate, 0.0},
+  };
+
+  std::vector<ClassResult> all;
+  for (const PhaseConfig& phase : phases) {
+    std::printf("phase %-8s admission=%-3s query=%.0f/s ingest=%.0f/s ...\n",
+                phase.name.c_str(), phase.admission ? "on" : "off",
+                phase.query_rate, phase.ingest_rate);
+    std::vector<ClassResult> rs =
+        run_phase(phase, base, batch, duration, threads);
+    all.insert(all.end(), std::make_move_iterator(rs.begin()),
+               std::make_move_iterator(rs.end()));
+  }
+
+  TablePrinter table(
+      {"phase", "admission", "class", "rate/s", "sent", "ok", "overloaded",
+       "p50 ms", "p95 ms", "p99 ms", "max ms"});
+  for (const ClassResult& r : all) {
+    if (r.target_rate <= 0.0) continue;
+    table.add_row({r.phase, r.admission ? "on" : "off", r.traffic_class,
+                   TablePrinter::fmt(r.target_rate, 0),
+                   std::to_string(r.sent), std::to_string(r.ok),
+                   std::to_string(r.overloaded),
+                   TablePrinter::fmt(r.percentile(50), 3),
+                   TablePrinter::fmt(r.percentile(95), 3),
+                   TablePrinter::fmt(r.percentile(99), 3),
+                   TablePrinter::fmt(r.max_ms(), 3)});
+  }
+  table.print("serve_latency — open-loop per-class latency");
+
+  // The admission-control property: interactive p99 under ingest overload,
+  // admission on vs off.
+  const auto find = [&](const char* phase, bool admission) -> const ClassResult& {
+    for (const ClassResult& r : all) {
+      if (r.phase == phase && r.admission == admission &&
+          r.traffic_class == "interactive") {
+        return r;
+      }
+    }
+    static const ClassResult empty;
+    return empty;
+  };
+  const double p99_on = find("overload", true).percentile(99);
+  const double p99_off = find("overload", false).percentile(99);
+  const double p99_base_on = find("baseline", true).percentile(99);
+  const bool holds = p99_on < p99_off;
+  std::printf(
+      "\nadmission property: overload interactive p99 %.3fms (on) vs %.3fms "
+      "(off), baseline %.3fms — %s\n",
+      p99_on, p99_off, p99_base_on,
+      holds ? "admission control holds the tail" : "PROPERTY VIOLATED");
+
+  std::string json = "{\n  \"bench\": \"serve_latency\",\n";
+  json += "  \"host_cores\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"config\": {\"samples\": " + std::to_string(samples) +
+          ", \"variables\": " + std::to_string(n) +
+          ", \"threads\": " + std::to_string(threads) +
+          ", \"duration_ms\": " + std::to_string(cli.get_int("duration-ms")) +
+          ", \"query_rate\": " + TablePrinter::fmt(query_rate, 0) +
+          ", \"ingest_rate\": " + TablePrinter::fmt(ingest_rate, 0) +
+          ", \"ingest_admit_rate\": " + TablePrinter::fmt(ingest_admit_rate, 0) +
+          ", \"ingest_batch\": " + std::to_string(batch_rows) +
+          ", \"admin_rate\": " + TablePrinter::fmt(admin_rate, 0) +
+          ", \"seed\": " + std::to_string(seed) + "},\n";
+  json += "  \"results\": [\n";
+  bool first = true;
+  for (const ClassResult& r : all) {
+    if (r.target_rate <= 0.0) continue;
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"phase\": \"" + r.phase + "\", \"admission\": " +
+            (r.admission ? "true" : "false") + ", \"class\": \"" +
+            r.traffic_class + "\", \"target_rate\": " +
+            TablePrinter::fmt(r.target_rate, 0) +
+            ", \"sent\": " + std::to_string(r.sent) +
+            ", \"ok\": " + std::to_string(r.ok) +
+            ", \"overloaded\": " + std::to_string(r.overloaded) +
+            ", \"errors\": " + std::to_string(r.errors) +
+            ", \"p50_ms\": " + TablePrinter::fmt(r.percentile(50), 3) +
+            ", \"p95_ms\": " + TablePrinter::fmt(r.percentile(95), 3) +
+            ", \"p99_ms\": " + TablePrinter::fmt(r.percentile(99), 3) +
+            ", \"max_ms\": " + TablePrinter::fmt(r.max_ms(), 3) + "}";
+  }
+  json += "\n  ],\n";
+  json += "  \"property\": {\"overload_interactive_p99_ms_admission_on\": " +
+          TablePrinter::fmt(p99_on, 3) +
+          ", \"overload_interactive_p99_ms_admission_off\": " +
+          TablePrinter::fmt(p99_off, 3) +
+          ", \"baseline_interactive_p99_ms\": " +
+          TablePrinter::fmt(p99_base_on, 3) +
+          ", \"holds\": " + (holds ? "true" : "false") + "}\n}\n";
+
+  std::printf("\n%s", json.c_str());
+  const std::string json_out = cli.get("json-out");
+  if (!json_out.empty()) {
+    if (std::FILE* f = std::fopen(json_out.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_out.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// RetireGate: the producer/consumer retirement protocol of the pipelined
+// builder, extracted so the exact production source can run under the
+// wfcheck model checker (tests/test_wfcheck.cpp: model_builder_retire).
+//
+// The protocol coordinates P symmetric workers, each of which first produces
+// (routing keys into the queue fabric) and then keeps consuming until every
+// peer has finished producing:
+//
+//   producer side   gate.retire() after its last flush — the acq_rel
+//                   fetch_add publishes everything the producer wrote before
+//                   retiring (its queue pushes, its stats) to whichever peer
+//                   observes the count.
+//   consumer side   while (!gate.aborted() && !gate.all_retired()) drain();
+//                   the acquire load pairs with the release half of retire(),
+//                   so once all_retired() is true no queue can grow and one
+//                   final drain proves the fabric empty.
+//   abort path      a worker that throws calls abort_and_retire(counted):
+//                   the release store of the abort flag publishes whatever
+//                   error state preceded it, and the conditional retire keeps
+//                   the count truthful so no peer spins forever waiting on a
+//                   producer that will never arrive.
+//
+// The gate is intentionally dumb: no blocking, no callbacks, two atomic
+// cells. Its value is that the memory-order contract — which the builder's
+// correctness quietly depends on — now has a name, a single definition, and
+// an exhaustive model-checked proof with a mutation self-test guarding the
+// release edge.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "concurrent/atomics_policy.hpp"
+
+namespace wfbn {
+
+template <typename Policy = RealAtomics>
+class BasicRetireGate {
+ public:
+  explicit BasicRetireGate(std::size_t producers) noexcept(Policy::kNoexceptOps)
+      : producers_(producers) {}
+
+  BasicRetireGate(const BasicRetireGate&) = delete;
+  BasicRetireGate& operator=(const BasicRetireGate&) = delete;
+
+  /// Marks one producer finished. The release half publishes every write the
+  /// producer made before retiring to any thread that subsequently observes
+  /// the incremented count via all_retired()/retired().
+  void retire() noexcept(Policy::kNoexceptOps) {
+    done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// True once every producer has retired. Pairs with retire(): after this
+  /// returns true, no retired producer's queue can grow, so one further
+  /// empty drain sweep proves the fabric fully consumed.
+  [[nodiscard]] bool all_retired() const noexcept(Policy::kNoexceptOps) {
+    return done_.load(std::memory_order_acquire) >= producers_;
+  }
+
+  /// Producers retired so far (acquire; used by the stall watchdog to report
+  /// how many were still unfinished at detection time).
+  [[nodiscard]] std::size_t retired() const noexcept(Policy::kNoexceptOps) {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t producers() const noexcept { return producers_; }
+
+  /// Requests an early wind-down (worker exception, stall watchdog). The
+  /// release store publishes whatever error state was written before it;
+  /// producers poll aborted() and stop producing.
+  void abort() noexcept(Policy::kNoexceptOps) {
+    aborted_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool aborted() const noexcept(Policy::kNoexceptOps) {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  /// The exception path, in one call: abort the build and — unless this
+  /// producer already retired — retire it, so the peers' wait loops
+  /// terminate even though this producer never finished its range.
+  void abort_and_retire(bool already_retired) noexcept(Policy::kNoexceptOps) {
+    abort();
+    if (!already_retired) retire();
+  }
+
+ private:
+  std::size_t producers_;
+  typename Policy::template Atomic<std::size_t> done_{0};
+  typename Policy::template Atomic<bool> aborted_{false};
+};
+
+using RetireGate = BasicRetireGate<RealAtomics>;
+
+}  // namespace wfbn

@@ -7,6 +7,7 @@
 
 #include "concurrent/affinity.hpp"
 #include "concurrent/barrier.hpp"
+#include "concurrent/retire_gate.hpp"
 #include "concurrent/spsc_queue.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
@@ -396,10 +397,10 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
   stats_.requested_workers = pool.degradation().requested_threads;
   stats_.effective_workers = P;
   std::atomic<std::size_t> pin_failures{0};
-  std::atomic<std::size_t> producers_done{0};
-  // Set when the build must wind down early: either a worker threw (the pool
-  // rethrows it) or the watchdog detected a stall (we throw StallError).
-  std::atomic<bool> aborted{false};
+  // Producer retirement + early wind-down (worker exception or watchdog
+  // stall). The gate's memory-order contract is model-checked in wfcheck's
+  // model_builder_retire harness.
+  RetireGate gate(P);
   std::atomic<bool> stalled{false};
   // Captured by the watchdog at detection time: by the time run() returns and
   // we build the StallError, a transiently wedged producer may have finished,
@@ -455,7 +456,7 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
       std::vector<K> keys(strip);
       const auto [lo, hi] = ThreadPool::block_range(m, P, p);
       std::size_t i = lo;
-      while (i < hi && !aborted.load(std::memory_order_acquire)) {
+      while (i < hi && !gate.aborted()) {
         const std::size_t stop = std::min(hi, i + batch);
         while (i < stop) {
           const std::size_t count = std::min(strip, stop - i);
@@ -489,7 +490,7 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
         drain_once();
       }
       ws.stage1_seconds = stage_timer.seconds();
-      producers_done.fetch_add(1, std::memory_order_acq_rel);
+      gate.retire();
       counted_done = true;
 
       // Keep draining until every producer has finished, then one final pass:
@@ -501,8 +502,7 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
       Timer stall_timer;
       std::uint64_t last_progress = 0;
       bool have_baseline = false;
-      while (!aborted.load(std::memory_order_acquire) &&
-             producers_done.load(std::memory_order_acquire) < P) {
+      while (!gate.aborted() && !gate.all_retired()) {
         drain_once();
         if (watchdog) {
           std::uint64_t now = 0;
@@ -514,22 +514,18 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
             have_baseline = true;
             stall_timer.reset();
           } else if (stall_timer.seconds() > stall_timeout) {
-            stalled_unfinished.store(
-                P - producers_done.load(std::memory_order_acquire),
-                std::memory_order_relaxed);
+            stalled_unfinished.store(P - gate.retired(),
+                                     std::memory_order_relaxed);
             stalled.store(true, std::memory_order_release);
-            aborted.store(true, std::memory_order_release);
+            gate.abort();
             break;
           }
         }
       }
-      if (!aborted.load(std::memory_order_acquire)) drain_once();
+      if (!gate.aborted()) drain_once();
       ws.stage2_seconds = stage_timer.seconds();
     } catch (...) {
-      aborted.store(true, std::memory_order_release);
-      if (!counted_done) {
-        producers_done.fetch_add(1, std::memory_order_acq_rel);
-      }
+      gate.abort_and_retire(counted_done);
       throw;
     }
   });

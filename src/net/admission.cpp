@@ -1,0 +1,69 @@
+#include "net/admission.hpp"
+
+namespace wfbn::net {
+
+namespace {
+
+TokenBucket make_bucket(const ClassPolicy& policy) {
+  const double burst =
+      policy.burst > 0 ? policy.burst : std::max(policy.rate_per_sec, 1.0);
+  return {policy.rate_per_sec, burst};
+}
+
+std::uint16_t clamp_retry_ms(std::uint64_t delay_ns) noexcept {
+  const std::uint64_t ms = (delay_ns + 999'999) / 1'000'000;  // ceil
+  return static_cast<std::uint16_t>(std::min<std::uint64_t>(ms, 0xFFFF));
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options),
+      buckets_{make_bucket(options.per_class[0]),
+               make_bucket(options.per_class[1]),
+               make_bucket(options.per_class[2])} {}
+
+AdmissionDecision AdmissionController::admit(RequestClass cls,
+                                             std::uint64_t now_ns) {
+  const auto index = static_cast<std::size_t>(cls);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fault::enabled() &&
+      fault::should_fail(fault::Point::kAdmissionReject)) {
+    ++stats_.rejected_injected[index];
+    return {.admitted = false,
+            .reason = RejectReason::kInjected,
+            .retry_after_ms = options_.queue_full_retry_after_ms};
+  }
+  if (!options_.enabled) {
+    ++stats_.admitted[index];
+    return {};
+  }
+  TokenBucket& bucket = buckets_[index];
+  if (!bucket.try_acquire(now_ns)) {
+    ++stats_.rejected_rate[index];
+    return {.admitted = false,
+            .reason = RejectReason::kRateLimited,
+            .retry_after_ms =
+                std::max<std::uint16_t>(
+                    1, clamp_retry_ms(bucket.next_token_delay_ns()))};
+  }
+  ++stats_.admitted[index];
+  return {};
+}
+
+std::uint16_t AdmissionController::note_queue_full(RequestClass cls) noexcept {
+  const auto index = static_cast<std::size_t>(cls);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.rejected_queue_full[index];
+  // The admitted counter already counted this request when the rate check
+  // passed; a queue-full discovery converts that admit into a rejection.
+  if (stats_.admitted[index] > 0) --stats_.admitted[index];
+  return options_.queue_full_retry_after_ms;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace wfbn::net

@@ -1,0 +1,237 @@
+// Per-class admission control for the serving front end.
+//
+// The server classifies every decoded request (wire.hpp: interactive-query
+// vs ingest vs admin) and pushes it through this layer before any engine
+// work happens. Three mechanisms compose:
+//
+//   1. BoundedQueue<T> — one per class. try_push fails immediately when the
+//      class is at capacity; the server turns that into an explicit
+//      OVERLOADED response with a retry-after hint instead of buffering
+//      unboundedly or blocking the event loop. Bounded queues are what make
+//      the interactive-latency guarantee structural: an interactive request
+//      waits behind at most `queue_capacity` requests *of its own class*,
+//      however hard ingest is flooding.
+//
+//   2. TokenBucket — deterministic rate limiting driven by an explicit
+//      `now_ns` the caller supplies. No hidden clock: tests refill with a
+//      fake clock and the bench with the real one, through the same code.
+//
+//   3. Injected rejection — the admission.reject fault point forces the
+//      OVERLOADED path deterministically, so clients' retry handling is
+//      testable without actually saturating a queue.
+//
+// When admission is disabled (AdmissionOptions::enabled = false) the
+// controller admits everything; the server then degrades to one shared
+// unbounded FIFO — the naive front end whose head-of-line blocking the
+// overload sweep in bench/serve_latency.cpp measures against this layer.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "net/wire.hpp"
+#include "util/fault_injection.hpp"
+
+namespace wfbn::net {
+
+/// Deterministic token bucket. Capacity `burst`, refilled at `rate_per_sec`
+/// from the timestamps the caller passes in; time never advances on its own.
+/// rate_per_sec == 0 means unlimited (always admits).
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst, std::uint64_t now_ns = 0)
+      : rate_(rate_per_sec),
+        burst_(burst),
+        tokens_(burst),
+        last_refill_ns_(now_ns) {}
+
+  /// Takes one token if available at `now_ns`. `now_ns` must be monotone
+  /// non-decreasing across calls (a regressing clock is clamped).
+  [[nodiscard]] bool try_acquire(std::uint64_t now_ns) noexcept {
+    if (rate_ <= 0.0) return true;
+    refill(now_ns);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Nanoseconds until one token will be available at the current fill level
+  /// (0 when one is available now). The OVERLOADED retry-after hint.
+  [[nodiscard]] std::uint64_t next_token_delay_ns() const noexcept {
+    if (rate_ <= 0.0 || tokens_ >= 1.0) return 0;
+    return static_cast<std::uint64_t>((1.0 - tokens_) / rate_ * 1e9);
+  }
+
+  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+
+ private:
+  void refill(std::uint64_t now_ns) noexcept {
+    if (now_ns <= last_refill_ns_) return;
+    const double elapsed =
+        static_cast<double>(now_ns - last_refill_ns_) * 1e-9;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_refill_ns_ = now_ns;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_refill_ns_;
+};
+
+/// Mutex-based bounded MPMC queue for the admission control plane. This is
+/// deliberately *not* the wait-free SPSC fabric: admission queues are the
+/// slow path by design (they exist to say "no"), they need multi-producer
+/// push from the event loop plus blocking multi-consumer pop for dispatcher
+/// threads, and their capacity check must be exact, not advisory.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is full (the OVERLOADED path) or closed. Never
+  /// blocks the caller.
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed; nullopt only after
+  /// close() with the queue drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop for batch coalescing: the dispatcher blocks on pop()
+  /// for the first item, then drains up to batch_max-1 more via try_pop.
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Wakes every blocked pop(); queued items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+struct ClassPolicy {
+  std::size_t queue_capacity = 256;
+  double rate_per_sec = 0;  ///< 0 = no rate limit
+  double burst = 0;         ///< bucket size; 0 = rate_per_sec (min 1)
+};
+
+struct AdmissionOptions {
+  bool enabled = true;
+  /// Indexed by RequestClass. Interactive gets a deep queue (latency bound
+  /// comes from its own depth); ingest a shallow one (each item is heavy);
+  /// admin a token trickle so stats polling cannot crowd out queries.
+  std::array<ClassPolicy, kRequestClassCount> per_class = {{
+      {.queue_capacity = 512, .rate_per_sec = 0, .burst = 0},   // interactive
+      {.queue_capacity = 8, .rate_per_sec = 0, .burst = 0},     // ingest
+      {.queue_capacity = 64, .rate_per_sec = 200, .burst = 32}, // admin
+  }};
+  /// Fallback retry-after for queue-full rejections (rate-limit rejections
+  /// compute theirs from the bucket's refill arithmetic).
+  std::uint16_t queue_full_retry_after_ms = 20;
+};
+
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kQueueFull,
+  kRateLimited,
+  kInjected,  ///< admission.reject fault point fired
+};
+
+struct AdmissionDecision {
+  bool admitted = true;
+  RejectReason reason = RejectReason::kNone;
+  std::uint16_t retry_after_ms = 0;
+};
+
+/// Per-class counters. Reads are relaxed snapshots — each field is
+/// independently monotonic, which is all the stats opcode needs.
+struct AdmissionStats {
+  std::uint64_t admitted[kRequestClassCount] = {};
+  std::uint64_t rejected_queue_full[kRequestClassCount] = {};
+  std::uint64_t rejected_rate[kRequestClassCount] = {};
+  std::uint64_t rejected_injected[kRequestClassCount] = {};
+
+  [[nodiscard]] std::uint64_t total_admitted() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : admitted) sum += v;
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t total_rejected() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+      sum += rejected_queue_full[c] + rejected_rate[c] + rejected_injected[c];
+    }
+    return sum;
+  }
+};
+
+/// The rate-limiting half of admission: decides admit/reject per class from
+/// the token buckets and the fault point. Queue-capacity rejection is
+/// discovered at BoundedQueue::try_push; the server reports it back through
+/// note_queue_full() so both rejection flavors land in one stats block.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Rate-limit decision for one request at `now_ns`. Thread-safe.
+  [[nodiscard]] AdmissionDecision admit(RequestClass cls,
+                                        std::uint64_t now_ns);
+
+  /// Records a queue-full rejection (decided by the caller's try_push) and
+  /// returns the retry-after hint to send.
+  std::uint16_t note_queue_full(RequestClass cls) noexcept;
+
+  [[nodiscard]] AdmissionStats stats() const;
+  [[nodiscard]] const AdmissionOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mutex_;  ///< guards buckets + counters
+  std::array<TokenBucket, kRequestClassCount> buckets_;
+  AdmissionStats stats_;
+};
+
+}  // namespace wfbn::net

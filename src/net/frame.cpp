@@ -1,0 +1,120 @@
+#include "net/frame.hpp"
+
+#include <string>
+
+#include "data/binary_io.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+namespace wfbn::net {
+
+void append_frame(std::vector<std::uint8_t>& out, FrameKind kind,
+                  std::span<const std::uint8_t> payload) {
+  WFBN_EXPECT(payload.size() <= 0xFFFFFFFFu, "frame payload exceeds u32");
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  bio::put_pod(out, kFrameMagic);
+  bio::put_pod(out, kProtocolVersion);
+  bio::put_pod(out, static_cast<std::uint8_t>(kind));
+  bio::put_pod(out, std::uint16_t{0});
+  bio::put_pod(out, static_cast<std::uint32_t>(payload.size()));
+  bio::put_pod(out, fnv1a_bytes(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> encode_frame(FrameKind kind,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, kind, payload);
+  return out;
+}
+
+FrameHeader FrameDecoder::parse_header() const {
+  bio::BufferReader reader(buffer_.data(), kFrameHeaderBytes, "frame header");
+  FrameHeader h;
+  h.magic = reader.get<std::uint32_t>();
+  h.version = reader.get<std::uint8_t>();
+  h.kind = reader.get<std::uint8_t>();
+  h.reserved = reader.get<std::uint16_t>();
+  h.payload_len = reader.get<std::uint32_t>();
+  h.checksum = reader.get<std::uint64_t>();
+  if (h.magic != kFrameMagic) {
+    throw DataError("frame: bad magic (stream desynchronized or not wfbn)");
+  }
+  if (h.version != kProtocolVersion) {
+    throw DataError("frame: unsupported protocol version " +
+                    std::to_string(int{h.version}));
+  }
+  if (h.kind != static_cast<std::uint8_t>(FrameKind::kRequest) &&
+      h.kind != static_cast<std::uint8_t>(FrameKind::kResponse)) {
+    throw DataError("frame: unknown frame kind " + std::to_string(int{h.kind}));
+  }
+  if (h.payload_len > max_payload_) {
+    // The allocation-bomb guard: reject from the 20 header bytes alone,
+    // before any payload-sized buffer exists.
+    throw DataError("frame: payload length " + std::to_string(h.payload_len) +
+                    " exceeds limit " + std::to_string(max_payload_));
+  }
+  return h;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (poisoned_) {
+    throw DataError("frame: decoder poisoned by an earlier protocol error");
+  }
+  std::size_t offset = 0;
+  try {
+    while (offset < size) {
+      if (!have_header_) {
+        const std::size_t want = kFrameHeaderBytes - buffer_.size();
+        const std::size_t take = std::min(want, size - offset);
+        buffer_.insert(buffer_.end(), data + offset, data + offset + take);
+        offset += take;
+        if (buffer_.size() < kFrameHeaderBytes) return;
+        header_ = parse_header();
+        have_header_ = true;
+        buffer_.clear();
+        buffer_.reserve(header_.payload_len);  // validated <= max_payload_
+      }
+      const std::size_t want = header_.payload_len - buffer_.size();
+      const std::size_t take = std::min(want, size - offset);
+      buffer_.insert(buffer_.end(), data + offset, data + offset + take);
+      offset += take;
+      if (buffer_.size() < header_.payload_len) return;
+
+      const std::uint64_t computed =
+          fnv1a_bytes(buffer_.data(), buffer_.size());
+      bool mismatch = computed != header_.checksum;
+      if (fault::enabled() &&
+          fault::should_fail(fault::Point::kNetFrameChecksum)) {
+        mismatch = true;  // degradation flavor: the comparison "fails"
+      }
+      if (mismatch) {
+        throw DataError("frame: payload checksum mismatch");
+      }
+      DecodedFrame frame;
+      frame.kind = static_cast<FrameKind>(header_.kind);
+      frame.payload = std::move(buffer_);
+      ready_.push_back(std::move(frame));
+      ++frames_decoded_;
+      buffer_ = {};
+      have_header_ = false;
+    }
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+std::optional<DecodedFrame> FrameDecoder::next() {
+  if (ready_head_ >= ready_.size()) return std::nullopt;
+  DecodedFrame frame = std::move(ready_[ready_head_]);
+  ++ready_head_;
+  if (ready_head_ == ready_.size()) {
+    ready_.clear();
+    ready_head_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace wfbn::net

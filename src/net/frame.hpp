@@ -1,0 +1,114 @@
+// Length-prefixed binary framing for the network serving front end.
+//
+// Every message on the wire is one frame: a fixed 20-byte header followed by
+// `payload_len` payload bytes. The header carries a magic word, a protocol
+// version, the frame kind (request vs response), the payload length, and an
+// FNV-1a checksum of the payload — so a receiver can (1) resynchronize-fail
+// deterministically on garbage, (2) bound its allocation *before* buffering
+// the payload, and (3) detect payload bit rot end-to-end. The typed layer on
+// top of the payload bytes lives in wire.hpp; this header knows nothing
+// about opcodes.
+//
+// FrameDecoder is incremental: feed() consumes whatever bytes a nonblocking
+// socket produced (possibly a fraction of a header, possibly several frames)
+// and complete frames become available via next(). Any protocol violation —
+// bad magic, unknown version, oversized payload, checksum mismatch — throws
+// DataError: framing errors are not recoverable mid-stream (the length
+// prefix can no longer be trusted), so the caller closes that one
+// connection. That is the blast-radius rule the server tests assert.
+//
+// Allocation-bomb guard: the decoder never reserves payload space until the
+// header has been validated against `max_payload`, mirroring the persist
+// layer's parse_segment discipline — a 4 GiB length field in a torn frame
+// costs a DataError, not an allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wfbn::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x464E4657;  // "WFNF" LE
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Default payload ceiling (per frame). Large enough for a multi-million-row
+/// ingest batch; small enough that a corrupted length field cannot ask the
+/// decoder to buffer the address space.
+inline constexpr std::size_t kMaxPayloadBytes = 64u << 20;
+
+enum class FrameKind : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// The on-wire header, written field-by-field (native byte order, no padding
+/// on the wire — the struct is only the in-memory view).
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t kind = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t checksum = 0;  ///< FNV-1a over the payload bytes
+};
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+/// One fully decoded frame.
+struct DecodedFrame {
+  FrameKind kind = FrameKind::kRequest;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends a complete frame (header + payload) for `payload` to `out`.
+void append_frame(std::vector<std::uint8_t>& out, FrameKind kind,
+                  std::span<const std::uint8_t> payload);
+
+/// Convenience: one frame as a fresh buffer.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameKind kind, std::span<const std::uint8_t> payload);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Consumes `size` bytes of stream input. Complete frames queue up for
+  /// next(). Throws DataError on any protocol violation; after a throw the
+  /// decoder is poisoned (every further feed rethrows) — the stream has no
+  /// trustworthy resynchronization point, close the connection.
+  void feed(const std::uint8_t* data, std::size_t size);
+  void feed(std::span<const std::uint8_t> bytes) {
+    feed(bytes.data(), bytes.size());
+  }
+
+  /// Oldest complete frame, or nullopt when none is pending.
+  [[nodiscard]] std::optional<DecodedFrame> next();
+
+  /// Total complete frames decoded since construction.
+  [[nodiscard]] std::uint64_t frames_decoded() const noexcept {
+    return frames_decoded_;
+  }
+  /// Bytes currently buffered toward an incomplete frame.
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size();
+  }
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  /// Validates the buffered header; throws DataError on violation.
+  [[nodiscard]] FrameHeader parse_header() const;
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;   ///< partial header or partial payload
+  std::vector<DecodedFrame> ready_;    ///< FIFO of complete frames
+  std::size_t ready_head_ = 0;
+  std::uint64_t frames_decoded_ = 0;
+  bool have_header_ = false;
+  FrameHeader header_;
+  bool poisoned_ = false;
+};
+
+}  // namespace wfbn::net

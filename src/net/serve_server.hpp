@@ -1,0 +1,113 @@
+// ServeServer: the multi-client network front end over ServeEngine.
+//
+// One poll()-driven event-loop thread owns every socket: it accepts
+// connections, feeds received bytes through per-connection FrameDecoders,
+// decodes requests, runs them through the admission layer, and writes
+// queued response frames back out — all nonblocking, so one slow client
+// never stalls another. Engine work never happens on the event loop;
+// admitted requests cross into dispatcher threads through the per-class
+// bounded queues:
+//
+//   interactive — pops one query, drains up to batch_max-1 more without
+//       blocking, and answers the whole batch with one
+//       ServeEngine::serve_batch over the shared ThreadPool. Concurrent
+//       arrivals coalesce into parallel sweeps exactly like the in-process
+//       serving path.
+//   ingest      — one batch at a time through the DurableTableStore when the
+//       server has one (publish + async persistence), else directly through
+//       ServeEngine::ingest. Either way the wait-free publish path is
+//       untouched; after a durable-store publish the engine's cache is
+//       invalidated via note_published().
+//   admin       — version / stats / flush.
+//
+// With admission disabled (options.admission.enabled = false) the server
+// degrades to the naive design: one shared FIFO and one dispatcher serving
+// every class in arrival order. That baseline exists to be measured — the
+// overload sweep in bench/serve_latency.cpp shows its interactive p99
+// collapsing under ingest flood while the admission-controlled layout holds.
+//
+// Failure isolation (the blast-radius rule, tested per fault point): a torn
+// or corrupt frame, a checksum mismatch, a failed read/write, or an injected
+// net.* fault terminates exactly the affected connection. The listener, the
+// dispatchers, and every other connection keep serving; responses for a dead
+// connection are dropped on the floor.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "concurrent/thread_pool.hpp"
+#include "net/admission.hpp"
+#include "net/frame.hpp"
+#include "net/wire.hpp"
+#include "serve/persist/durable_store.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace wfbn::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; port() reports the real one
+  std::size_t max_connections = 256;
+  std::size_t max_frame_payload = kMaxPayloadBytes;
+  std::size_t batch_max = 64;  ///< queries coalesced per serve_batch call
+  AdmissionOptions admission;
+};
+
+/// Event-loop + dispatcher counters. Relaxed snapshots; each field is
+/// independently monotonic.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;   ///< includes failed ones
+  std::uint64_t connections_failed = 0;   ///< protocol/socket/injected faults
+  std::uint64_t requests_decoded = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t bad_requests = 0;         ///< per-request BAD_REQUEST answers
+  std::uint64_t batches_served = 0;       ///< serve_batch calls
+  std::uint64_t batched_queries = 0;      ///< queries across those calls
+};
+
+template <typename K>
+class BasicServeServer {
+ public:
+  using Engine = serve::BasicServeEngine<K>;
+  using Durable = serve::persist::BasicDurableTableStore<K>;
+
+  /// Borrows `engine` and `pool` (and `durable` when given); all must
+  /// outlive the server. `pool` is used exclusively by the interactive
+  /// dispatcher — do not run() it concurrently elsewhere while the server
+  /// is started.
+  BasicServeServer(Engine& engine, ThreadPool& pool,
+                   ServerOptions options = {}, Durable* durable = nullptr);
+  ~BasicServeServer();
+
+  BasicServeServer(const BasicServeServer&) = delete;
+  BasicServeServer& operator=(const BasicServeServer&) = delete;
+
+  /// Binds, listens, and spawns the event loop + dispatchers. Throws
+  /// NetError if the address cannot be bound.
+  void start();
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  /// The bound port (after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] AdmissionStats admission_stats() const;
+  [[nodiscard]] const ServerOptions& options() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+extern template class BasicServeServer<Key>;
+extern template class BasicServeServer<WideKey>;
+
+using ServeServer = BasicServeServer<Key>;
+using WideServeServer = BasicServeServer<WideKey>;
+
+}  // namespace wfbn::net

@@ -1,0 +1,93 @@
+#include "net/socket_util.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace wfbn::net {
+
+std::uint64_t monotonic_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void UniqueFd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string errno_string() {
+  return std::string(": ") + std::strerror(errno);
+}
+
+namespace {
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("invalid IPv4 address: " + address);
+  }
+  return addr;
+}
+
+}  // namespace
+
+UniqueFd listen_tcp(const std::string& address, std::uint16_t& port,
+                    int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw NetError("socket()" + errno_string());
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(address, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw NetError("bind(" + address + ":" + std::to_string(port) + ")" +
+                   errno_string());
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw NetError("listen()" + errno_string());
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw NetError("getsockname()" + errno_string());
+  }
+  port = ntohs(bound.sin_port);
+  return fd;
+}
+
+UniqueFd connect_tcp(const std::string& address, std::uint16_t port,
+                     int timeout_ms) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw NetError("socket()" + errno_string());
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr = make_addr(address, port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    throw NetError("connect(" + address + ":" + std::to_string(port) + ")" +
+                   errno_string());
+  }
+  return fd;
+}
+
+}  // namespace wfbn::net

@@ -1,0 +1,72 @@
+// Small POSIX socket helpers shared by ServeServer and ServeClient.
+//
+// Everything here is loopback/LAN plumbing: create-bind-listen, nonblocking
+// toggles, timestamps for the admission token buckets, and the one error
+// type socket failures surface as. Protocol-level failures (bad frames,
+// malformed payloads) are DataError from the frame/wire layers; NetError
+// means the *transport* failed — connect refused, peer reset, injected
+// socket fault.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace wfbn::net {
+
+/// Transport-level failure (connect/read/write/accept). Distinct from
+/// DataError so callers can tell "the bytes were wrong" from "the socket
+/// died".
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Monotonic nanoseconds for token buckets and latency measurement.
+[[nodiscard]] std::uint64_t monotonic_now_ns() noexcept;
+
+/// RAII file descriptor: closes on destruction, move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a nonblocking TCP listener bound to `address:port` (port 0 =
+/// ephemeral). Returns the fd and writes the actually-bound port back.
+/// Throws NetError on any failure.
+[[nodiscard]] UniqueFd listen_tcp(const std::string& address,
+                                  std::uint16_t& port, int backlog = 128);
+
+/// Blocking TCP connect to `address:port` with a receive/connect timeout
+/// applied via SO_RCVTIMEO. Throws NetError on failure.
+[[nodiscard]] UniqueFd connect_tcp(const std::string& address,
+                                   std::uint16_t port, int timeout_ms);
+
+/// errno as a readable suffix for NetError messages.
+[[nodiscard]] std::string errno_string();
+
+}  // namespace wfbn::net

@@ -1,0 +1,138 @@
+// Typed request/response payloads for the serving protocol.
+//
+// This is the layer above frame.hpp: a frame's payload bytes are one Request
+// (client → server) or one Response (server → client). The layout is
+// fixed-field native-endian, written with bio::put_pod and read back through
+// bio::BufferReader, so a truncated or malformed payload surfaces as a typed
+// DataError at the exact field that fell off the end — never as garbage in a
+// ServeQuery.
+//
+// Request payload:
+//   u64 request_id | u8 opcode | u8 width | u16 reserved | body
+// Response payload:
+//   u64 request_id | u8 opcode | u8 status | u16 retry_after_ms | body
+//
+// Bodies per opcode are tabulated in docs/NETWORKING.md. The width byte
+// selects which engine (narrow 64-bit keys vs wide two-word keys) answers;
+// query bodies are width-independent — variables are indices, not keys — so
+// the same encoder serves both widths.
+//
+// Decoding is defensive in the same way parse_segment is: every count field
+// is validated against the bytes actually present *before* any reserve, so a
+// hostile "4 billion variables" request costs a DataError, not memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace wfbn::net {
+
+enum class Opcode : std::uint8_t {
+  kMarginal = 1,     ///< P(V)
+  kConditional = 2,  ///< P(V | evidence)
+  kPairMi = 3,       ///< I(X_i; X_j)
+  kIngest = 4,       ///< publish a batch as the next snapshot version
+  kVersion = 5,      ///< admin: served + durable version numbers
+  kStats = 6,        ///< admin: cache + admission counters
+  kFlush = 7,        ///< admin: make the served version durable
+};
+
+[[nodiscard]] const char* opcode_name(Opcode op) noexcept;
+[[nodiscard]] bool opcode_valid(std::uint8_t raw) noexcept;
+
+enum class KeyWidth : std::uint8_t {
+  kNarrow = 0,  ///< 64-bit keys (Key)
+  kWide = 1,    ///< two-word keys (WideKey)
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,       ///< the engine threw (e.g. zero-support evidence)
+  kOverloaded = 2,  ///< admission control rejected; see retry_after_ms
+  kBadRequest = 3,  ///< the request decoded but failed validation
+};
+
+[[nodiscard]] const char* status_name(Status status) noexcept;
+
+/// Admission classes. Every opcode maps to exactly one class; the admission
+/// layer queues and rate-limits per class so ingest pressure degrades ingest,
+/// not interactive-query tail latency.
+enum class RequestClass : std::uint8_t {
+  kInteractive = 0,  ///< marginal / conditional / pair-MI
+  kIngest = 1,       ///< ingest-batch
+  kAdmin = 2,        ///< version / stats / flush
+};
+inline constexpr std::size_t kRequestClassCount = 3;
+
+[[nodiscard]] RequestClass class_of(Opcode op) noexcept;
+[[nodiscard]] const char* class_name(RequestClass cls) noexcept;
+
+/// One decoded request. Query fields are populated for the three query
+/// opcodes, ingest fields for kIngest; admin opcodes carry no body.
+struct Request {
+  std::uint64_t id = 0;
+  Opcode opcode = Opcode::kVersion;
+  KeyWidth width = KeyWidth::kNarrow;
+
+  serve::ServeQuery query;  ///< kMarginal / kConditional / kPairMi
+
+  std::uint64_t ingest_samples = 0;                 ///< kIngest
+  std::vector<std::uint32_t> ingest_cardinalities;  ///< kIngest
+  std::vector<State> ingest_cells;                  ///< kIngest, row-major
+
+  [[nodiscard]] RequestClass request_class() const noexcept {
+    return class_of(opcode);
+  }
+  /// Materializes the ingest payload as a Dataset (validating ctor).
+  [[nodiscard]] Dataset ingest_dataset() const;
+};
+
+/// One response. Which fields are meaningful depends on (opcode, status);
+/// encode/decode round-trip exactly the meaningful set.
+struct Response {
+  std::uint64_t id = 0;
+  Opcode opcode = Opcode::kVersion;
+  Status status = Status::kOk;
+  std::uint16_t retry_after_ms = 0;  ///< kOverloaded only
+  std::string error;                 ///< kError / kBadRequest
+
+  // Query results (kMarginal/kConditional/kPairMi, kOk).
+  std::uint64_t version = 0;
+  bool cache_hit = false;
+  std::vector<double> values;
+
+  // Ingest result (kIngest, kOk).
+  std::uint64_t published_version = 0;
+  std::uint64_t batch_rows = 0;
+
+  // Admin results (kOk).
+  std::uint64_t served_version = 0;    ///< kVersion / kFlush
+  std::uint64_t durable_version = 0;   ///< kVersion / kFlush
+  std::uint64_t cache_hits = 0;        ///< kStats
+  std::uint64_t cache_misses = 0;      ///< kStats
+  std::uint64_t admitted = 0;          ///< kStats
+  std::uint64_t rejected = 0;          ///< kStats
+  bool flushed = false;                ///< kFlush
+};
+
+/// Serializes a request payload (frame it with FrameKind::kRequest).
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const Request& request);
+
+/// Parses a request payload. Throws DataError on any malformation:
+/// unknown opcode/width, truncated body, count fields that exceed the bytes
+/// present, states above 255, trailing bytes.
+[[nodiscard]] Request decode_request(std::span<const std::uint8_t> payload);
+
+/// Serializes a response payload (frame it with FrameKind::kResponse).
+[[nodiscard]] std::vector<std::uint8_t> encode_response(
+    const Response& response);
+
+/// Parses a response payload. Throws DataError on malformation.
+[[nodiscard]] Response decode_response(std::span<const std::uint8_t> payload);
+
+}  // namespace wfbn::net

@@ -147,6 +147,13 @@ IngestStats BasicServeEngine<K>::ingest(const Dataset& batch) {
   return stats;
 }
 
+template <typename K>
+void BasicServeEngine<K>::note_published(std::uint64_t version) {
+  if (options_.cache_enabled) {
+    cache_.invalidate_before(version);
+  }
+}
+
 template class BasicServeEngine<Key>;
 template class BasicServeEngine<WideKey>;
 

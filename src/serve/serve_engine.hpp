@@ -99,6 +99,12 @@ class BasicServeEngine {
   /// publishing on failure; the served version is untouched.
   IngestStats ingest(const Dataset& batch);
 
+  /// Tells the engine a new version was published *around* it — e.g. by a
+  /// DurableTableStore wrapping the same underlying store — so superseded
+  /// cached answers can be reclaimed. Purely a memory-reclaim hook: the
+  /// version-keyed cache is already correct without it.
+  void note_published(std::uint64_t version);
+
   [[nodiscard]] CacheStats cache_stats() const noexcept {
     return cache_.stats();
   }

@@ -59,6 +59,11 @@ const char* point_name(Point point) noexcept {
     case Point::kPersistRename: return "persist.rename";
     case Point::kPersistManifest: return "persist.manifest";
     case Point::kRecoverChecksum: return "recover.checksum";
+    case Point::kNetAccept: return "net.accept";
+    case Point::kNetRead: return "net.read";
+    case Point::kNetWrite: return "net.write";
+    case Point::kNetFrameChecksum: return "net.frame_checksum";
+    case Point::kAdmissionReject: return "admission.reject";
   }
   return "unknown";
 }
@@ -117,12 +122,18 @@ std::string arm_random_schedule(std::uint64_t seed) {
   // armed through this function fires identically under narrow (64-bit) and
   // wide (two-word) keys. The wide sweep in tests/test_fault_injection.cpp
   // relies on this — there is no separate wide point list to keep in sync.
+  // The socket points (net.accept/read/write) are armed here too: they throw
+  // like the rest, and a schedule armed before a non-network run simply
+  // leaves them unreached (hit count 0), so the existing build/serve/persist
+  // sweeps keep their oracle. The degradation-flavor net points live in
+  // arm_random_net_schedule below.
   static constexpr Point kThrowing[] = {
       Point::kSpscChunkAlloc, Point::kStage1Row,  Point::kBarrier,
       Point::kStage2Drain,    Point::kPipelineDrain, Point::kAppendCommit,
       Point::kMarginalizeSweep, Point::kMiSweep, Point::kServePublish,
       Point::kPersistOpen,    Point::kPersistWrite, Point::kPersistFsync,
       Point::kPersistRename,  Point::kPersistManifest,
+      Point::kNetAccept,      Point::kNetRead, Point::kNetWrite,
   };
   constexpr std::size_t kThrowingCount = sizeof kThrowing / sizeof kThrowing[0];
   reset();
@@ -132,6 +143,32 @@ std::string arm_random_schedule(std::uint64_t seed) {
   for (std::size_t i = 0; i < armed; ++i) {
     const Point point = kThrowing[rng.bounded(kThrowingCount)];
     const std::uint64_t fire_on = 1 + rng.bounded(64);
+    arm(point, fire_on);
+    if (!description.empty()) description += ", ";
+    description += std::string(point_name(point)) + "@" +
+                   std::to_string(fire_on);
+  }
+  return description;
+}
+
+std::string arm_random_net_schedule(std::uint64_t seed) {
+  // Every network-facing point participates, including the degradation
+  // flavors: the net fuzz oracle is not "error XOR bit-identical result" but
+  // "the server survives and every other connection keeps serving", which
+  // holds for forced checksum mismatches and forced rejections just as it
+  // does for thrown socket failures.
+  static constexpr Point kNetPoints[] = {
+      Point::kNetAccept, Point::kNetRead, Point::kNetWrite,
+      Point::kNetFrameChecksum, Point::kAdmissionReject,
+  };
+  constexpr std::size_t kNetCount = sizeof kNetPoints / sizeof kNetPoints[0];
+  reset();
+  Xoshiro256 rng(seed);
+  const std::size_t armed = 1 + rng.bounded(2);
+  std::string description;
+  for (std::size_t i = 0; i < armed; ++i) {
+    const Point point = kNetPoints[rng.bounded(kNetCount)];
+    const std::uint64_t fire_on = 1 + rng.bounded(16);
     arm(point, fire_on);
     if (!description.empty()) description += ", ";
     description += std::string(point_name(point)) + "@" +

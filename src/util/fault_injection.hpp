@@ -55,8 +55,20 @@ enum class Point : int {
   kRecoverChecksum,   ///< recovery: during checksum validation (degrades:
                       ///< the section is treated as corrupt and recovery
                       ///< falls back — it never throws)
+  kNetAccept,         ///< server event loop, before accepting a pending
+                      ///< connection (the accept is abandoned; the listener
+                      ///< keeps serving)
+  kNetRead,           ///< server/client, before a socket read (the affected
+                      ///< connection is closed; others are untouched)
+  kNetWrite,          ///< server/client, before a socket write (ditto)
+  kNetFrameChecksum,  ///< frame decoder, at payload checksum validation
+                      ///< (degrades: the comparison reports a mismatch, so
+                      ///< the frame is treated as corrupt)
+  kAdmissionReject,   ///< admission controller, per admit() decision
+                      ///< (degrades: the request is rejected OVERLOADED as
+                      ///< if a queue were full)
 };
-inline constexpr int kPointCount = static_cast<int>(Point::kRecoverChecksum) + 1;
+inline constexpr int kPointCount = static_cast<int>(Point::kAdmissionReject) + 1;
 
 [[nodiscard]] const char* point_name(Point point) noexcept;
 
@@ -97,6 +109,13 @@ void fire(Point point);
 /// randomized fault-schedule fuzz sweep). Returns a human-readable schedule
 /// description for failure traces.
 std::string arm_random_schedule(std::uint64_t seed);
+
+/// Arms a small pseudo-random subset of the network/admission points from
+/// `seed` — the net-layer flavor of arm_random_schedule for the serving
+/// front-end fuzz sweeps, covering both the throwing socket points
+/// (net.accept/read/write) and the degradation points (net.frame_checksum,
+/// admission.reject) that reject rather than throw.
+std::string arm_random_net_schedule(std::uint64_t seed);
 
 /// RAII for tests: reset + enable on construction, reset + restore previous
 /// enabled state on destruction.

@@ -20,6 +20,7 @@
 #include "concurrent/affinity.hpp"
 #include "concurrent/atomic_hash_map.hpp"
 #include "concurrent/barrier.hpp"
+#include "concurrent/retire_gate.hpp"
 #include "concurrent/spsc_queue.hpp"
 #include "concurrent/striped_hash_map.hpp"
 #include "concurrent/thread_pool.hpp"
@@ -55,6 +56,14 @@
 #include "serve/persist/fs_util.hpp"
 #include "serve/persist/snapshot_reader.hpp"
 #include "serve/persist/snapshot_writer.hpp"
+
+// network serving front end: framing, admission control, server + client
+#include "net/admission.hpp"
+#include "net/frame.hpp"
+#include "net/serve_client.hpp"
+#include "net/serve_server.hpp"
+#include "net/socket_util.hpp"
+#include "net/wire.hpp"
 
 // baselines
 #include "baselines/builders.hpp"
