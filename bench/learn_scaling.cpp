@@ -1,0 +1,252 @@
+// Parallel CI-test scheduling sweep: Cheng and PC-stable structure learning
+// over a borrowed ThreadPool of P workers, P in {1, 2, 4, 8}.
+//
+// The host container may timeshare fewer cores than P, so wall clock cannot
+// show the scheduling win. Instead every scheduler batch measures each
+// worker's *busy CPU time* (CLOCK_THREAD_CPUTIME_ID) and the JSON reports
+// the modeled makespan of the scheduled CI phases:
+//
+//   critical_path_seconds = Σ over batches of max-over-workers busy CPU
+//
+// — what a machine with one core per worker would observe. The P=1 run's
+// critical path is by definition the serial CPU cost of the same work, so
+// modeled_speedup = critical_path(P=1) / critical_path(P). Because learner
+// results are bit-identical across pool widths (frozen-phase scheduling,
+// canonical marginal order), every swept P is verified to produce the same
+// skeleton and orientation as P=1 before its timing is reported.
+//
+// Also reported: CI tests per modeled second, and the marginal-reuse cache
+// hit rate (hits / (hits + misses)) at each P.
+//
+//   ./learn_scaling --samples 60000 --variables 12 --threads 1,2,4,8
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/wait_free_builder.hpp"
+#include "data/generators.hpp"
+#include "learn/cheng.hpp"
+#include "learn/pc_stable.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace wfbn;
+
+struct LearnOutcome {
+  std::vector<Edge> skeleton;
+  std::vector<Edge> oriented;
+  std::uint64_t ci_tests = 0;
+  CiScheduleStats schedule;
+};
+
+struct PointResult {
+  std::size_t threads = 0;
+  double critical_path_seconds = 0.0;
+  double total_busy_seconds = 0.0;
+  std::uint64_t work_items = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t ci_tests = 0;
+  double cache_hit_rate = 0.0;
+  bool identical_to_serial = false;
+};
+
+LearnOutcome run_cheng(const PotentialTable& table, double mi_threshold,
+                       ThreadPool& pool) {
+  ChengOptions options;
+  options.ci.mi_threshold = mi_threshold;
+  const ChengResult result = BasicChengLearner<Key>(options, pool).learn(table);
+  return {result.skeleton.edges(), result.oriented.edges(), result.ci_tests,
+          result.schedule};
+}
+
+LearnOutcome run_pc_stable(const PotentialTable& table, double mi_threshold,
+                           std::size_t max_level, ThreadPool& pool) {
+  PcStableOptions options;
+  options.ci.mi_threshold = mi_threshold;
+  options.max_level = max_level;
+  const PcStableResult result =
+      BasicPcStableLearner<Key>(options, pool).learn(table);
+  return {result.skeleton.edges(), result.oriented.edges(), result.ci_tests,
+          result.schedule};
+}
+
+template <typename RunFn>
+std::vector<PointResult> sweep(const RunFn& run,
+                               const std::vector<std::size_t>& thread_counts,
+                               std::size_t reps) {
+  std::vector<PointResult> points;
+  LearnOutcome serial;
+  for (const std::size_t threads : thread_counts) {
+    ThreadPool pool(threads);
+    PointResult point;
+    point.threads = threads;
+    point.critical_path_seconds = 1e300;
+    LearnOutcome outcome;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      outcome = run(pool);
+      if (outcome.schedule.critical_path_seconds <
+          point.critical_path_seconds) {
+        point.critical_path_seconds = outcome.schedule.critical_path_seconds;
+        point.total_busy_seconds = outcome.schedule.total_busy_seconds;
+      }
+    }
+    point.work_items = outcome.schedule.work_items;
+    point.batches = outcome.schedule.batches;
+    point.ci_tests = outcome.ci_tests;
+    const std::uint64_t probes =
+        outcome.schedule.cache_hits + outcome.schedule.cache_misses;
+    point.cache_hit_rate =
+        probes == 0 ? 0.0
+                    : static_cast<double>(outcome.schedule.cache_hits) /
+                          static_cast<double>(probes);
+    if (points.empty()) serial = outcome;
+    point.identical_to_serial = outcome.skeleton == serial.skeleton &&
+                                outcome.oriented == serial.oriented &&
+                                outcome.ci_tests == serial.ci_tests;
+    points.push_back(point);
+  }
+  return points;
+}
+
+void print_table(const char* name, const std::vector<PointResult>& points) {
+  const double serial = points.front().critical_path_seconds;
+  TablePrinter table({"P", "critical s", "busy s", "items", "tests/s",
+                      "hit rate", "speedup", "identical"});
+  for (const PointResult& p : points) {
+    const double tests_per_sec =
+        p.critical_path_seconds == 0.0
+            ? 0.0
+            : static_cast<double>(p.ci_tests) / p.critical_path_seconds;
+    table.add_row(
+        {std::to_string(p.threads), TablePrinter::fmt(p.critical_path_seconds, 4),
+         TablePrinter::fmt(p.total_busy_seconds, 4),
+         std::to_string(p.work_items), TablePrinter::fmt(tests_per_sec, 0),
+         TablePrinter::fmt(p.cache_hit_rate, 3),
+         TablePrinter::fmt(p.critical_path_seconds == 0.0
+                               ? 0.0
+                               : serial / p.critical_path_seconds,
+                           2),
+         p.identical_to_serial ? "yes" : "NO"});
+  }
+  table.print(std::string(name) + " — modeled makespan of scheduled CI phases");
+}
+
+std::string json_points(const std::vector<PointResult>& points) {
+  const double serial = points.front().critical_path_seconds;
+  std::string json;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    char row[400];
+    std::snprintf(
+        row, sizeof row,
+        "      {\"threads\": %zu, \"critical_path_seconds\": %.6f, "
+        "\"total_busy_seconds\": %.6f, \"work_items\": %llu, "
+        "\"batches\": %llu, \"ci_tests\": %llu, \"ci_tests_per_sec\": %.1f, "
+        "\"cache_hit_rate\": %.4f, \"modeled_speedup\": %.3f, "
+        "\"identical_to_serial\": %s}%s\n",
+        p.threads, p.critical_path_seconds, p.total_busy_seconds,
+        static_cast<unsigned long long>(p.work_items),
+        static_cast<unsigned long long>(p.batches),
+        static_cast<unsigned long long>(p.ci_tests),
+        p.critical_path_seconds == 0.0
+            ? 0.0
+            : static_cast<double>(p.ci_tests) / p.critical_path_seconds,
+        p.cache_hit_rate,
+        p.critical_path_seconds == 0.0 ? 0.0
+                                       : serial / p.critical_path_seconds,
+        p.identical_to_serial ? "true" : "false",
+        i + 1 == points.size() ? "" : ",");
+    json += row;
+  }
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "learn_scaling — parallel CI-test scheduling sweep for the Cheng and "
+      "PC-stable learners");
+  cli.add_option("samples", "60000", "Training rows m");
+  cli.add_option("variables", "12", "Variables n");
+  cli.add_option("copy-prob", "0.8", "Chain correlation strength");
+  cli.add_option("mi-threshold", "0.01", "CI threshold epsilon (nats)");
+  cli.add_option("max-level", "2", "PC-stable conditioning-set cap");
+  cli.add_option("threads", "1,2,4,8", "Pool widths P to sweep");
+  cli.add_option("reps", "2", "Repetitions per P (best-of critical path)");
+  cli.add_option("seed", "42", "Workload seed");
+  cli.add_option("json-out", "BENCH_learn.json",
+                 "JSON datapoint path (empty disables the file)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+  const auto variables = static_cast<std::size_t>(cli.get_int("variables"));
+  const double copy_prob = cli.get_double("copy-prob");
+  const double mi_threshold = cli.get_double("mi-threshold");
+  const auto max_level = static_cast<std::size_t>(cli.get_int("max-level"));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string json_out = cli.get("json-out");
+  std::vector<std::size_t> thread_counts;
+  for (const std::int64_t p : cli.get_int_list("threads")) {
+    thread_counts.push_back(static_cast<std::size_t>(p));
+  }
+
+  std::printf("generating %zu x %zu chain workload (copy %.2f)...\n", samples,
+              variables, copy_prob);
+  const Dataset data =
+      generate_chain_correlated(samples, variables, 2, copy_prob, seed);
+  WaitFreeBuilderOptions build_options;
+  build_options.threads = 4;
+  const PotentialTable table = WaitFreeBuilder(build_options).build(data);
+
+  const std::vector<PointResult> cheng = sweep(
+      [&](ThreadPool& pool) { return run_cheng(table, mi_threshold, pool); },
+      thread_counts, reps);
+  print_table("cheng", cheng);
+  const std::vector<PointResult> pc_stable = sweep(
+      [&](ThreadPool& pool) {
+        return run_pc_stable(table, mi_threshold, max_level, pool);
+      },
+      thread_counts, reps);
+  print_table("pc_stable", pc_stable);
+
+  std::string json = "{\n  \"bench\": \"learn_scaling\",\n";
+  json += "  \"host_cores\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json +=
+      "  \"note\": \"critical_path_seconds = sum over scheduler batches of "
+      "the slowest worker's busy CPU time (CLOCK_THREAD_CPUTIME_ID) — the "
+      "makespan of the scheduled CI phases on a machine with one core per "
+      "worker. Results at every P are verified bit-identical to P=1.\",\n";
+  json += "  \"config\": {\"samples\": " + std::to_string(samples) +
+          ", \"variables\": " + std::to_string(variables) +
+          ", \"cardinality\": 2, \"copy_prob\": " +
+          TablePrinter::fmt(copy_prob, 2) +
+          ", \"mi_threshold\": " + TablePrinter::fmt(mi_threshold, 4) +
+          ", \"max_level\": " + std::to_string(max_level) +
+          ", \"reps\": " + std::to_string(reps) +
+          ", \"seed\": " + std::to_string(seed) + "},\n";
+  json += "  \"algorithms\": [\n";
+  json += "    {\"algorithm\": \"cheng\", \"results\": [\n" +
+          json_points(cheng) + "    ]},\n";
+  json += "    {\"algorithm\": \"pc_stable\", \"results\": [\n" +
+          json_points(pc_stable) + "    ]}\n";
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!json_out.empty()) {
+    if (std::FILE* f = std::fopen(json_out.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_out.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", json_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

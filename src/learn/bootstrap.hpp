@@ -11,6 +11,7 @@
 
 #include "bn/dag.hpp"
 #include "data/dataset.hpp"
+#include "learn/cheng.hpp"
 #include "util/rng.hpp"
 
 namespace wfbn {
@@ -48,5 +49,21 @@ struct BootstrapResult {
 /// in `rng`.
 [[nodiscard]] Dataset resample_with_replacement(const Dataset& data,
                                                 Xoshiro256& rng);
+
+/// Convenience: bootstrap_edges with a Cheng learner per replicate, at either
+/// key width (narrow by default; bootstrap_cheng<WideKey> for wide tables).
+/// Each replicate runs the learner's full parallel pipeline with
+/// cheng.ci.threads workers.
+template <typename K = Key>
+[[nodiscard]] BootstrapResult bootstrap_cheng(const Dataset& data,
+                                              ChengOptions cheng = {},
+                                              BootstrapOptions options = {});
+
+extern template BootstrapResult bootstrap_cheng<Key>(const Dataset&,
+                                                     ChengOptions,
+                                                     BootstrapOptions);
+extern template BootstrapResult bootstrap_cheng<WideKey>(const Dataset&,
+                                                         ChengOptions,
+                                                         BootstrapOptions);
 
 }  // namespace wfbn

@@ -1,6 +1,7 @@
 #include "learn/cheng.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/wait_free_builder.hpp"
 #include "learn/orientation.hpp"
@@ -41,8 +42,10 @@ std::vector<std::size_t> candidate_cutset(const UndirectedGraph& graph,
 
 /// Greedy cut-set minimization: drop members whose removal keeps the pair
 /// independent. Returns the reduced set (and reports the final decision).
-std::vector<std::size_t> minimize_cutset(const CiTester& tester, std::size_t x,
-                                         std::size_t y,
+/// Deterministic given (x, y, z) — safe to run inside a scheduler work item.
+template <typename K>
+std::vector<std::size_t> minimize_cutset(const BasicCiTester<K>& tester,
+                                         std::size_t x, std::size_t y,
                                          std::vector<std::size_t> z) {
   bool changed = true;
   while (changed && z.size() > 1) {
@@ -63,19 +66,43 @@ std::vector<std::size_t> minimize_cutset(const CiTester& tester, std::size_t x,
   return z;
 }
 
+/// Outcome of one scheduled pair re-examination, collected per batch and
+/// applied after the batch quiesces.
+struct PairOutcome {
+  bool connect = false;  ///< thickening: add the edge / thinning: keep it
+  std::vector<std::size_t> sepset;
+};
+
 }  // namespace
 
-ChengLearner::ChengLearner(ChengOptions options) : options_(options) {
+template <typename K>
+BasicChengLearner<K>::BasicChengLearner(ChengOptions options)
+    : options_(options) {
   WFBN_EXPECT(options_.max_cutset_size >= 1, "cut-set cap must be >= 1");
 }
 
-ChengResult ChengLearner::learn(const Dataset& data) const {
+template <typename K>
+BasicChengLearner<K>::BasicChengLearner(ChengOptions options, ThreadPool& pool)
+    : BasicChengLearner(options) {
+  pool_ = &pool;
+}
+
+template <typename K>
+ChengResult BasicChengLearner<K>::learn(const Dataset& data) const {
   Timer timer;
-  WaitFreeBuilderOptions builder_options;
-  builder_options.threads = options_.ci.threads;
-  WaitFreeBuilder builder(builder_options);
-  const PotentialTable table = builder.build(data);
-  ChengResult result = learn(table);
+  ChengResult result = [&] {
+    if (pool_ != nullptr) {
+      BasicWaitFreeBuilder<K> builder;
+      const Table table = builder.build(data, *pool_);
+      return learn_with_pool(table, *pool_);
+    }
+    WaitFreeBuilderOptions builder_options;
+    builder_options.threads = options_.ci.threads;
+    BasicWaitFreeBuilder<K> builder(builder_options);
+    ThreadPool pool(options_.ci.threads);
+    const Table table = builder.build(data, pool);
+    return learn_with_pool(table, pool);
+  }();
   result.timings.table_construction = timer.seconds() - result.timings.drafting -
                                       result.timings.thickening -
                                       result.timings.thinning -
@@ -83,19 +110,36 @@ ChengResult ChengLearner::learn(const Dataset& data) const {
   return result;
 }
 
-ChengResult ChengLearner::learn(const PotentialTable& table) const {
+template <typename K>
+ChengResult BasicChengLearner<K>::learn(const Table& table) const {
+  if (pool_ != nullptr) return learn_with_pool(table, *pool_);
+  ThreadPool pool(options_.ci.threads);
+  return learn_with_pool(table, pool);
+}
+
+template <typename K>
+ChengResult BasicChengLearner<K>::learn_with_pool(const Table& table,
+                                                  ThreadPool& pool) const {
   const std::size_t n = table.codec().variable_count();
   ChengResult result{UndirectedGraph(n), Dag(n), MiMatrix(n), 0, 0, 0,
-                     0, PhaseTimings{}, {}};
-  CiTester tester(table, options_.ci);
+                     0, PhaseTimings{}, {}, CiScheduleStats{}};
+  // The tester is shared by every scheduler worker, so it must take the
+  // thread-safe sweep path: reuse cache on → sequential per-call sweeps
+  // through the cache; cache off → threads forced to 1 so each test
+  // marginalizes sequentially on its worker. Either way no pool is nested
+  // inside a work item, and the statistics are bit-identical.
+  CiOptions ci = options_.ci;
+  ci.threads = 1;
+  const BasicCiTester<K> tester(table, ci);
+  BasicCiScheduler<K> scheduler(pool);
 
   // ---------- Phase 1: drafting ----------
   Timer phase_timer;
   AllPairsOptions ap;
   ap.threads = options_.ci.threads;
   ap.strategy = options_.all_pairs_strategy;
-  AllPairsMi all_pairs(ap);
-  result.mi = all_pairs.compute(table);
+  BasicAllPairsMi<K> all_pairs(ap);
+  result.mi = all_pairs.compute(table, pool);
 
   const double epsilon = options_.ci.method == CiMethod::kMiThreshold
                              ? options_.ci.mi_threshold
@@ -122,48 +166,75 @@ ChengResult ChengLearner::learn(const PotentialTable& table) const {
   result.timings.drafting = phase_timer.seconds();
 
   // ---------- Phase 2: thickening ----------
+  // Every deferred pair is re-examined against the *frozen* post-draft graph
+  // (cut-sets included), then the additions are applied in descending-MI
+  // order — the canonical order `deferred` already carries. Workers only
+  // read `graph` and write their own outcome slot.
   phase_timer.reset();
-  for (const auto& pair : deferred) {
+  std::vector<PairOutcome> thicken(deferred.size());
+  scheduler.for_each(deferred.size(), [&](std::size_t i) {
+    const auto& pair = deferred[i];
     std::vector<std::size_t> z =
         candidate_cutset(graph, pair.i, pair.j, options_.max_cutset_size);
-    const CiDecision decision = tester.test(pair.i, pair.j, z);
-    if (!decision.independent) {
-      graph.add_edge(pair.i, pair.j);
+    if (!tester.test(pair.i, pair.j, z).independent) {
+      thicken[i].connect = true;
+      return;
+    }
+    if (options_.minimize_cutsets && z.size() > 1) {
+      z = minimize_cutset(tester, pair.i, pair.j, std::move(z));
+    }
+    thicken[i].sepset = std::move(z);
+  });
+  for (std::size_t i = 0; i < deferred.size(); ++i) {
+    if (thicken[i].connect) {
+      graph.add_edge(deferred[i].i, deferred[i].j);
       ++result.thickening_added;
     } else {
-      if (options_.minimize_cutsets && z.size() > 1) {
-        z = minimize_cutset(tester, pair.i, pair.j, std::move(z));
-      }
-      result.sepsets[ordered(pair.i, pair.j)] = z;
+      result.sepsets[ordered(deferred[i].i, deferred[i].j)] =
+          std::move(thicken[i].sepset);
     }
   }
   result.timings.thickening = phase_timer.seconds();
 
   // ---------- Phase 3: thinning ----------
+  // Rounds over a frozen edge snapshot: each work item probes one edge's
+  // removal against the round's graph (private copy, so connectivity checks
+  // and cut-sets never see a neighbor item's decision), removals are applied
+  // in the snapshot's lexicographic order, and rounds repeat until one
+  // removes nothing — the same fixpoint the sequential sweep reached.
   phase_timer.reset();
   bool removed_any = true;
   while (removed_any) {
     removed_any = false;
-    for (const Edge& e : graph.edges()) {
-      graph.remove_edge(e.from, e.to);
-      if (!graph.has_path(e.from, e.to)) {
+    const std::vector<Edge> edges = graph.edges();
+    std::vector<PairOutcome> thin(edges.size());
+    scheduler.for_each(edges.size(), [&](std::size_t i) {
+      const Edge& e = edges[i];
+      UndirectedGraph probe = graph;
+      probe.remove_edge(e.from, e.to);
+      if (!probe.has_path(e.from, e.to)) {
         // The edge is the only connection — keep it (its MI cleared ε).
-        graph.add_edge(e.from, e.to);
-        continue;
+        thin[i].connect = true;
+        return;
       }
       std::vector<std::size_t> z =
-          candidate_cutset(graph, e.from, e.to, options_.max_cutset_size);
-      const CiDecision decision = tester.test(e.from, e.to, z);
-      if (decision.independent) {
-        ++result.thinning_removed;
-        removed_any = true;
-        if (options_.minimize_cutsets && z.size() > 1) {
-          z = minimize_cutset(tester, e.from, e.to, std::move(z));
-        }
-        result.sepsets[ordered(e.from, e.to)] = z;
-      } else {
-        graph.add_edge(e.from, e.to);
+          candidate_cutset(probe, e.from, e.to, options_.max_cutset_size);
+      if (!tester.test(e.from, e.to, z).independent) {
+        thin[i].connect = true;
+        return;
       }
+      if (options_.minimize_cutsets && z.size() > 1) {
+        z = minimize_cutset(tester, e.from, e.to, std::move(z));
+      }
+      thin[i].sepset = std::move(z);
+    });
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (thin[i].connect) continue;
+      graph.remove_edge(edges[i].from, edges[i].to);
+      ++result.thinning_removed;
+      removed_any = true;
+      result.sepsets[ordered(edges[i].from, edges[i].to)] =
+          std::move(thin[i].sepset);
     }
   }
   result.timings.thinning = phase_timer.seconds();
@@ -180,7 +251,12 @@ ChengResult ChengLearner::learn(const PotentialTable& table) const {
   }
   result.timings.orientation = phase_timer.seconds();
   result.ci_tests = tester.tests_performed();
+  scheduler.absorb_cache_stats(tester);
+  result.schedule = scheduler.stats();
   return result;
 }
+
+template class BasicChengLearner<Key>;
+template class BasicChengLearner<WideKey>;
 
 }  // namespace wfbn

@@ -1,7 +1,9 @@
 // Cheng et al. (2002) three-phase constraint-based structure learner —
 // the algorithm whose first phase the paper's primitives initialize
 // (paper §II-C), completed here with thickening, thinning, and v-structure
-// orientation so the library learns full structures end to end.
+// orientation so the library learns full structures end to end. Templated
+// over KeyTraits: ChengLearner runs on narrow (64-bit) tables,
+// WideChengLearner on two-word tables, through one implementation.
 //
 // Phase 1, drafting: all-pairs MI via the wait-free table + marginalization
 //   primitives; pairs above ε, in descending MI order, become draft edges
@@ -13,6 +15,15 @@
 //   re-tested given a (greedily minimized) cut-set; independent pairs lose
 //   their edge.
 // Orientation: v-structures from recorded separating sets, then Meek rules.
+//
+// Parallel CI scheduling: phases 2 and 3 batch their tests through a
+// CiScheduler over a borrowed (or learner-owned) ThreadPool. Each batch is
+// built from a *frozen* view of the graph — thickening tests all deferred
+// pairs against the post-draft graph, each thinning round tests all edges
+// against that round's snapshot — and the collected decisions are applied
+// afterwards in canonical order (descending MI for additions, lexicographic
+// edge order for removals, rounds repeated until none removes anything).
+// Results are therefore bit-identical for every pool width, including P=1.
 #pragma once
 
 #include <cstdint>
@@ -21,14 +32,16 @@
 #include <vector>
 
 #include "bn/dag.hpp"
+#include "concurrent/thread_pool.hpp"
 #include "core/all_pairs_mi.hpp"
 #include "data/dataset.hpp"
+#include "learn/ci_scheduler.hpp"
 #include "learn/independence.hpp"
 
 namespace wfbn {
 
 struct ChengOptions {
-  CiOptions ci;  ///< threshold/alpha + threads for all statistics tests
+  CiOptions ci;  ///< threshold/alpha + cache/cancel knobs for all tests
   AllPairsStrategy all_pairs_strategy = AllPairsStrategy::kFused;
   /// Cut-sets are truncated to this size (keeps conditioning tables dense and
   /// counts statistically meaningful).
@@ -60,23 +73,45 @@ struct ChengResult {
   /// Separating sets found for non-adjacent pairs (key: (min,max)) — the
   /// evidence the orientation step consumes.
   std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>> sepsets;
+  /// CI scheduling telemetry: work items, batches, per-worker busy CPU time,
+  /// critical path, reuse-cache hit rate.
+  CiScheduleStats schedule;
 };
 
-class ChengLearner {
+template <typename K>
+class BasicChengLearner {
  public:
-  explicit ChengLearner(ChengOptions options = {});
+  using Table = BasicPotentialTable<K>;
+
+  explicit BasicChengLearner(ChengOptions options = {});
+
+  /// Borrowed-pool constructor (the BasicQueryEngine pattern): drafting,
+  /// thickening, and thinning all schedule their work across `pool`, which
+  /// must outlive the learner. Without it the learner owns a pool of
+  /// options.ci.threads workers per learn() call.
+  BasicChengLearner(ChengOptions options, ThreadPool& pool);
 
   /// Learns from raw data: builds the potential table with the wait-free
-  /// primitive (options().ci.threads workers), then runs the three phases.
+  /// primitive on the same pool, then runs the three phases.
   [[nodiscard]] ChengResult learn(const Dataset& data) const;
 
   /// Learns from a pre-built potential table.
-  [[nodiscard]] ChengResult learn(const PotentialTable& table) const;
+  [[nodiscard]] ChengResult learn(const Table& table) const;
 
   [[nodiscard]] const ChengOptions& options() const noexcept { return options_; }
 
  private:
+  [[nodiscard]] ChengResult learn_with_pool(const Table& table,
+                                            ThreadPool& pool) const;
+
   ChengOptions options_;
+  ThreadPool* pool_ = nullptr;  ///< borrowed; null → own pool per learn()
 };
+
+extern template class BasicChengLearner<Key>;
+extern template class BasicChengLearner<WideKey>;
+
+using ChengLearner = BasicChengLearner<Key>;
+using WideChengLearner = BasicChengLearner<WideKey>;
 
 }  // namespace wfbn

@@ -74,4 +74,19 @@ ChowLiuResult chow_liu_tree(const MiMatrix& mi, double min_mi, NodeId root) {
   return result;
 }
 
+template <typename K>
+ChowLiuResult chow_liu_learn(const BasicPotentialTable<K>& table,
+                             ThreadPool& pool, double min_mi, NodeId root) {
+  AllPairsOptions options;
+  options.threads = pool.size();
+  options.strategy = AllPairsStrategy::kFused;
+  BasicAllPairsMi<K> all_pairs(options);
+  return chow_liu_tree(all_pairs.compute(table, pool), min_mi, root);
+}
+
+template ChowLiuResult chow_liu_learn<Key>(const BasicPotentialTable<Key>&,
+                                           ThreadPool&, double, NodeId);
+template ChowLiuResult chow_liu_learn<WideKey>(
+    const BasicPotentialTable<WideKey>&, ThreadPool&, double, NodeId);
+
 }  // namespace wfbn

@@ -1,10 +1,15 @@
 // Chow–Liu tree (paper reference [6]): the maximum-spanning-tree over
 // pairwise mutual information — the classic consumer of an all-pairs MI
-// matrix, included to show the primitives feeding a second learner.
+// matrix, included to show the primitives feeding a second learner. The tree
+// construction itself is width-independent (it only sees the MiMatrix);
+// chow_liu_learn below is the key-trait-templated end-to-end entry that
+// sweeps the MI matrix off a potential table first.
 #pragma once
 
 #include "bn/dag.hpp"
+#include "concurrent/thread_pool.hpp"
 #include "core/all_pairs_mi.hpp"
+#include "table/potential_table.hpp"
 
 namespace wfbn {
 
@@ -20,5 +25,17 @@ struct ChowLiuResult {
 /// component's lowest node id if `root` is outside the component).
 [[nodiscard]] ChowLiuResult chow_liu_tree(const MiMatrix& mi, double min_mi = 0.0,
                                           NodeId root = 0);
+
+/// End-to-end learn off a potential table: all-pairs MI (fused strategy) on
+/// the borrowed pool, then the spanning tree. K is deduced from the table.
+template <typename K>
+[[nodiscard]] ChowLiuResult chow_liu_learn(const BasicPotentialTable<K>& table,
+                                           ThreadPool& pool, double min_mi = 0.0,
+                                           NodeId root = 0);
+
+extern template ChowLiuResult chow_liu_learn<Key>(
+    const BasicPotentialTable<Key>&, ThreadPool&, double, NodeId);
+extern template ChowLiuResult chow_liu_learn<WideKey>(
+    const BasicPotentialTable<WideKey>&, ThreadPool&, double, NodeId);
 
 }  // namespace wfbn

@@ -1,0 +1,18 @@
+#include "learn/ci_scheduler.hpp"
+
+namespace wfbn {
+
+template <typename K>
+std::vector<CiDecision> BasicCiScheduler<K>::run(
+    const Tester& tester, std::span<const CiTask> tasks) {
+  std::vector<CiDecision> decisions(tasks.size());
+  for_each(tasks.size(), [&](std::size_t i) {
+    decisions[i] = tester.test(tasks[i].x, tasks[i].y, tasks[i].z);
+  });
+  return decisions;
+}
+
+template class BasicCiScheduler<Key>;
+template class BasicCiScheduler<WideKey>;
+
+}  // namespace wfbn

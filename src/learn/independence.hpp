@@ -1,12 +1,35 @@
 // Conditional-independence testing on a potential table — the statistics
-// tests of Cheng et al.'s algorithm (paper §II-C). A test marginalizes the
-// potential table to {x, y} ∪ Z with the parallel marginalization primitive
-// and then decides (in)dependence either by thresholding conditional mutual
-// information (Cheng's criterion) or by a G-test p-value.
+// tests of Cheng et al.'s algorithm (paper §II-C), templated over KeyTraits
+// so the same tester runs at both key widths (state spaces to 2^126). A test
+// marginalizes the potential table to the *canonical* (sorted) variable set
+// {x, y} ∪ Z and then decides (in)dependence either by thresholding
+// conditional mutual information (Cheng's criterion) or by a G-test p-value.
+//
+// Marginal reuse (Jiang et al., "Fast Parallel Bayesian Network Structure
+// Learning"): within one learner level many tests share the same {x,y} ∪ Z
+// set — both orientations of a pair, and the minimization probes of a
+// cut-set. The tester therefore consults a sharded, version-keyed
+// MarginalReuseCache keyed by the canonical variable set, so each distinct
+// marginalization is swept once per level no matter how many tests (or
+// worker threads) ask for it. Because marginal tables hold exact integer
+// counts and the variable order is canonical, every path — cached or not,
+// sequential or scheduled across a pool — produces bit-identical statistics.
+//
+// Thread safety: with the cache enabled (the default) test() marginalizes
+// sequentially on the calling thread and is safe to call concurrently from
+// any number of scheduler workers — parallelism comes from many tests in
+// flight, not from inside one test. With the cache disabled the tester falls
+// back to the legacy per-test parallel marginalization (borrowed pool if one
+// was provided, else an internal Marginalizer with the deprecated `threads`
+// knob) and must then be driven from one thread at a time.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "concurrent/thread_pool.hpp"
@@ -25,7 +48,19 @@ struct CiOptions {
   CiMethod method = CiMethod::kMiThreshold;
   double mi_threshold = 0.01;  ///< ε (nats) for kMiThreshold
   double alpha = 0.01;         ///< significance level for kGTest
+  /// DEPRECATED alias: worker count for the learner-owned pool when no
+  /// ThreadPool is borrowed (and for legacy per-test marginalization when
+  /// reuse_marginals is off). New code should hand the learner a ThreadPool&
+  /// instead — one pool per learn call, tests scheduled across it.
   std::size_t threads = 1;
+  /// Share {x,y} ∪ Z marginalizations across tests through the sharded
+  /// reuse cache. On/off is bit-identical; off only exists for measurement.
+  bool reuse_marginals = true;
+  std::size_t cache_shards = 16;
+  /// Cooperative cancellation: polled at the top of every CI test; a set
+  /// flag makes the tester throw OperationCancelled (learners surface it as
+  /// a clean error, never a torn graph). Borrowed, may be null.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct CiDecision {
@@ -34,11 +69,81 @@ struct CiDecision {
   double p_value = 1.0;    ///< 1.0 for kMiThreshold (not computed)
 };
 
-/// Stateless apart from configuration + the table it tests against; safe to
-/// share across sequential phases. Counts tests for complexity reporting.
-class CiTester {
+struct MarginalCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Sharded version-keyed cache of joint marginal tables, keyed by the
+/// canonical (sorted) variable set plus a version word — the same
+/// version-first keying the serving ResultCache uses, so one cache instance
+/// can safely span snapshot versions. Concurrent find/insert from any number
+/// of threads; on an insert race the first stored table wins and every
+/// caller receives the same shared pointer (the racing computations are
+/// bit-identical, so nothing observable depends on the winner).
+class MarginalReuseCache {
  public:
-  CiTester(const PotentialTable& table, CiOptions options);
+  explicit MarginalReuseCache(std::size_t shards = 16);
+
+  /// The cached marginal over `vars` (must be sorted) or null.
+  [[nodiscard]] std::shared_ptr<const MarginalTable> find(
+      std::span<const std::size_t> vars, std::uint64_t version) const;
+
+  /// Stores `table` under (vars, version) unless a racing insert got there
+  /// first; returns the table that ended up cached.
+  std::shared_ptr<const MarginalTable> insert(
+      std::span<const std::size_t> vars, std::uint64_t version,
+      MarginalTable table);
+
+  void clear();
+
+  [[nodiscard]] MarginalCacheStats stats() const noexcept {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  using WordKey = std::vector<std::uint64_t>;  ///< word 0: version, then vars
+  struct WordKeyHash {
+    std::size_t operator()(const WordKey& key) const noexcept;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<WordKey, std::shared_ptr<const MarginalTable>,
+                       WordKeyHash>
+        map;
+  };
+
+  [[nodiscard]] static WordKey make_key(std::span<const std::size_t> vars,
+                                        std::uint64_t version);
+  [[nodiscard]] Shard& shard_of(const WordKey& key) const;
+
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Decides (in)dependence of x, y from their joint marginal with Z (every
+/// other variable of `joint` is conditioning context). Shared by the tester
+/// and anything that batches marginals itself.
+[[nodiscard]] CiDecision decide_from_joint(const MarginalTable& joint,
+                                           std::size_t x, std::size_t y,
+                                           const CiOptions& options);
+
+/// Stateless apart from configuration + the table it tests against; safe to
+/// share across phases and (with the reuse cache enabled) across scheduler
+/// workers. Counts tests for complexity reporting.
+template <typename K>
+class BasicCiTester {
+ public:
+  using Table = BasicPotentialTable<K>;
+
+  BasicCiTester(const Table& table, CiOptions options);
+
+  /// Borrowed-pool constructor (the BasicQueryEngine pattern): with the
+  /// reuse cache off, per-test marginalizations run across `pool` instead of
+  /// spawning threads per test. The pool must outlive the tester.
+  BasicCiTester(const Table& table, CiOptions options, ThreadPool& pool);
 
   /// Tests X ⟂ Y | Z. Z may be empty (marginal independence, Eq. 1).
   [[nodiscard]] CiDecision test(std::size_t x, std::size_t y,
@@ -47,15 +152,42 @@ class CiTester {
   /// Marginal mutual information I(X;Y) — drafting-phase scores.
   [[nodiscard]] double pair_mi(std::size_t x, std::size_t y) const;
 
-  [[nodiscard]] std::uint64_t tests_performed() const noexcept { return tests_; }
+  [[nodiscard]] std::uint64_t tests_performed() const noexcept {
+    return tests_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const CiOptions& options() const noexcept { return options_; }
-  [[nodiscard]] const PotentialTable& table() const noexcept { return table_; }
+  [[nodiscard]] const Table& table() const noexcept { return table_; }
+
+  /// The reuse cache (null when options.reuse_marginals is off).
+  [[nodiscard]] const MarginalReuseCache* cache() const noexcept {
+    return cache_.get();
+  }
+
+  /// Version word for cache keys — set to the snapshot version when testing
+  /// against a served snapshot so one cache can span versions. Default 0.
+  void set_cache_version(std::uint64_t version) noexcept {
+    cache_version_ = version;
+  }
 
  private:
-  const PotentialTable& table_;
+  [[nodiscard]] MarginalTable sweep_marginal(
+      std::span<const std::size_t> vars) const;
+  [[nodiscard]] CiDecision decide_canonical(std::size_t x, std::size_t y,
+                                            std::span<const std::size_t> z) const;
+
+  const Table& table_;
   CiOptions options_;
-  Marginalizer marginalizer_;
-  mutable std::uint64_t tests_ = 0;
+  BasicMarginalizer<K> marginalizer_;
+  ThreadPool* pool_ = nullptr;  ///< borrowed; only the cache-off path uses it
+  std::shared_ptr<MarginalReuseCache> cache_;
+  std::uint64_t cache_version_ = 0;
+  mutable std::atomic<std::uint64_t> tests_{0};
 };
+
+extern template class BasicCiTester<Key>;
+extern template class BasicCiTester<WideKey>;
+
+using CiTester = BasicCiTester<Key>;
+using WideCiTester = BasicCiTester<WideKey>;
 
 }  // namespace wfbn

@@ -2,6 +2,10 @@
 // PC-stable): v-structure detection from recorded separating sets, Meek's
 // rules 1–4 to propagate, then an acyclic low→high completion for edges the
 // evidence leaves undecided.
+//
+// Width-independent by construction: orientation consumes only the skeleton
+// and sepsets, never the potential table, so the key-trait-templated
+// learners (narrow and wide) share this single implementation untouched.
 #pragma once
 
 #include <map>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
 #include "core/wait_free_builder.hpp"
 #include "util/error.hpp"
@@ -35,21 +36,62 @@ bool for_each_subset(const std::vector<std::size_t>& pool, std::size_t k,
   }
 }
 
+/// One level work item: the full subset search for one ordered pair.
+struct PairSearch {
+  NodeId x = 0;
+  NodeId y = 0;
+  std::vector<std::size_t> pool;  ///< adj(x) \ {y}, frozen and sorted
+};
+
+struct SearchOutcome {
+  bool separated = false;
+  std::vector<std::size_t> sepset;
+};
+
 }  // namespace
 
-PcStableLearner::PcStableLearner(PcStableOptions options) : options_(options) {}
+template <typename K>
+BasicPcStableLearner<K>::BasicPcStableLearner(PcStableOptions options)
+    : options_(options) {}
 
-PcStableResult PcStableLearner::learn(const Dataset& data) const {
-  WaitFreeBuilderOptions builder_options;
-  builder_options.threads = options_.ci.threads;
-  WaitFreeBuilder builder(builder_options);
-  return learn(builder.build(data));
+template <typename K>
+BasicPcStableLearner<K>::BasicPcStableLearner(PcStableOptions options,
+                                              ThreadPool& pool)
+    : BasicPcStableLearner(options) {
+  pool_ = &pool;
 }
 
-PcStableResult PcStableLearner::learn(const PotentialTable& table) const {
+template <typename K>
+PcStableResult BasicPcStableLearner<K>::learn(const Dataset& data) const {
+  if (pool_ != nullptr) {
+    BasicWaitFreeBuilder<K> builder;
+    return learn_with_pool(builder.build(data, *pool_), *pool_);
+  }
+  WaitFreeBuilderOptions builder_options;
+  builder_options.threads = options_.ci.threads;
+  BasicWaitFreeBuilder<K> builder(builder_options);
+  ThreadPool pool(options_.ci.threads);
+  return learn_with_pool(builder.build(data, pool), pool);
+}
+
+template <typename K>
+PcStableResult BasicPcStableLearner<K>::learn(const Table& table) const {
+  if (pool_ != nullptr) return learn_with_pool(table, *pool_);
+  ThreadPool pool(options_.ci.threads);
+  return learn_with_pool(table, pool);
+}
+
+template <typename K>
+PcStableResult BasicPcStableLearner<K>::learn_with_pool(const Table& table,
+                                                        ThreadPool& pool) const {
   const std::size_t n = table.codec().variable_count();
-  PcStableResult result{UndirectedGraph(n), Dag(n), {}, 0, 0};
-  const CiTester tester(table, options_.ci);
+  PcStableResult result{UndirectedGraph(n), Dag(n), {}, 0, 0, CiScheduleStats{}};
+  // Thread-safe tester configuration — see BasicChengLearner: sweeps stay
+  // sequential per test, parallelism comes from pairs in flight.
+  CiOptions ci = options_.ci;
+  ci.threads = 1;
+  const BasicCiTester<K> tester(table, ci);
+  BasicCiScheduler<K> scheduler(pool);
 
   // Start from the complete graph.
   UndirectedGraph& graph = result.skeleton;
@@ -69,27 +111,51 @@ PcStableResult PcStableLearner::learn(const PotentialTable& table) const {
     if (!any_candidate) break;
     result.levels_run = level + 1;
 
+    // The level's work items: every ordered adjacent pair, both directions
+    // (their candidate pools differ). The sequential sweep used to skip the
+    // second direction once the first removed the edge; with frozen
+    // adjacency both directions are decision-equivalent, so testing both
+    // keeps the same skeleton and sepsets while making every item
+    // independent of its siblings.
+    std::vector<PairSearch> searches;
     for (NodeId x = 0; x < n; ++x) {
       for (const NodeId y : frozen_adjacency[x]) {
-        if (!graph.has_edge(x, y)) continue;  // removed earlier this level
-        std::vector<std::size_t> pool;
+        PairSearch search;
+        search.x = x;
+        search.y = y;
         for (const NodeId w : frozen_adjacency[x]) {
-          if (w != y) pool.push_back(w);
+          if (w != y) search.pool.push_back(w);
         }
-        if (pool.size() < level) continue;
-        const bool separated = for_each_subset(
-            pool, level, [&](const std::vector<std::size_t>& z) {
-              ++result.ci_tests;
-              if (tester.test(x, y, z).independent) {
-                graph.remove_edge(x, y);
-                result.sepsets[{std::min<std::size_t>(x, y),
-                                std::max<std::size_t>(x, y)}] = z;
-                return true;
-              }
-              return false;
-            });
-        (void)separated;
+        if (search.pool.size() < level) continue;
+        searches.push_back(std::move(search));
       }
+    }
+
+    std::vector<SearchOutcome> outcomes(searches.size());
+    scheduler.for_each(searches.size(), [&](std::size_t i) {
+      const PairSearch& search = searches[i];
+      for_each_subset(search.pool, level,
+                      [&](const std::vector<std::size_t>& z) {
+                        if (tester.test(search.x, search.y, z).independent) {
+                          outcomes[i].separated = true;
+                          outcomes[i].sepset = z;
+                          return true;
+                        }
+                        return false;
+                      });
+    });
+
+    // Apply in canonical item order; the first direction that separated a
+    // pair records its sepset (matching the sequential first-found-wins).
+    for (std::size_t i = 0; i < searches.size(); ++i) {
+      if (!outcomes[i].separated) continue;
+      const NodeId x = searches[i].x;
+      const NodeId y = searches[i].y;
+      if (!graph.has_edge(x, y)) continue;  // the other direction got there
+      graph.remove_edge(x, y);
+      result.sepsets[{std::min<std::size_t>(x, y),
+                      std::max<std::size_t>(x, y)}] =
+          std::move(outcomes[i].sepset);
     }
   }
 
@@ -100,7 +166,13 @@ PcStableResult PcStableLearner::learn(const PotentialTable& table) const {
     for (const Edge& e : graph.edges()) dag.add_edge(e.from, e.to);
     result.oriented = std::move(dag);
   }
+  result.ci_tests = tester.tests_performed();
+  scheduler.absorb_cache_stats(tester);
+  result.schedule = scheduler.stats();
   return result;
 }
+
+template class BasicPcStableLearner<Key>;
+template class BasicPcStableLearner<WideKey>;
 
 }  // namespace wfbn

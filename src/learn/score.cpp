@@ -10,13 +10,27 @@
 
 namespace wfbn {
 
-FamilyScorer::FamilyScorer(const PotentialTable& table, std::size_t threads)
+template <typename K>
+BasicFamilyScorer<K>::BasicFamilyScorer(const Table& table, std::size_t threads)
     : table_(table), threads_(threads) {
   WFBN_EXPECT(threads >= 1, "scorer needs at least one thread");
 }
 
-double FamilyScorer::family_score(std::size_t v,
-                                  std::vector<std::size_t> parents) const {
+template <typename K>
+BasicFamilyScorer<K>::BasicFamilyScorer(const Table& table, ThreadPool& pool)
+    : table_(table), threads_(pool.size()), pool_(&pool) {}
+
+template <typename K>
+MarginalTable BasicFamilyScorer<K>::sweep(
+    std::span<const std::size_t> vars) const {
+  const BasicMarginalizer<K> marginalizer(threads_);
+  if (pool_ != nullptr) return marginalizer.marginalize(table_, vars, *pool_);
+  return marginalizer.marginalize(table_, vars);
+}
+
+template <typename K>
+double BasicFamilyScorer<K>::family_score(std::size_t v,
+                                          std::vector<std::size_t> parents) const {
   WFBN_EXPECT(v < table_.codec().variable_count(), "node out of range");
   std::sort(parents.begin(), parents.end());
   WFBN_EXPECT(std::adjacent_find(parents.begin(), parents.end()) ==
@@ -32,7 +46,6 @@ double FamilyScorer::family_score(std::size_t v,
   }
   ++evaluations_;
 
-  const Marginalizer marginalizer(threads_);
   const double m = static_cast<double>(table_.sample_count());
   const std::uint32_t r = table_.codec().cardinality(v);
 
@@ -40,7 +53,7 @@ double FamilyScorer::family_score(std::size_t v,
   std::uint64_t parent_configs = 1;
   if (parents.empty()) {
     const std::size_t vars[] = {v};
-    const MarginalTable counts = marginalizer.marginalize(table_, vars);
+    const MarginalTable counts = sweep(vars);
     for (std::uint64_t cell = 0; cell < counts.cell_count(); ++cell) {
       const std::uint64_t c = counts.count_at(cell);
       if (c != 0) {
@@ -53,7 +66,7 @@ double FamilyScorer::family_score(std::size_t v,
     // parent configuration is cell / r.
     std::vector<std::size_t> vars{v};
     vars.insert(vars.end(), parents.begin(), parents.end());
-    const MarginalTable joint = marginalizer.marginalize(table_, vars);
+    const MarginalTable joint = sweep(vars);
     parent_configs = joint.cell_count() / r;
     std::vector<std::uint64_t> config_totals(parent_configs, 0);
     for (std::uint64_t cell = 0; cell < joint.cell_count(); ++cell) {
@@ -76,7 +89,8 @@ double FamilyScorer::family_score(std::size_t v,
   return score;
 }
 
-double FamilyScorer::total_score(const Dag& dag) const {
+template <typename K>
+double BasicFamilyScorer<K>::total_score(const Dag& dag) const {
   WFBN_EXPECT(dag.node_count() == table_.codec().variable_count(),
               "DAG does not match the table's variables");
   double total = 0.0;
@@ -104,7 +118,8 @@ bool is_candidate(const HillClimbOptions& options, NodeId parent, NodeId child) 
 
 }  // namespace
 
-HillClimbResult hill_climb(const PotentialTable& table,
+template <typename K>
+HillClimbResult hill_climb(const BasicPotentialTable<K>& table,
                            const HillClimbOptions& options) {
   const std::size_t n = table.codec().variable_count();
   WFBN_EXPECT(options.max_parents >= 1, "max_parents must be >= 1");
@@ -112,7 +127,7 @@ HillClimbResult hill_climb(const PotentialTable& table,
                   options.candidate_parents.size() == n,
               "candidate_parents must have one entry per node");
 
-  const FamilyScorer scorer(table, options.threads);
+  const BasicFamilyScorer<K> scorer(table, options.threads);
   HillClimbResult result{Dag(n), 0.0, 0, 0, 0};
   Dag& dag = result.dag;
 
@@ -199,21 +214,34 @@ HillClimbResult hill_climb(const PotentialTable& table,
   return result;
 }
 
+template <typename K>
 HillClimbResult hill_climb_sparse(const Dataset& data,
                                   std::size_t candidates_per_node,
                                   HillClimbOptions options) {
   WaitFreeBuilderOptions builder_options;
   builder_options.threads = options.threads == 0 ? 1 : options.threads;
-  WaitFreeBuilder builder(builder_options);
-  const PotentialTable table = builder.build(data);
+  BasicWaitFreeBuilder<K> builder(builder_options);
+  const BasicPotentialTable<K> table = builder.build(data);
 
   AllPairsOptions mi_options;
   mi_options.threads = builder_options.threads;
   mi_options.strategy = AllPairsStrategy::kFused;
-  AllPairsMi all_pairs(mi_options);
+  BasicAllPairsMi<K> all_pairs(mi_options);
   const MiMatrix mi = all_pairs.compute(table);
   options.candidate_parents = sparse_candidates(mi, candidates_per_node);
   return hill_climb(table, options);
 }
+
+template class BasicFamilyScorer<Key>;
+template class BasicFamilyScorer<WideKey>;
+
+template HillClimbResult hill_climb<Key>(const BasicPotentialTable<Key>&,
+                                         const HillClimbOptions&);
+template HillClimbResult hill_climb<WideKey>(const BasicPotentialTable<WideKey>&,
+                                             const HillClimbOptions&);
+template HillClimbResult hill_climb_sparse<Key>(const Dataset&, std::size_t,
+                                                HillClimbOptions);
+template HillClimbResult hill_climb_sparse<WideKey>(const Dataset&, std::size_t,
+                                                    HillClimbOptions);
 
 }  // namespace wfbn

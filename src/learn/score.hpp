@@ -9,7 +9,9 @@
 // The BIC score decomposes over families (node + parent set); family scores
 // are computed by marginalizing the potential table with the parallel
 // primitive and cached, so the climb never touches the raw data twice for
-// the same family.
+// the same family. Templated over KeyTraits like the rest of the learner
+// layer: FamilyScorer / hill_climb work on narrow tables, the Wide aliases
+// and explicit <WideKey> calls on two-word tables.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "bn/dag.hpp"
+#include "concurrent/thread_pool.hpp"
 #include "core/all_pairs_mi.hpp"
 #include "data/dataset.hpp"
 #include "table/potential_table.hpp"
@@ -26,11 +29,18 @@ namespace wfbn {
 
 /// Decomposable family score: log-likelihood of X_v given its parents minus
 /// the BIC complexity penalty (0.5 · log m · #free parameters).
-class FamilyScorer {
+template <typename K>
+class BasicFamilyScorer {
  public:
+  using Table = BasicPotentialTable<K>;
+
   /// Borrows `table`; it must outlive the scorer. `threads` parallelizes the
   /// marginalizations that produce the family counts.
-  FamilyScorer(const PotentialTable& table, std::size_t threads = 1);
+  explicit BasicFamilyScorer(const Table& table, std::size_t threads = 1);
+
+  /// Borrowed-pool constructor: family-count marginalizations run across
+  /// `pool` (which must outlive the scorer) instead of per-call threads.
+  BasicFamilyScorer(const Table& table, ThreadPool& pool);
 
   /// BIC score of the family (v | parents). Parents need not be sorted;
   /// results are cached under the sorted set.
@@ -46,13 +56,22 @@ class FamilyScorer {
   [[nodiscard]] std::uint64_t cache_hits() const noexcept { return cache_hits_; }
 
  private:
-  const PotentialTable& table_;
+  [[nodiscard]] MarginalTable sweep(std::span<const std::size_t> vars) const;
+
+  const Table& table_;
   std::size_t threads_;
+  ThreadPool* pool_ = nullptr;  ///< borrowed; null → per-call threads
   mutable std::map<std::pair<std::size_t, std::vector<std::size_t>>, double>
       cache_;
   mutable std::uint64_t evaluations_ = 0;
   mutable std::uint64_t cache_hits_ = 0;
 };
+
+extern template class BasicFamilyScorer<Key>;
+extern template class BasicFamilyScorer<WideKey>;
+
+using FamilyScorer = BasicFamilyScorer<Key>;
+using WideFamilyScorer = BasicFamilyScorer<WideKey>;
 
 struct HillClimbOptions {
   std::size_t threads = 1;
@@ -75,14 +94,28 @@ struct HillClimbResult {
 };
 
 /// Greedy hill climbing over add-edge / remove-edge / reverse-edge moves,
-/// starting from the empty graph.
-[[nodiscard]] HillClimbResult hill_climb(const PotentialTable& table,
+/// starting from the empty graph. K is deduced from the table.
+template <typename K>
+[[nodiscard]] HillClimbResult hill_climb(const BasicPotentialTable<K>& table,
                                          const HillClimbOptions& options = {});
 
 /// Convenience: builds the table with the wait-free primitive, derives
 /// candidate parents from all-pairs MI (top-k per node), then climbs.
+/// Narrow by default; call hill_climb_sparse<WideKey>(...) for wide tables.
+template <typename K = Key>
 [[nodiscard]] HillClimbResult hill_climb_sparse(const Dataset& data,
                                                 std::size_t candidates_per_node,
                                                 HillClimbOptions options = {});
+
+extern template HillClimbResult hill_climb<Key>(const BasicPotentialTable<Key>&,
+                                                const HillClimbOptions&);
+extern template HillClimbResult hill_climb<WideKey>(
+    const BasicPotentialTable<WideKey>&, const HillClimbOptions&);
+extern template HillClimbResult hill_climb_sparse<Key>(const Dataset&,
+                                                       std::size_t,
+                                                       HillClimbOptions);
+extern template HillClimbResult hill_climb_sparse<WideKey>(const Dataset&,
+                                                           std::size_t,
+                                                           HillClimbOptions);
 
 }  // namespace wfbn

@@ -2,6 +2,9 @@
 // 1999): restrict each node's candidate parents to its top-k MI partners.
 // The paper's related-work section positions the all-pairs MI primitive as
 // exactly this kind of search-space pruner for score-based learners.
+//
+// Width-independent: operates on the MiMatrix alone, so both key widths of
+// the templated learner layer share it without instantiation.
 #pragma once
 
 #include <vector>

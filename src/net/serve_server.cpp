@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -570,6 +571,28 @@ struct BasicServeServer<K>::Impl {
         response.durable_version =
             durable ? durable->last_durable_version() : 0;
         break;
+      case Opcode::kLearn: {
+        // The learn job runs right here on the admin dispatcher thread with
+        // its own (clamped) pool — strict admin FIFO means one learn at a
+        // time, bounded by admission's admin queue, while the interactive
+        // dispatcher keeps answering queries from the snapshot unimpeded.
+        try {
+          serve::LearnRequest job = request.learn;
+          job.threads = std::max<std::size_t>(
+              1, std::min(job.threads, options.learn_max_threads));
+          const serve::LearnedStructure learned = engine.learn_structure(job);
+          response.version = learned.version;
+          response.learn_nodes = learned.nodes;
+          response.learn_ci_tests = learned.ci_tests;
+          response.learn_seconds = learned.seconds;
+          response.learn_skeleton = learned.skeleton_edges;
+          response.learn_edges = learned.directed_edges;
+        } catch (const std::exception& e) {
+          response.status = Status::kError;
+          response.error = e.what();
+        }
+        break;
+      }
       default:
         response.status = Status::kBadRequest;
         response.error = "not an admin opcode";

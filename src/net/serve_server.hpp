@@ -51,6 +51,11 @@ struct ServerOptions {
   std::size_t max_connections = 256;
   std::size_t max_frame_payload = kMaxPayloadBytes;
   std::size_t batch_max = 64;  ///< queries coalesced per serve_batch call
+  /// Cap on the pool width of one LEARN job. A wire request asks for
+  /// learn.threads workers; the server clamps to this so an admin client can
+  /// never crowd out the interactive dispatcher's pool — learn jobs run on
+  /// their own bounded pool inside the admin dispatcher thread.
+  std::size_t learn_max_threads = 4;
   AdmissionOptions admission;
 };
 

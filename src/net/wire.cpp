@@ -61,6 +61,35 @@ void expect_drained(const bio::BufferReader& reader, const char* what) {
   }
 }
 
+void put_edge_list(
+    std::vector<std::uint8_t>& out,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  WFBN_EXPECT(edges.size() <= 0xFFFFFFFFu, "wire edge list");
+  bio::put_pod(out, static_cast<std::uint32_t>(edges.size()));
+  for (const auto& [a, b] : edges) {
+    bio::put_pod(out, a);
+    bio::put_pod(out, b);
+  }
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> get_edge_list(
+    bio::BufferReader& reader, const char* what) {
+  const auto count = reader.get<std::uint32_t>();
+  expect_fits(count, 2 * sizeof(std::uint32_t), reader, what);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto a = reader.get<std::uint32_t>();
+    const auto b = reader.get<std::uint32_t>();
+    edges.emplace_back(a, b);
+  }
+  return edges;
+}
+
+/// The learn body caps a job's pool width: a wire request must not be able
+/// to spawn an unbounded number of server threads.
+constexpr std::uint32_t kMaxLearnThreads = 64;
+
 }  // namespace
 
 const char* opcode_name(Opcode op) noexcept {
@@ -72,13 +101,14 @@ const char* opcode_name(Opcode op) noexcept {
     case Opcode::kVersion: return "version";
     case Opcode::kStats: return "stats";
     case Opcode::kFlush: return "flush";
+    case Opcode::kLearn: return "learn";
   }
   return "unknown";
 }
 
 bool opcode_valid(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(Opcode::kMarginal) &&
-         raw <= static_cast<std::uint8_t>(Opcode::kFlush);
+         raw <= static_cast<std::uint8_t>(Opcode::kLearn);
 }
 
 const char* status_name(Status status) noexcept {
@@ -102,6 +132,7 @@ RequestClass class_of(Opcode op) noexcept {
     case Opcode::kVersion:
     case Opcode::kStats:
     case Opcode::kFlush:
+    case Opcode::kLearn:
       return RequestClass::kAdmin;
   }
   return RequestClass::kAdmin;
@@ -162,6 +193,24 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
       static_assert(sizeof(State) == 1);
       out.insert(out.end(), request.ingest_cells.begin(),
                  request.ingest_cells.end());
+      break;
+    }
+    case Opcode::kLearn: {
+      bio::put_pod(out, static_cast<std::uint8_t>(request.learn.algorithm));
+      bio::put_pod(out, static_cast<std::uint8_t>(request.learn.method));
+      bio::put_pod(out, std::uint16_t{0});
+      bio::put_pod(out, request.learn.mi_threshold);
+      bio::put_pod(out, request.learn.alpha);
+      WFBN_EXPECT(request.learn.max_cutset_size <= 0xFFFFFFFFu,
+                  "wire learn cut-set cap");
+      bio::put_pod(out,
+                   static_cast<std::uint32_t>(request.learn.max_cutset_size));
+      WFBN_EXPECT(request.learn.max_level <= 0xFFFFFFFFu, "wire learn level");
+      bio::put_pod(out, static_cast<std::uint32_t>(request.learn.max_level));
+      WFBN_EXPECT(request.learn.threads >= 1 &&
+                      request.learn.threads <= kMaxLearnThreads,
+                  "learn threads must be in [1, 64]");
+      bio::put_pod(out, static_cast<std::uint32_t>(request.learn.threads));
       break;
     }
     case Opcode::kVersion:
@@ -233,6 +282,43 @@ Request decode_request(std::span<const std::uint8_t> payload) {
       request.ingest_cells.assign(raw, raw + cells);
       break;
     }
+    case Opcode::kLearn: {
+      const auto raw_algorithm = reader.get<std::uint8_t>();
+      if (raw_algorithm >
+          static_cast<std::uint8_t>(serve::LearnAlgorithm::kChowLiu)) {
+        throw DataError("wire: unknown learn algorithm " +
+                        std::to_string(int{raw_algorithm}));
+      }
+      request.learn.algorithm = static_cast<serve::LearnAlgorithm>(raw_algorithm);
+      const auto raw_method = reader.get<std::uint8_t>();
+      if (raw_method > static_cast<std::uint8_t>(CiMethod::kGTest)) {
+        throw DataError("wire: unknown CI method " +
+                        std::to_string(int{raw_method}));
+      }
+      request.learn.method = static_cast<CiMethod>(raw_method);
+      (void)reader.get<std::uint16_t>();  // reserved
+      request.learn.mi_threshold = reader.get<double>();
+      request.learn.alpha = reader.get<double>();
+      // Negated comparisons so NaN thresholds fail validation too.
+      if (!(request.learn.mi_threshold >= 0.0)) {
+        throw DataError("wire: learn MI threshold must be >= 0");
+      }
+      if (!(request.learn.alpha > 0.0 && request.learn.alpha < 1.0)) {
+        throw DataError("wire: learn alpha must be in (0, 1)");
+      }
+      request.learn.max_cutset_size = reader.get<std::uint32_t>();
+      if (request.learn.max_cutset_size == 0) {
+        throw DataError("wire: learn cut-set cap must be >= 1");
+      }
+      request.learn.max_level = reader.get<std::uint32_t>();
+      const auto threads = reader.get<std::uint32_t>();
+      if (threads == 0 || threads > kMaxLearnThreads) {
+        throw DataError("wire: learn threads must be in [1, 64]");
+      }
+      request.learn.threads = threads;
+      request.learn.cancel = nullptr;  // never crosses the wire
+      break;
+    }
     case Opcode::kVersion:
     case Opcode::kStats:
     case Opcode::kFlush:
@@ -282,6 +368,14 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
       bio::put_pod(out, static_cast<std::uint8_t>(response.flushed ? 1 : 0));
       bio::put_pod(out, response.served_version);
       bio::put_pod(out, response.durable_version);
+      break;
+    case Opcode::kLearn:
+      bio::put_pod(out, response.version);
+      bio::put_pod(out, static_cast<std::uint32_t>(response.learn_nodes));
+      bio::put_pod(out, response.learn_ci_tests);
+      bio::put_pod(out, response.learn_seconds);
+      put_edge_list(out, response.learn_skeleton);
+      put_edge_list(out, response.learn_edges);
       break;
   }
   return out;
@@ -340,6 +434,14 @@ Response decode_response(std::span<const std::uint8_t> payload) {
       response.flushed = reader.get<std::uint8_t>() != 0;
       response.served_version = reader.get<std::uint64_t>();
       response.durable_version = reader.get<std::uint64_t>();
+      break;
+    case Opcode::kLearn:
+      response.version = reader.get<std::uint64_t>();
+      response.learn_nodes = reader.get<std::uint32_t>();
+      response.learn_ci_tests = reader.get<std::uint64_t>();
+      response.learn_seconds = reader.get<double>();
+      response.learn_skeleton = get_edge_list(reader, "skeleton edge");
+      response.learn_edges = get_edge_list(reader, "directed edge");
       break;
   }
   expect_drained(reader, opcode_name(response.opcode));

@@ -40,6 +40,7 @@ enum class Opcode : std::uint8_t {
   kVersion = 5,      ///< admin: served + durable version numbers
   kStats = 6,        ///< admin: cache + admission counters
   kFlush = 7,        ///< admin: make the served version durable
+  kLearn = 8,        ///< admin: learn a structure from the current snapshot
 };
 
 [[nodiscard]] const char* opcode_name(Opcode op) noexcept;
@@ -65,7 +66,7 @@ enum class Status : std::uint8_t {
 enum class RequestClass : std::uint8_t {
   kInteractive = 0,  ///< marginal / conditional / pair-MI
   kIngest = 1,       ///< ingest-batch
-  kAdmin = 2,        ///< version / stats / flush
+  kAdmin = 2,        ///< version / stats / flush / learn
 };
 inline constexpr std::size_t kRequestClassCount = 3;
 
@@ -84,6 +85,11 @@ struct Request {
   std::uint64_t ingest_samples = 0;                 ///< kIngest
   std::vector<std::uint32_t> ingest_cardinalities;  ///< kIngest
   std::vector<State> ingest_cells;                  ///< kIngest, row-major
+
+  /// kLearn: the structure-learning job parameters. The cancel pointer is
+  /// process-local and never crosses the wire (it decodes as null); the
+  /// server installs its own token for jobs it may need to abandon.
+  serve::LearnRequest learn;
 
   [[nodiscard]] RequestClass request_class() const noexcept {
     return class_of(opcode);
@@ -118,6 +124,15 @@ struct Response {
   std::uint64_t admitted = 0;          ///< kStats
   std::uint64_t rejected = 0;          ///< kStats
   bool flushed = false;                ///< kFlush
+
+  // Learn result (kLearn, kOk): the CPDAG stamped with the snapshot version
+  // it was learned from (reusing `version` above). Skeleton pairs are
+  // (min, max); directed pairs are (from, to) of the oriented DAG.
+  std::uint64_t learn_nodes = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> learn_skeleton;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> learn_edges;
+  std::uint64_t learn_ci_tests = 0;
+  double learn_seconds = 0.0;
 };
 
 /// Serializes a request payload (frame it with FrameKind::kRequest).

@@ -4,7 +4,11 @@
 #include <utility>
 
 #include "core/info_theory.hpp"
+#include "learn/cheng.hpp"
+#include "learn/chow_liu.hpp"
+#include "learn/pc_stable.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace wfbn::serve {
 
@@ -134,6 +138,91 @@ std::vector<ServeResult> BasicServeEngine<K>::serve_batch(
     }
   });
   return results;
+}
+
+namespace {
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_pairs(
+    const std::vector<Edge>& edges) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  out.reserve(edges.size());
+  for (const Edge& e : edges) {
+    out.emplace_back(static_cast<std::uint32_t>(e.from),
+                     static_cast<std::uint32_t>(e.to));
+  }
+  return out;
+}
+
+void check_cancel(const std::atomic<bool>* cancel) {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    throw OperationCancelled("learn job cancelled");
+  }
+}
+
+}  // namespace
+
+template <typename K>
+LearnedStructure BasicServeEngine<K>::learn_structure(
+    const LearnRequest& request) {
+  WFBN_EXPECT(request.threads >= 1, "learn job needs at least one thread");
+  const Timer timer;
+  // Pin once: the whole job — MI matrix, every CI test, the result stamp —
+  // reads this one immutable table, however many ingests land meanwhile.
+  const BasicSnapshotPtr<K> snapshot = store_->current();
+  const Table& table = snapshot->table();
+
+  LearnedStructure learned;
+  learned.version = snapshot->version();
+  learned.nodes = table.codec().variable_count();
+
+  ThreadPool pool(request.threads);
+  CiOptions ci;
+  ci.method = request.method;
+  ci.mi_threshold = request.mi_threshold;
+  ci.alpha = request.alpha;
+  ci.threads = request.threads;
+  ci.cancel = request.cancel;
+
+  switch (request.algorithm) {
+    case LearnAlgorithm::kCheng: {
+      ChengOptions options;
+      options.ci = ci;
+      options.max_cutset_size = request.max_cutset_size;
+      const BasicChengLearner<K> learner(options, pool);
+      ChengResult result = learner.learn(table);
+      learned.skeleton_edges = edge_pairs(result.skeleton.edges());
+      learned.directed_edges = edge_pairs(result.oriented.edges());
+      learned.ci_tests = result.ci_tests;
+      learned.schedule = result.schedule;
+      break;
+    }
+    case LearnAlgorithm::kPcStable: {
+      PcStableOptions options;
+      options.ci = ci;
+      options.max_level = request.max_level;
+      const BasicPcStableLearner<K> learner(options, pool);
+      PcStableResult result = learner.learn(table);
+      learned.skeleton_edges = edge_pairs(result.skeleton.edges());
+      learned.directed_edges = edge_pairs(result.oriented.edges());
+      learned.ci_tests = result.ci_tests;
+      learned.schedule = result.schedule;
+      break;
+    }
+    case LearnAlgorithm::kChowLiu: {
+      // The MI sweep is one parallel pass without per-test cancel points;
+      // poll the token on either side so a cancelled job still returns
+      // promptly relative to its own runtime.
+      check_cancel(request.cancel);
+      const ChowLiuResult result =
+          chow_liu_learn(table, pool, request.mi_threshold);
+      check_cancel(request.cancel);
+      learned.skeleton_edges = edge_pairs(result.tree.edges());
+      learned.directed_edges = edge_pairs(result.rooted.edges());
+      break;
+    }
+  }
+  learned.seconds = timer.seconds();
+  return learned;
 }
 
 template <typename K>

@@ -19,14 +19,17 @@
 // WideServeEngine share the ResultCache implementation unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "concurrent/thread_pool.hpp"
 #include "core/query.hpp"
 #include "data/dataset.hpp"
+#include "learn/ci_scheduler.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/table_store.hpp"
 
@@ -65,6 +68,42 @@ struct ServeResult {
   std::vector<double> values;
 };
 
+enum class LearnAlgorithm : std::uint8_t {
+  kCheng = 0,     ///< Cheng et al. three-phase constraint learner
+  kPcStable = 1,  ///< PC-stable skeleton + orientation
+  kChowLiu = 2,   ///< maximum-MI spanning tree
+};
+
+/// A "learn the structure" job served against the current snapshot — the
+/// admin-class counterpart of a ServeQuery. Bounded by construction: the
+/// cut-set / level caps limit the conditioning tables, `threads` the pool
+/// the job may occupy, and `cancel` lets the caller abort a running job
+/// cooperatively (the learner throws OperationCancelled at the next CI
+/// test — a clean error, never a torn graph).
+struct LearnRequest {
+  LearnAlgorithm algorithm = LearnAlgorithm::kCheng;
+  CiMethod method = CiMethod::kMiThreshold;
+  double mi_threshold = 0.01;  ///< ε for kMiThreshold; min-MI for kChowLiu
+  double alpha = 0.01;         ///< significance for kGTest
+  std::size_t max_cutset_size = 6;  ///< kCheng
+  std::size_t max_level = 3;        ///< kPcStable
+  std::size_t threads = 1;          ///< workers for this job's pool
+  const std::atomic<bool>* cancel = nullptr;  ///< borrowed, may be null
+};
+
+/// The learned CPDAG, version-stamped like every served answer. Skeleton
+/// edges are (min, max) pairs in lexicographic order; directed edges are
+/// (from, to) in the oriented DAG's lexicographic order.
+struct LearnedStructure {
+  std::uint64_t version = 0;  ///< snapshot version learned against
+  std::size_t nodes = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> skeleton_edges;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> directed_edges;
+  std::uint64_t ci_tests = 0;
+  double seconds = 0.0;  ///< wall time of the learn job
+  CiScheduleStats schedule;
+};
+
 template <typename K>
 class BasicServeEngine {
  public:
@@ -93,6 +132,16 @@ class BasicServeEngine {
   /// instead of aborting the batch — a serving layer answers what it can.
   std::vector<ServeResult> serve_batch(std::span<const ServeQuery> queries,
                                        ThreadPool& pool);
+
+  /// Learns a structure from the *pinned current snapshot*: the job keeps
+  /// answering against one immutable table even if ingests publish newer
+  /// versions mid-learn, and the result is stamped with that version. Runs
+  /// on its own pool of request.threads workers through the parallel CI
+  /// scheduler; interactive queries on other threads are untouched. Throws
+  /// OperationCancelled when request.cancel is observed set, and propagates
+  /// learner errors — callers (the network server) map exceptions to clean
+  /// error responses.
+  [[nodiscard]] LearnedStructure learn_structure(const LearnRequest& request);
 
   /// Publishes `batch` as the next snapshot version (TableStore::ingest) and
   /// invalidates cached answers of superseded versions. Throws without

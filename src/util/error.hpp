@@ -27,6 +27,15 @@ class DataError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a cooperative cancellation token (e.g. LearnRequest::cancel)
+/// is observed set. A distinct type so callers can tell a deliberate abort
+/// from a data or environment failure; the serving layer maps it to a clean
+/// error response rather than a crash.
+class OperationCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Thrown when a stall watchdog detects that a parallel region stopped making
 /// progress (e.g. a wedged producer or consumer in the pipelined builder).
 /// Carries the per-worker progress counters observed at detection time so the

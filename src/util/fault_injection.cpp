@@ -64,6 +64,8 @@ const char* point_name(Point point) noexcept {
     case Point::kNetWrite: return "net.write";
     case Point::kNetFrameChecksum: return "net.frame_checksum";
     case Point::kAdmissionReject: return "admission.reject";
+    case Point::kLearnCiTest: return "learn.ci_test";
+    case Point::kLearnSchedule: return "learn.schedule";
   }
   return "unknown";
 }
@@ -134,6 +136,7 @@ std::string arm_random_schedule(std::uint64_t seed) {
       Point::kPersistOpen,    Point::kPersistWrite, Point::kPersistFsync,
       Point::kPersistRename,  Point::kPersistManifest,
       Point::kNetAccept,      Point::kNetRead, Point::kNetWrite,
+      Point::kLearnCiTest,    Point::kLearnSchedule,
   };
   constexpr std::size_t kThrowingCount = sizeof kThrowing / sizeof kThrowing[0];
   reset();

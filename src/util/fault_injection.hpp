@@ -67,8 +67,13 @@ enum class Point : int {
   kAdmissionReject,   ///< admission controller, per admit() decision
                       ///< (degrades: the request is rejected OVERLOADED as
                       ///< if a queue were full)
+  kLearnCiTest,       ///< CI tester, at the top of every statistics test
+                      ///< (a throw mid-batch surfaces after the scheduler
+                      ///< round completes; the learner's graphs are only
+                      ///< mutated after a successful batch, so no torn state)
+  kLearnSchedule,     ///< CI scheduler, before dispatching each work item
 };
-inline constexpr int kPointCount = static_cast<int>(Point::kAdmissionReject) + 1;
+inline constexpr int kPointCount = static_cast<int>(Point::kLearnSchedule) + 1;
 
 [[nodiscard]] const char* point_name(Point point) noexcept;
 

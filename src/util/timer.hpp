@@ -2,6 +2,8 @@
 // simulator's calibration pass.
 #pragma once
 
+#include <ctime>
+
 #include <chrono>
 #include <cstdint>
 
@@ -31,6 +33,31 @@ class Timer {
 
  private:
   clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID). Measures the
+/// processor time the *calling thread* actually consumed, so per-worker busy
+/// numbers stay meaningful even when worker threads timeshare fewer physical
+/// cores than the pool has workers — the makespan model the scheduling
+/// benchmarks report (max over workers of CPU busy time) is then the time a
+/// machine with one core per worker would take. Started on construction.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = now(); }
+
+  [[nodiscard]] double seconds() const noexcept { return now() - start_; }
+
+ private:
+  [[nodiscard]] static double now() noexcept {
+    timespec ts{};
+    ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_ = 0.0;
 };
 
 }  // namespace wfbn

@@ -34,7 +34,6 @@
 #include "table/partitioned_table.hpp"
 #include "table/potential_table.hpp"
 #include "table/wide_key_codec.hpp"
-#include "table/wide_open_hash_table.hpp"
 
 // the paper's primitives + statistics + queries
 #include "core/all_pairs_mi.hpp"
@@ -90,6 +89,7 @@
 #include "learn/bootstrap.hpp"
 #include "learn/cheng.hpp"
 #include "learn/chow_liu.hpp"
+#include "learn/ci_scheduler.hpp"
 #include "learn/independence.hpp"
 #include "learn/orientation.hpp"
 #include "learn/pc_stable.hpp"

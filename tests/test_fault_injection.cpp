@@ -18,6 +18,7 @@
 #include "core/marginalizer.hpp"
 #include "core/wait_free_builder.hpp"
 #include "data/generators.hpp"
+#include "learn/cheng.hpp"
 #include "serve/persist/format.hpp"
 #include "serve/persist/snapshot_reader.hpp"
 #include "serve/persist/snapshot_writer.hpp"
@@ -697,6 +698,67 @@ TEST(PersistFaults, RecoverChecksumFaultForcesFallbackOneVersion) {
             "segment header checksum mismatch");
   EXPECT_EQ(snapshot(*recovery.table), snapshot(t1));
   EXPECT_GE(fault::hits(fault::Point::kRecoverChecksum), 2u);
+}
+
+// ------------------------------------------------------ learner fault fuzz
+
+TEST(LearnFaults, ArmedLearnPointsAbortTheLearnWithTypedErrors) {
+  const Dataset data = generate_chain_correlated(8000, 6, 2, 0.8, 0xA0);
+  WaitFreeBuilderOptions build_options;
+  build_options.threads = 2;
+  const PotentialTable table = WaitFreeBuilder(build_options).build(data);
+  ChengOptions options;
+  options.ci.threads = 2;
+
+  for (const fault::Point point :
+       {fault::Point::kLearnCiTest, fault::Point::kLearnSchedule}) {
+    fault::ScopedFaultInjection injection;
+    fault::arm(point, 1);
+    EXPECT_THROW((void)ChengLearner(options).learn(table), InjectedFault)
+        << fault::point_name(point);
+    EXPECT_GE(fault::hits(point), 1u) << fault::point_name(point);
+  }
+}
+
+TEST(LearnFaults, RandomSchedulesYieldTypedErrorOrBitIdenticalStructure) {
+  // 200 randomized fault schedules (drawing from the learn.* points along
+  // with every other registered point) against a full Cheng learn on a
+  // parallel scheduler. The oracle is the scheduler's failure-atomicity
+  // contract: either a typed error surfaces — InjectedFault from a fired
+  // point, mid-batch, between batches, anywhere — or the learn completes
+  // with a structure bit-identical to the unfaulted reference. A fault may
+  // also degrade the learner-owned pool (spawn/pin points); determinism
+  // across pool widths means even a degraded run must match exactly.
+  const Dataset data = generate_chain_correlated(8000, 6, 2, 0.8, 0xA1);
+  WaitFreeBuilderOptions build_options;
+  build_options.threads = 2;
+  const PotentialTable table = WaitFreeBuilder(build_options).build(data);
+  ChengOptions options;
+  options.ci.threads = 3;
+  const ChengResult reference = ChengLearner(options).learn(table);
+
+  int completed = 0;
+  int faulted = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    fault::ScopedFaultInjection injection;
+    const std::string schedule = fault::arm_random_schedule(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + schedule);
+    try {
+      const ChengResult result = ChengLearner(options).learn(table);
+      EXPECT_EQ(result.skeleton.edges(), reference.skeleton.edges());
+      EXPECT_EQ(result.oriented.edges(), reference.oriented.edges());
+      EXPECT_EQ(result.sepsets, reference.sepsets);
+      EXPECT_EQ(result.ci_tests, reference.ci_tests);
+      ++completed;
+    } catch (const InjectedFault&) {
+      ++faulted;
+    }
+    // The input table is immutable through a learn, faulted or not.
+    ASSERT_TRUE(table.validate());
+  }
+  // The schedule pool must exercise both arms of the oracle.
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(faulted, 0);
 }
 
 }  // namespace

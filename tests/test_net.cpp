@@ -19,6 +19,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -125,6 +126,24 @@ net::Request admin_request(std::uint64_t id, Opcode op,
   request.id = id;
   request.opcode = op;
   request.width = width;
+  return request;
+}
+
+net::Request learn_request(std::uint64_t id,
+                           serve::LearnAlgorithm algorithm =
+                               serve::LearnAlgorithm::kCheng,
+                           KeyWidth width = KeyWidth::kNarrow) {
+  net::Request request;
+  request.id = id;
+  request.opcode = Opcode::kLearn;
+  request.width = width;
+  request.learn.algorithm = algorithm;
+  request.learn.method = CiMethod::kMiThreshold;
+  request.learn.mi_threshold = 0.015;
+  request.learn.alpha = 0.05;
+  request.learn.max_cutset_size = 4;
+  request.learn.max_level = 2;
+  request.learn.threads = 3;
   return request;
 }
 
@@ -437,6 +456,102 @@ TEST(Wire, ClassOfMapsEveryOpcode) {
   EXPECT_EQ(net::class_of(Opcode::kVersion), RequestClass::kAdmin);
   EXPECT_EQ(net::class_of(Opcode::kStats), RequestClass::kAdmin);
   EXPECT_EQ(net::class_of(Opcode::kFlush), RequestClass::kAdmin);
+  EXPECT_EQ(net::class_of(Opcode::kLearn), RequestClass::kAdmin);
+}
+
+TEST(Wire, LearnRequestRoundTripsBothWidths) {
+  for (const KeyWidth width : {KeyWidth::kNarrow, KeyWidth::kWide}) {
+    const net::Request request =
+        learn_request(21, serve::LearnAlgorithm::kPcStable, width);
+    const net::Request back = net::decode_request(net::encode_request(request));
+    EXPECT_EQ(back.id, request.id);
+    EXPECT_EQ(back.opcode, Opcode::kLearn);
+    EXPECT_EQ(back.width, width);
+    EXPECT_EQ(back.learn.algorithm, request.learn.algorithm);
+    EXPECT_EQ(back.learn.method, request.learn.method);
+    EXPECT_EQ(back.learn.mi_threshold, request.learn.mi_threshold);
+    EXPECT_EQ(back.learn.alpha, request.learn.alpha);
+    EXPECT_EQ(back.learn.max_cutset_size, request.learn.max_cutset_size);
+    EXPECT_EQ(back.learn.max_level, request.learn.max_level);
+    EXPECT_EQ(back.learn.threads, request.learn.threads);
+    // The cancel token is process-local and never crosses the wire.
+    EXPECT_EQ(back.learn.cancel, nullptr);
+  }
+}
+
+TEST(Wire, MalformedLearnRequestsThrowTyped) {
+  // Body layout after the 12-byte header:
+  //   u8 algorithm | u8 method | u16 reserved | f64 mi_threshold | f64 alpha
+  //   | u32 max_cutset_size | u32 max_level | u32 threads
+  const std::vector<std::uint8_t> good =
+      net::encode_request(learn_request(22));
+  ASSERT_NO_THROW((void)net::decode_request(good));
+
+  const auto patched = [&](std::size_t offset, const void* bytes,
+                           std::size_t len) {
+    std::vector<std::uint8_t> payload = good;
+    std::memcpy(payload.data() + offset, bytes, len);
+    return payload;
+  };
+  const std::uint8_t bad_algorithm = 9;
+  EXPECT_THROW((void)net::decode_request(patched(12, &bad_algorithm, 1)),
+               DataError);
+  const std::uint8_t bad_method = 7;
+  EXPECT_THROW((void)net::decode_request(patched(13, &bad_method, 1)),
+               DataError);
+  const double nan_threshold = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)net::decode_request(patched(16, &nan_threshold, 8)),
+               DataError);
+  const double zero_alpha = 0.0;  // alpha must lie strictly inside (0, 1)
+  EXPECT_THROW((void)net::decode_request(patched(24, &zero_alpha, 8)),
+               DataError);
+  const std::uint32_t zero_cutset = 0;
+  EXPECT_THROW((void)net::decode_request(patched(32, &zero_cutset, 4)),
+               DataError);
+  const std::uint32_t zero_threads = 0;
+  EXPECT_THROW((void)net::decode_request(patched(40, &zero_threads, 4)),
+               DataError);
+  const std::uint32_t too_many_threads = 65;  // wire cap, pre-clamp
+  EXPECT_THROW((void)net::decode_request(patched(40, &too_many_threads, 4)),
+               DataError);
+  // Truncated body and trailing bytes.
+  EXPECT_THROW(
+      (void)net::decode_request(std::span(good.data(), good.size() - 2)),
+      DataError);
+  std::vector<std::uint8_t> trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW((void)net::decode_request(trailing), DataError);
+}
+
+TEST(Wire, LearnResponseRoundTripsEdgeLists) {
+  Response learn_ok;
+  learn_ok.id = 23;
+  learn_ok.opcode = Opcode::kLearn;
+  learn_ok.version = 5;
+  learn_ok.learn_nodes = 8;
+  learn_ok.learn_skeleton = {{0, 1}, {1, 2}, {2, 7}};
+  learn_ok.learn_edges = {{1, 0}, {1, 2}};
+  learn_ok.learn_ci_tests = 123;
+  learn_ok.learn_seconds = 0.75;
+  const Response back =
+      net::decode_response(net::encode_response(learn_ok));
+  EXPECT_EQ(back.id, learn_ok.id);
+  EXPECT_EQ(back.opcode, Opcode::kLearn);
+  EXPECT_EQ(back.status, Status::kOk);
+  EXPECT_EQ(back.version, learn_ok.version);
+  EXPECT_EQ(back.learn_nodes, learn_ok.learn_nodes);
+  EXPECT_EQ(back.learn_skeleton, learn_ok.learn_skeleton);
+  EXPECT_EQ(back.learn_edges, learn_ok.learn_edges);
+  EXPECT_EQ(back.learn_ci_tests, learn_ok.learn_ci_tests);
+  EXPECT_EQ(back.learn_seconds, learn_ok.learn_seconds);
+
+  // An edge-count bomb is rejected by arithmetic, not by the reserve.
+  std::vector<std::uint8_t> payload = net::encode_response(learn_ok);
+  const std::uint32_t bomb = 0x2FFFFFFFu;
+  // Skeleton count sits after id|op|status|retry|version|nodes|ci|seconds.
+  std::memcpy(payload.data() + 8 + 1 + 1 + 2 + 8 + 4 + 8 + 8, &bomb,
+              sizeof bomb);
+  EXPECT_THROW((void)net::decode_response(payload), DataError);
 }
 
 // ---------------------------------------------------------------------------
@@ -903,6 +1018,74 @@ TEST(ServeServer, DurableStoreIngestAndFlushOverNetwork) {
   const Response query = client.call(marginal_request(3, {4}));
   ASSERT_EQ(query.status, Status::kOk);
   EXPECT_EQ(query.version, 2u);
+}
+
+TEST(ServeServer, LearnServedAgainstDurableStoreWhileQueriesFlow) {
+  // The acceptance scenario: a LEARN job runs over the network against a
+  // live DurableTableStore while a second client's interactive queries keep
+  // being answered — learn occupies only the admin dispatcher, and its pool
+  // is clamped to options.learn_max_threads.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "wfbn_net_learn";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const Dataset data = generate_chain_correlated(20000, 8, 2, 0.8, 0xEA);
+  serve::persist::DurableTableStore durable(dir, build(data));
+  serve::ServeEngine engine(durable.store());
+  ThreadPool pool(4);
+  ServerOptions options;
+  options.learn_max_threads = 2;
+  ServeServer server(engine, pool, options, &durable);
+  server.start();
+
+  ClientOptions client_options;
+  client_options.port = server.port();
+  ServeClient learner(client_options);
+  ServeClient querier(client_options);
+
+  // Ask for far more workers than the server allows; the clamp (not a
+  // rejection) is the contract for an over-eager admin client.
+  net::Request request = learn_request(1);
+  request.learn.threads = 64;
+  learner.send(request);
+
+  // Interactive queries are answered while the learn is in flight (or at
+  // worst queued behind nothing — they use a different dispatcher).
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const Response r = querier.call(marginal_request(100 + i, {i % 8}));
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+  }
+
+  const Response learned = learner.receive(60000);
+  ASSERT_EQ(learned.status, Status::kOk) << learned.error;
+  EXPECT_EQ(learned.id, 1u);
+  EXPECT_EQ(learned.version, 1u);  // stamped with the snapshot it pinned
+  EXPECT_EQ(learned.learn_nodes, 8u);
+  EXPECT_FALSE(learned.learn_skeleton.empty());
+  EXPECT_FALSE(learned.learn_edges.empty());
+  EXPECT_GT(learned.learn_ci_tests, 0u);
+
+  // The wire answer matches a direct in-process learn on the same snapshot
+  // edge for edge (determinism across pool widths covers the clamp).
+  serve::LearnRequest direct;
+  direct.algorithm = serve::LearnAlgorithm::kCheng;
+  direct.mi_threshold = request.learn.mi_threshold;
+  direct.max_cutset_size = request.learn.max_cutset_size;
+  direct.threads = 2;
+  const serve::LearnedStructure reference = engine.learn_structure(direct);
+  EXPECT_EQ(learned.learn_skeleton, reference.skeleton_edges);
+  EXPECT_EQ(learned.learn_edges, reference.directed_edges);
+
+  // A malformed learn job (alpha outside (0,1)) is a clean BAD_REQUEST on a
+  // connection that keeps serving.
+  net::Request bad = learn_request(2);
+  bad.learn.alpha = 1.5;  // encoding is permissive; the decoder validates
+  learner.send(bad);
+  const Response rejected = learner.receive(30000);
+  EXPECT_EQ(rejected.status, Status::kBadRequest);
+  const Response still_ok = learner.call(admin_request(3, Opcode::kVersion));
+  EXPECT_EQ(still_ok.status, Status::kOk);
 }
 
 // ---------------------------------------------------------------------------
