@@ -1,26 +1,32 @@
-// Block-routing hot-path sweep: stage-1 + stage-2 construction throughput as
-// a function of the write-combining buffer size (route_buffer_keys) and the
-// stage-2 probe-prefetch lookahead (prefetch_distance), against the scalar
-// baseline (route_buffer_keys = 1, prefetch_distance = 0,
-// encode_block_rows = 1) on the same workload.
+// Hot-path sweep of the two-stage construction kernel: stage-1 + stage-2
+// throughput as a function of the write-combining buffer (route_buffer_keys),
+// the stage-2 prefetch lookahead (prefetch_distance), the encode/probe
+// kernel dispatch (--simd: scalar reference loops vs. runtime-resolved AVX2
+// SoA tiles), the stage-2 probe parallelism (--cursors: 0 = in-order drain,
+// >= 2 = multi-cursor batched probing), huge-page table backing
+// (--huge-pages), and the workload cardinality (--cardinality, a sweep list —
+// r shifts the distinct-key population and therefore the table/TLB pressure).
 //
 // Every swept configuration is verified to produce a table identical to the
-// scalar baseline (same distinct keys, same total count, same
-// order-independent content checksum) before its timing is reported — a
+// scalar baseline (route_buffer_keys = 1, prefetch_distance = 0,
+// encode_block_rows = 1, simd = scalar, cursors = 0, normal pages) on the
+// same workload — same distinct keys, same total count, same
+// order-independent content checksum — before its timing is reported; a
 // faster build of a different table would be worthless.
 //
 // Reported per configuration: best-of-reps wall clock, the critical path
 // max_p(stage1_p) + max_p(stage2_p) (the makespan a P-core machine would
 // observe; on hosts with fewer cores than P the wall clock serializes the
 // workers and stops being informative — the JSON records host_cores), rows/s
-// on the critical path, speedup vs the scalar baseline, and the transfer
-// efficiency counters (foreign keys per flush, drained keys per bulk pop).
+// on the critical path, speedup vs the scalar baseline, the effective SIMD
+// level, and the huge-page backing outcome.
 //
-// Machine-readable output: a BENCH_build_hot_path.json datapoint (path
-// configurable with --json-out, empty string disables), plus the same JSON
-// on stdout.
+// Machine-readable output: a BENCH_build_hot_path.json datapoint with one
+// "sweeps" entry per cardinality (path configurable with --json-out, empty
+// string disables), plus the same JSON on stdout.
 //
 //   ./build_hot_path --samples 1000000 --variables 30 --threads 8
+//       --cardinality 2,4,8 --simd scalar,auto --cursors 0,16 --huge-pages 0,1
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -31,6 +37,7 @@
 #include "data/generators.hpp"
 #include "table/key_traits.hpp"
 #include "util/cli.hpp"
+#include "util/simd.hpp"
 #include "util/table_printer.hpp"
 
 namespace {
@@ -40,7 +47,6 @@ using namespace wfbn;
 struct SweepConfig {
   std::size_t samples = 0;
   std::size_t variables = 0;
-  std::uint32_t cardinality = 2;
   std::size_t threads = 8;
   std::size_t reps = 2;
   bool pipelined = false;
@@ -70,15 +76,22 @@ TableDigest digest_of(const PotentialTable& table) {
   return digest;
 }
 
-struct ConfigResult {
-  std::size_t buffer = 0;
+struct Knobs {
+  std::size_t buffer = 1;
   std::size_t prefetch = 0;
+  std::size_t strip = 1;
+  simd::Policy simd = simd::Policy::kScalar;
+  std::size_t cursors = 0;
+  bool huge_pages = false;
+};
+
+struct ConfigResult {
+  Knobs knobs;
+  simd::Level level = simd::Level::kScalar;  // effective, from BuildStats
+  std::size_t huge_tables = 0;
+  std::size_t huge_fallbacks = 0;
   double wall_seconds = 0.0;
   double critical_seconds = 0.0;
-  std::uint64_t route_flushes = 0;
-  std::uint64_t bulk_pops = 0;
-  std::uint64_t foreign = 0;
-  std::uint64_t drained = 0;
   bool identical = false;
 
   [[nodiscard]] double rows_per_sec(std::size_t m) const {
@@ -89,60 +102,81 @@ struct ConfigResult {
 };
 
 WaitFreeBuilderOptions options_for(const SweepConfig& config,
-                                   std::size_t buffer, std::size_t prefetch,
-                                   std::size_t strip) {
+                                   const Knobs& knobs) {
   WaitFreeBuilderOptions options;
   options.threads = config.threads;
   options.pipelined = config.pipelined;
-  options.route_buffer_keys = buffer;
-  options.prefetch_distance = prefetch;
-  options.encode_block_rows = strip;
+  options.route_buffer_keys = knobs.buffer;
+  options.prefetch_distance = knobs.prefetch;
+  options.encode_block_rows = knobs.strip;
+  options.simd = knobs.simd;
+  options.probe_cursors = knobs.cursors;
+  options.huge_pages = knobs.huge_pages;
   return options;
 }
 
 ConfigResult run_config(const Dataset& data, const SweepConfig& config,
-                        std::size_t buffer, std::size_t prefetch,
-                        std::size_t strip, const TableDigest& reference) {
+                        const Knobs& knobs, const TableDigest& reference) {
   ConfigResult result;
-  result.buffer = buffer;
-  result.prefetch = prefetch;
+  result.knobs = knobs;
   result.wall_seconds = 1e300;
   result.critical_seconds = 1e300;
-  WaitFreeBuilder builder(options_for(config, buffer, prefetch, strip));
+  WaitFreeBuilder builder(options_for(config, knobs));
   for (std::size_t rep = 0; rep < config.reps; ++rep) {
     const PotentialTable table = builder.build(data);
     const BuildStats& stats = builder.stats();
-    if (stats.total_seconds < result.wall_seconds) {
-      result.wall_seconds = stats.total_seconds;
-    }
-    if (stats.critical_path_seconds() < result.critical_seconds) {
-      result.critical_seconds = stats.critical_path_seconds();
-    }
-    result.route_flushes = stats.total_route_flushes();
-    result.bulk_pops = stats.total_bulk_pops();
-    result.foreign = stats.total_foreign_pushes();
-    result.drained = 0;
-    for (const WorkerStats& w : stats.workers) result.drained += w.stage2_pops;
+    result.wall_seconds = std::min(result.wall_seconds, stats.total_seconds);
+    result.critical_seconds =
+        std::min(result.critical_seconds, stats.critical_path_seconds());
+    result.level = stats.simd_level;
+    result.huge_tables = stats.huge_page_tables;
+    result.huge_fallbacks = stats.huge_page_fallbacks;
     if (rep == 0) result.identical = digest_of(table) == reference;
   }
   return result;
+}
+
+std::vector<simd::Policy> parse_simd_list(const std::string& text) {
+  std::vector<simd::Policy> out;
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', at), text.size());
+    const std::string token = text.substr(at, comma - at);
+    simd::Policy policy;
+    if (!token.empty() && simd::parse_policy(token.c_str(), policy)) {
+      out.push_back(policy);
+    } else {
+      std::printf("unknown --simd value '%s' (want auto|scalar|avx2)\n",
+                  token.c_str());
+      std::exit(1);
+    }
+    at = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli(
-      "build_hot_path — write-combining / bulk-transfer sweep of the "
-      "two-stage construction kernel");
+      "build_hot_path — kernel-dispatch / write-combining / probe sweep of "
+      "the two-stage construction kernel");
   cli.add_option("samples", "1000000", "Training rows m");
   cli.add_option("variables", "30", "Variables n");
-  cli.add_option("cardinality", "2", "States per variable r");
+  cli.add_option("cardinality", "2",
+                 "States per variable r — a sweep list (e.g. 2,4,8)");
   cli.add_option("threads", "8", "Workers (= partitions) P");
-  cli.add_option("buffers", "1,16,64,256",
+  cli.add_option("buffers", "1,64",
                  "route_buffer_keys values to sweep (1 = scalar routing)");
-  cli.add_option("prefetch", "0,4,8", "prefetch_distance values to sweep");
+  cli.add_option("prefetch", "0,4", "prefetch_distance values to sweep");
   cli.add_option("encode-rows", "32",
                  "encode_block_rows for swept configs (baseline always 1)");
+  cli.add_option("simd", "scalar,auto",
+                 "Kernel dispatch policies to sweep: auto|scalar|avx2");
+  cli.add_option("cursors", "0,16",
+                 "probe_cursors values to sweep (0 = in-order drain)");
+  cli.add_option("huge-pages", "0",
+                 "Huge-page table backing values to sweep (0 and/or 1)");
   cli.add_option("reps", "2", "Repetitions per configuration (best-of)");
   cli.add_option("seed", "42", "Workload seed");
   cli.add_flag("pipelined", "Sweep the barrier-free pipelined variant");
@@ -153,101 +187,127 @@ int main(int argc, char** argv) {
   SweepConfig config;
   config.samples = static_cast<std::size_t>(cli.get_int("samples"));
   config.variables = static_cast<std::size_t>(cli.get_int("variables"));
-  config.cardinality = static_cast<std::uint32_t>(cli.get_int("cardinality"));
   config.threads = static_cast<std::size_t>(cli.get_int("threads"));
   config.reps = static_cast<std::size_t>(cli.get_int("reps"));
   config.pipelined = cli.get_bool("pipelined");
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto strip = static_cast<std::size_t>(cli.get_int("encode-rows"));
   const std::string json_out = cli.get("json-out");
+  const std::vector<std::int64_t> cardinalities =
+      cli.get_int_list("cardinality");
+  const std::vector<simd::Policy> policies = parse_simd_list(cli.get("simd"));
+  const std::vector<std::int64_t> cursor_list = cli.get_int_list("cursors");
+  const std::vector<std::int64_t> huge_list = cli.get_int_list("huge-pages");
 
-  std::printf("generating %zu x %zu (r=%u) workload...\n", config.samples,
-              config.variables, config.cardinality);
-  const Dataset data = generate_uniform(config.samples, config.variables,
-                                        config.cardinality, config.seed);
-
-  // Scalar baseline: block size 1 at every layer.
-  WaitFreeBuilder scalar(options_for(config, 1, 0, 1));
-  TableDigest reference;
-  double scalar_wall = 1e300;
-  double scalar_critical = 1e300;
-  for (std::size_t rep = 0; rep < config.reps; ++rep) {
-    const PotentialTable table = scalar.build(data);
-    if (rep == 0) reference = digest_of(table);
-    scalar_wall = std::min(scalar_wall, scalar.stats().total_seconds);
-    scalar_critical =
-        std::min(scalar_critical, scalar.stats().critical_path_seconds());
-  }
-  std::printf("scalar baseline: wall %.3fs, critical path %.3fs\n",
-              scalar_wall, scalar_critical);
-
-  std::vector<ConfigResult> results;
-  for (const std::int64_t buffer : cli.get_int_list("buffers")) {
-    for (const std::int64_t prefetch : cli.get_int_list("prefetch")) {
-      results.push_back(run_config(data, config,
-                                   static_cast<std::size_t>(buffer),
-                                   static_cast<std::size_t>(prefetch), strip,
-                                   reference));
-    }
-  }
-
-  TablePrinter table({"buffer", "prefetch", "wall s", "critical s", "rows/s",
-                      "speedup", "keys/flush", "keys/pop", "identical"});
-  for (const ConfigResult& r : results) {
-    const double keys_per_flush =
-        r.route_flushes == 0 ? 0.0
-                             : static_cast<double>(r.foreign) /
-                                   static_cast<double>(r.route_flushes);
-    const double keys_per_pop =
-        r.bulk_pops == 0 ? 0.0
-                         : static_cast<double>(r.drained) /
-                               static_cast<double>(r.bulk_pops);
-    table.add_row({std::to_string(r.buffer), std::to_string(r.prefetch),
-                   TablePrinter::fmt(r.wall_seconds, 3),
-                   TablePrinter::fmt(r.critical_seconds, 3),
-                   TablePrinter::fmt(r.rows_per_sec(config.samples), 0),
-                   TablePrinter::fmt(scalar_critical / r.critical_seconds, 2),
-                   TablePrinter::fmt(keys_per_flush, 1),
-                   TablePrinter::fmt(keys_per_pop, 1),
-                   r.identical ? "yes" : "NO"});
-  }
-  table.print("build_hot_path — block routing sweep (P=" +
-              std::to_string(config.threads) + ")");
+  std::printf("host simd level: %s\n", simd::level_name(simd::detected()));
 
   std::string json = "{\n  \"bench\": \"build_hot_path\",\n";
   json += "  \"host_cores\": " +
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"host_simd\": \"" +
+          std::string(simd::level_name(simd::detected())) + "\",\n";
   json += "  \"config\": {\"samples\": " + std::to_string(config.samples) +
           ", \"variables\": " + std::to_string(config.variables) +
-          ", \"cardinality\": " + std::to_string(config.cardinality) +
           ", \"threads\": " + std::to_string(config.threads) +
           ", \"encode_block_rows\": " + std::to_string(strip) +
           ", \"pipelined\": " + (config.pipelined ? "true" : "false") +
           ", \"reps\": " + std::to_string(config.reps) +
           ", \"seed\": " + std::to_string(config.seed) + "},\n";
-  char baseline[160];
-  std::snprintf(baseline, sizeof baseline,
-                "  \"scalar_baseline\": {\"wall_seconds\": %.6f, "
-                "\"critical_path_seconds\": %.6f},\n",
+  json += "  \"sweeps\": [\n";
+
+  bool all_identical = true;
+  for (std::size_t ci = 0; ci < cardinalities.size(); ++ci) {
+    const auto r = static_cast<std::uint32_t>(cardinalities[ci]);
+    std::printf("generating %zu x %zu (r=%u) workload...\n", config.samples,
+                config.variables, r);
+    const Dataset data =
+        generate_uniform(config.samples, config.variables, r, config.seed);
+
+    // Scalar baseline: block size 1 at every layer, reference kernels,
+    // in-order probing, normal pages.
+    WaitFreeBuilder scalar(options_for(config, Knobs{}));
+    TableDigest reference;
+    double scalar_wall = 1e300;
+    double scalar_critical = 1e300;
+    for (std::size_t rep = 0; rep < config.reps; ++rep) {
+      const PotentialTable table = scalar.build(data);
+      if (rep == 0) reference = digest_of(table);
+      scalar_wall = std::min(scalar_wall, scalar.stats().total_seconds);
+      scalar_critical =
+          std::min(scalar_critical, scalar.stats().critical_path_seconds());
+    }
+    std::printf("r=%u scalar baseline: wall %.3fs, critical path %.3fs\n", r,
                 scalar_wall, scalar_critical);
-  json += baseline;
-  json += "  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const ConfigResult& r = results[i];
-    char row[400];
-    std::snprintf(
-        row, sizeof row,
-        "    {\"route_buffer_keys\": %zu, \"prefetch_distance\": %zu, "
-        "\"wall_seconds\": %.6f, \"critical_path_seconds\": %.6f, "
-        "\"rows_per_sec\": %.1f, \"speedup_vs_scalar\": %.3f, "
-        "\"route_flushes\": %llu, \"bulk_pops\": %llu, "
-        "\"identical_to_scalar\": %s}%s\n",
-        r.buffer, r.prefetch, r.wall_seconds, r.critical_seconds,
-        r.rows_per_sec(config.samples), scalar_critical / r.critical_seconds,
-        static_cast<unsigned long long>(r.route_flushes),
-        static_cast<unsigned long long>(r.bulk_pops),
-        r.identical ? "true" : "false", i + 1 == results.size() ? "" : ",");
-    json += row;
+
+    std::vector<ConfigResult> results;
+    for (const simd::Policy policy : policies) {
+      for (const std::int64_t cursors : cursor_list) {
+        for (const std::int64_t huge : huge_list) {
+          for (const std::int64_t buffer : cli.get_int_list("buffers")) {
+            for (const std::int64_t prefetch : cli.get_int_list("prefetch")) {
+              Knobs knobs;
+              knobs.buffer = static_cast<std::size_t>(buffer);
+              knobs.prefetch = static_cast<std::size_t>(prefetch);
+              knobs.strip = strip;
+              knobs.simd = policy;
+              knobs.cursors = static_cast<std::size_t>(cursors);
+              knobs.huge_pages = huge != 0;
+              results.push_back(run_config(data, config, knobs, reference));
+            }
+          }
+        }
+      }
+    }
+
+    TablePrinter table({"simd", "cursors", "huge", "buffer", "prefetch",
+                        "wall s", "critical s", "rows/s", "speedup",
+                        "identical"});
+    for (const ConfigResult& res : results) {
+      table.add_row(
+          {simd::level_name(res.level), std::to_string(res.knobs.cursors),
+           res.knobs.huge_pages ? "on" : "off",
+           std::to_string(res.knobs.buffer), std::to_string(res.knobs.prefetch),
+           TablePrinter::fmt(res.wall_seconds, 3),
+           TablePrinter::fmt(res.critical_seconds, 3),
+           TablePrinter::fmt(res.rows_per_sec(config.samples), 0),
+           TablePrinter::fmt(scalar_critical / res.critical_seconds, 2),
+           res.identical ? "yes" : "NO"});
+    }
+    table.print("build_hot_path — r=" + std::to_string(r) + " sweep (P=" +
+                std::to_string(config.threads) + ")");
+
+    json += "    {\"cardinality\": " + std::to_string(r) + ",\n";
+    char baseline[160];
+    std::snprintf(baseline, sizeof baseline,
+                  "     \"scalar_baseline\": {\"wall_seconds\": %.6f, "
+                  "\"critical_path_seconds\": %.6f},\n",
+                  scalar_wall, scalar_critical);
+    json += baseline;
+    json += "     \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ConfigResult& res = results[i];
+      char row[512];
+      std::snprintf(
+          row, sizeof row,
+          "      {\"route_buffer_keys\": %zu, \"prefetch_distance\": %zu, "
+          "\"simd\": \"%s\", \"simd_level\": \"%s\", \"probe_cursors\": %zu, "
+          "\"huge_pages\": %s, \"huge_page_tables\": %zu, "
+          "\"huge_page_fallbacks\": %zu, \"wall_seconds\": %.6f, "
+          "\"critical_path_seconds\": %.6f, \"rows_per_sec\": %.1f, "
+          "\"speedup_vs_scalar\": %.3f, \"identical_to_scalar\": %s}%s\n",
+          res.knobs.buffer, res.knobs.prefetch,
+          simd::policy_name(res.knobs.simd), simd::level_name(res.level),
+          res.knobs.cursors, res.knobs.huge_pages ? "true" : "false",
+          res.huge_tables, res.huge_fallbacks, res.wall_seconds,
+          res.critical_seconds, res.rows_per_sec(config.samples),
+          scalar_critical / res.critical_seconds,
+          res.identical ? "true" : "false",
+          i + 1 == results.size() ? "" : ",");
+      json += row;
+      all_identical &= res.identical;
+    }
+    json += "     ]}";
+    json += (ci + 1 == cardinalities.size()) ? "\n" : ",\n";
   }
   json += "  ]\n}\n";
 
@@ -262,8 +322,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  bool all_identical = true;
-  for (const ConfigResult& r : results) all_identical &= r.identical;
   if (!all_identical) {
     std::printf("ERROR: a swept configuration diverged from the scalar "
                 "baseline table\n");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "concurrent/affinity.hpp"
@@ -114,6 +115,27 @@ struct alignas(64) ProgressCell {
   std::atomic<std::uint64_t> value{0};
 };
 
+/// Tallies the partitions' huge-page outcomes into the build stats. Read
+/// after the kernel: grows re-allocate, so only the final backing matters.
+template <typename K>
+void collect_page_backing(const BasicPartitionedTable<K>& table,
+                          BuildStats& stats) {
+  stats.huge_page_tables = 0;
+  stats.huge_page_fallbacks = 0;
+  for (std::size_t p = 0; p < table.partition_count(); ++p) {
+    switch (table.partition(p).backing()) {
+      case PageBacking::kHugeAdvised:
+        ++stats.huge_page_tables;
+        break;
+      case PageBacking::kHugeFallback:
+        ++stats.huge_page_fallbacks;
+        break;
+      case PageBacking::kHeap:
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 std::uint64_t BuildStats::total_foreign_pushes() const noexcept {
@@ -213,7 +235,8 @@ void BasicWaitFreeBuilder<K>::append(const Dataset& data, Table& table) {
   // Any failure up to and including the kernel leaves `table` untouched.
   BasicPartitionedTable<K> scratch(
       parts, table.partitions().state_space(), table.partitions().scheme(),
-      expected_entries_per_partition(data, table.codec(), parts));
+      expected_entries_per_partition(data, table.codec(), parts),
+      options_.huge_pages);
   run_phased(data, table.codec(), scratch, pool);
 
   WFBN_FAULT_POINT(fault::Point::kAppendCommit);
@@ -250,7 +273,7 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_phased(
   const Codec codec = Traits::make_codec(data.cardinalities());
   BasicPartitionedTable<K> table(
       P, Traits::state_space_bound(codec), options_.scheme,
-      expected_entries_per_partition(data, codec, P));
+      expected_entries_per_partition(data, codec, P), options_.huge_pages);
   Timer total_timer;
   run_phased(data, codec, table, pool);
   stats_.total_seconds = total_timer.seconds();
@@ -278,6 +301,13 @@ void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
   const std::size_t m = data.sample_count();
   const std::size_t strip = options_.encode_block_rows;
   const std::size_t prefetch = options_.prefetch_distance;
+  const std::size_t cursors = options_.probe_cursors;
+  // Resolved once per build: the whole kernel runs one dispatch level, and
+  // the effective level (after host/env/forced downgrades) is reported.
+  const simd::Level level = simd::resolve(options_.simd);
+  stats_.simd_level = level;
+  const std::uint64_t space = table.state_space();
+  const PartitionScheme scheme = table.scheme();
 
   pool.run([&](std::size_t w) {
     if (options_.pin_threads && !pin_current_thread(w)) {
@@ -299,23 +329,30 @@ void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
     Timer stage_timer;
     KeyRouter<K> router(queues, w, W, options_.route_buffer_keys);
     std::vector<K> keys(strip);
+    std::vector<std::size_t> owners(strip);
     try {
       const auto [lo, hi] = ThreadPool::block_range(m, W, w);
       for (std::size_t i = lo; i < hi;) {
         const std::size_t count = std::min(strip, hi - i);
         if (inject) {
+          // Scalar fallback keeps the once-per-row fault-point semantics the
+          // injection sweeps rely on.
           for (std::size_t r = 0; r < count; ++r) {
             fault::fire(fault::Point::kStage1Row);
             keys[r] = codec.encode(data.row(i + r));
             ++ws.rows_encoded;
           }
         } else {
-          codec.encode_block(data.row(i).data(), count, keys.data());
+          codec.encode_block(data.row(i).data(), count, keys.data(), level);
           ws.rows_encoded += count;
         }
+        // Destinations for the whole strip before any route-buffer traffic
+        // (one pipelined hash/divide pass instead of per-key detours).
+        Traits::owner_block(keys.data(), count, parts, space, scheme,
+                            owners.data());
         for (std::size_t r = 0; r < count; ++r) {
           const K key = keys[r];
-          const std::size_t q = table.owner_of(key);
+          const std::size_t q = owners[r];
           const std::size_t dst = part_owner[q];
           if (dst == w) {
             table.partition(q).increment(key);
@@ -348,6 +385,14 @@ void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
     if (my_lo < my_hi) {
       BasicOpenHashTable<K>* sole =
           (my_hi - my_lo == 1) ? &table.partition(my_lo) : nullptr;
+      // Multi-cursor probing when asked for (>= 2 cursors); otherwise the
+      // in-order drain behind a DrainStream, so the prefetch window carries
+      // across consume spans instead of collapsing at every span tail.
+      const bool batched = !inject && sole != nullptr && cursors >= 2;
+      std::optional<typename BasicOpenHashTable<K>::DrainStream> stream;
+      if (!inject && sole != nullptr && !batched) {
+        stream.emplace(*sole, prefetch);
+      }
       for (std::size_t src = 0; src < W; ++src) {
         if (src == w) continue;
         SpscQueue<K>& queue = queues.at(src, w);
@@ -364,8 +409,10 @@ void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
                 table.partition(table.owner_of(span[k])).increment(span[k]);
               }
             }
-          } else if (sole != nullptr) {
-            sole->increment_block(span, count, prefetch);
+          } else if (batched) {
+            sole->increment_block_batched(span, count, cursors);
+          } else if (stream) {
+            stream->feed(span, count);
           } else {
             for (std::size_t k = 0; k < count; ++k) {
               table.partition(table.owner_of(span[k])).increment(span[k]);
@@ -373,6 +420,7 @@ void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
           }
         });
       }
+      if (stream) stream->finish();
     }
     ws.stage2_seconds = stage_timer.seconds();
   });
@@ -381,6 +429,7 @@ void BasicWaitFreeBuilder<K>::run_phased(const Dataset& data,
   // The slowest worker's wait bounds what the barrier costs the makespan.
   stats_.barrier_seconds =
       *std::max_element(barrier_waits.begin(), barrier_waits.end());
+  collect_page_backing(table, stats_);
 }
 
 template <typename K>
@@ -390,12 +439,17 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
   const Codec codec = Traits::make_codec(data.cardinalities());
   BasicPartitionedTable<K> table(
       P, Traits::state_space_bound(codec), options_.scheme,
-      expected_entries_per_partition(data, codec, P));
+      expected_entries_per_partition(data, codec, P), options_.huge_pages);
   QueueFabric<K> queues(P);
   stats_ = BuildStats{};
   stats_.workers.assign(P, WorkerStats{});
   stats_.requested_workers = pool.degradation().requested_threads;
   stats_.effective_workers = P;
+  const simd::Level level = simd::resolve(options_.simd);
+  stats_.simd_level = level;
+  const std::uint64_t space = table.state_space();
+  const PartitionScheme scheme = table.scheme();
+  const std::size_t cursors = options_.probe_cursors;
   std::atomic<std::size_t> pin_failures{0};
   // Producer retirement + early wind-down (worker exception or watchdog
   // stall). The gate's memory-order contract is model-checked in wfcheck's
@@ -425,6 +479,13 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
     const bool inject = fault::enabled();
     Timer stage_timer;
 
+    // Same drain dispatch as the phased stage 2; the DrainStream is
+    // especially at home here, carrying the prefetch window across the many
+    // small interleaved drain passes. Its carried tail is flushed before the
+    // final-sweep exit below, so the full-drain invariant still holds.
+    const bool batched = !inject && cursors >= 2;
+    typename BasicOpenHashTable<K>::DrainStream stream(
+        mine, (inject || batched) ? 0 : prefetch);
     auto drain_once = [&] {
       if (inject) fault::fire(fault::Point::kPipelineDrain);
       for (std::size_t src = 0; src < P; ++src) {
@@ -433,7 +494,13 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
         const std::size_t drained =
             queue.consume([&](const K* span, std::size_t count) {
               ++ws.bulk_pops;
-              mine.increment_block(span, count, prefetch);
+              if (inject) {
+                mine.increment_block(span, count, prefetch);
+              } else if (batched) {
+                mine.increment_block_batched(span, count, cursors);
+              } else {
+                stream.feed(span, count);
+              }
             });
         ws.stage2_pops += drained;
         if (watchdog && drained != 0) {
@@ -454,6 +521,7 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
       // staged privately.
       KeyRouter<K> router(queues, p, P, options_.route_buffer_keys);
       std::vector<K> keys(strip);
+      std::vector<std::size_t> owners(strip);
       const auto [lo, hi] = ThreadPool::block_range(m, P, p);
       std::size_t i = lo;
       while (i < hi && !gate.aborted()) {
@@ -467,12 +535,14 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
               ++ws.rows_encoded;
             }
           } else {
-            codec.encode_block(data.row(i).data(), count, keys.data());
+            codec.encode_block(data.row(i).data(), count, keys.data(), level);
             ws.rows_encoded += count;
           }
+          Traits::owner_block(keys.data(), count, P, space, scheme,
+                              owners.data());
           for (std::size_t r = 0; r < count; ++r) {
             const K key = keys[r];
-            const std::size_t owner = table.owner_of(key);
+            const std::size_t owner = owners[r];
             if (owner == p) {
               mine.increment(key);
               ++ws.local_updates;
@@ -523,6 +593,7 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
         }
       }
       if (!gate.aborted()) drain_once();
+      stream.finish();
       ws.stage2_seconds = stage_timer.seconds();
     } catch (...) {
       gate.abort_and_retire(counted_done);
@@ -545,6 +616,7 @@ BasicPotentialTable<K> BasicWaitFreeBuilder<K>::build_pipelined(
             " producer(s) unfinished",
         std::move(snapshot));
   }
+  collect_page_backing(table, stats_);
   return Table(codec, std::move(table), static_cast<std::uint64_t>(m));
 }
 

@@ -30,6 +30,7 @@
 #include "data/dataset.hpp"
 #include "table/partitioned_table.hpp"
 #include "table/potential_table.hpp"
+#include "util/simd.hpp"
 
 namespace wfbn {
 
@@ -60,6 +61,26 @@ struct WaitFreeBuilderOptions {
   /// mixed-radix multiply chain pipelines instead of alternating with
   /// table/queue traffic. 1 reproduces the row-at-a-time behavior.
   std::size_t encode_block_rows = 32;
+  /// Kernel dispatch for the stage-1 encode strips: kAuto resolves to the
+  /// best level the host supports (util/simd.hpp — AVX2 SoA tiles on capable
+  /// x86, the scalar reference loop otherwise); kScalar forces the reference
+  /// loop; kAvx2 asks for the vector tiles and silently degrades when the
+  /// host lacks them. Every level is bit-identical (oracle-gated). The
+  /// effective level of the last build is reported in BuildStats::simd_level.
+  simd::Policy simd = simd::Policy::kAuto;
+  /// Stage-2 probe parallelism: with >= 2, drained spans are folded with
+  /// OpenHashTable::increment_block_batched using this many concurrent probe
+  /// cursors (hash a group, prefetch every home slot, advance round-robin),
+  /// overlapping the probe cache misses. 0 or 1 keeps the in-order drain —
+  /// increment_block behind a DrainStream, whose prefetch window (of
+  /// prefetch_distance) now carries across consume spans. Either path
+  /// produces identical tables; fault-injection runs always drain scalar.
+  std::size_t probe_cursors = 16;
+  /// Back each partition's entry array with transparent 2 MB pages once it
+  /// reaches one huge page (fewer TLB walks on larger-than-cache tables).
+  /// Best-effort: refusal degrades to normal pages and is reported in
+  /// BuildStats::huge_page_fallbacks, never an error.
+  bool huge_pages = false;
   /// Stall watchdog for the pipelined variant: if no worker makes progress
   /// (rows scanned + keys drained) for this long while the drain phase is
   /// still waiting on producers, the build aborts with a StallError carrying
@@ -95,6 +116,16 @@ struct BuildStats {
   std::size_t requested_workers = 0;
   std::size_t effective_workers = 0;
   std::size_t pin_failures = 0;
+
+  /// Effective encode dispatch level of the build (options.simd resolved
+  /// against the host; forced and env downgrades included).
+  simd::Level simd_level = simd::Level::kScalar;
+  /// Partition tables whose entry array ended huge-page-advised vs. those
+  /// that requested huge backing for an eligible allocation and were refused
+  /// (kernel refusal or the table.huge_page fault point). Partitions smaller
+  /// than one huge page count in neither.
+  std::size_t huge_page_tables = 0;
+  std::size_t huge_page_fallbacks = 0;
 
   [[nodiscard]] bool degraded() const noexcept {
     return effective_workers < requested_workers || pin_failures > 0;

@@ -1,10 +1,13 @@
 #include "table/key_codec.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <unordered_set>
 #include <utility>
 
+#include "table/simd_kernels.hpp"
 #include "util/error.hpp"
 
 namespace wfbn {
@@ -46,16 +49,38 @@ Key KeyCodec::encode(std::span<const State> states) const noexcept {
   return key;
 }
 
-void KeyCodec::encode_block(const State* rows, std::size_t row_count,
-                            Key* out) const noexcept {
+void KeyCodec::encode_block(const State* rows, std::size_t row_count, Key* out,
+                            simd::Level level) const noexcept {
   const std::size_t n = strides_.size();
-  for (std::size_t i = 0; i < row_count; ++i) {
-    const State* row = rows + i * n;
-    Key key = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      key += static_cast<Key>(row[j]) * strides_[j];
+  if (level == simd::Level::kScalar) {
+    // The reference kernel: row-major scan, one mixed-radix chain per row.
+    for (std::size_t i = 0; i < row_count; ++i) {
+      const State* row = rows + i * n;
+      Key key = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        key += static_cast<Key>(row[j]) * strides_[j];
+      }
+      out[i] = key;
     }
-    out[i] = key;
+    return;
+  }
+  // Vectorized path (level from simd::resolve(), so the AVX2 tiles only run
+  // on hosts that support them): full SoA tiles, portable-lane remainder.
+  const std::uint64_t* strides = strides_.data();
+  std::size_t i = 0;
+#ifdef WFBN_AVX2_KERNELS
+  for (; i + simd_detail::kRowTile <= row_count; i += simd_detail::kRowTile) {
+    simd_detail::encode_tile_avx2(rows + i * n, n, strides, out + i);
+  }
+#else
+  for (; i + simd_detail::kRowTile <= row_count; i += simd_detail::kRowTile) {
+    simd_detail::encode_tile_lanes(rows + i * n, n, strides,
+                                   simd_detail::kRowTile, out + i);
+  }
+#endif
+  if (i < row_count) {
+    simd_detail::encode_tile_lanes(rows + i * n, n, strides, row_count - i,
+                                   out + i);
   }
 }
 

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace wfbn {
 
 using State = std::uint8_t;   ///< one observed variable state, 0 .. r_j - 1
@@ -55,8 +57,15 @@ class KeyCodec {
   /// row into `out`. Encoding a strip back to back keeps the mixed-radix
   /// multiply-add chain pipelined instead of alternating with hashtable and
   /// queue traffic — the stage-1 fast path of the wait-free builder.
-  void encode_block(const State* rows, std::size_t row_count,
-                    Key* out) const noexcept;
+  ///
+  /// `level` selects the kernel (util/simd.hpp): kScalar is the row-major
+  /// reference loop; kAvx2 transposes the strip into per-variable SoA lanes
+  /// and runs the mixed-radix multiply-add across 4 rows per vector (with a
+  /// portable lane-structured fallback on non-x86 builds). Every level
+  /// computes bit-identical keys — callers resolve the level once per build
+  /// via simd::resolve() and sweeps are oracle-gated against kScalar.
+  void encode_block(const State* rows, std::size_t row_count, Key* out,
+                    simd::Level level = simd::Level::kScalar) const noexcept;
 
   /// Eq. 4: decodes variable j from a key.
   [[nodiscard]] State decode(Key key, std::size_t j) const noexcept {

@@ -53,6 +53,15 @@ struct KeyTraits<Key> {
     return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 24);
   }
 
+  /// slot_hash over a whole strip: out[i] = slot_hash(keys[i]). Hashing a
+  /// strip before any table memory is touched keeps the multiply chain
+  /// pipelined (and auto-vectorizable) instead of interleaving it with
+  /// dependent probe loads — the batched-probe and router fast paths.
+  static void slot_hash_block(const Key* keys, std::size_t count,
+                              std::size_t* out) noexcept {
+    for (std::size_t i = 0; i < count; ++i) out[i] = slot_hash(keys[i]);
+  }
+
   static constexpr bool supports(PartitionScheme) noexcept { return true; }
 
   static std::size_t owner(Key key, std::size_t partitions,
@@ -65,6 +74,24 @@ struct KeyTraits<Key> {
     // runtime state-space value.
     return static_cast<std::size_t>(
         (static_cast<__uint128_t>(key) * partitions) / state_space);
+  }
+
+  /// owner() over a whole strip: out[i] = owner(keys[i], ...). Hoists the
+  /// scheme branch out of the per-key loop so stage 1 can compute a block's
+  /// destinations before touching any route buffer.
+  static void owner_block(const Key* keys, std::size_t count,
+                          std::size_t partitions, std::uint64_t state_space,
+                          PartitionScheme scheme, std::size_t* out) noexcept {
+    if (scheme == PartitionScheme::kModulo) {
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = static_cast<std::size_t>(keys[i] % partitions);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = static_cast<std::size_t>(
+          (static_cast<__uint128_t>(keys[i]) * partitions) / state_space);
+    }
   }
 
   static Codec make_codec(const std::vector<std::uint32_t>& cardinalities) {
@@ -109,6 +136,12 @@ struct KeyTraits<WideKey> {
     return static_cast<std::size_t>(wide_key_hash(key));
   }
 
+  /// Batched slot_hash; see KeyTraits<Key>::slot_hash_block.
+  static void slot_hash_block(const WideKey* keys, std::size_t count,
+                              std::size_t* out) noexcept {
+    for (std::size_t i = 0; i < count; ++i) out[i] = slot_hash(keys[i]);
+  }
+
   /// Wide keys have no usable total order over the joint space, so
   /// contiguous-range ownership is not defined for them.
   static constexpr bool supports(PartitionScheme scheme) noexcept {
@@ -119,6 +152,18 @@ struct KeyTraits<WideKey> {
                            std::uint64_t /*state_space*/,
                            PartitionScheme /*scheme*/) noexcept {
     return static_cast<std::size_t>(wide_key_hash(key) % partitions);
+  }
+
+  /// Batched owner: one hash pass over the strip, then the modulo. See
+  /// KeyTraits<Key>::owner_block.
+  static void owner_block(const WideKey* keys, std::size_t count,
+                          std::size_t partitions,
+                          std::uint64_t /*state_space*/,
+                          PartitionScheme /*scheme*/,
+                          std::size_t* out) noexcept {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = static_cast<std::size_t>(wide_key_hash(keys[i]) % partitions);
+    }
   }
 
   static Codec make_codec(const std::vector<std::uint32_t>& cardinalities) {

@@ -1,0 +1,195 @@
+// Internal SoA-tile kernels for the mixed-radix encode hot path (Eq. 3),
+// shared by KeyCodec and WideKeyCodec. Not part of the public API.
+//
+// Layout: a strip of rows is processed in tiles of kRowTile rows. Within a
+// tile, variables are transposed kVarTile at a time into per-variable lanes
+// (lanes[j][i] = state of row i, variable j — a [vars × rows] SoA block that
+// always fits the L1 cache), and each lane is folded into per-row key
+// accumulators with one multiply-add:
+//
+//     acc[i] += lane_j[i] * stride_j          for all i in the tile at once
+//
+// Neighboring rows are independent, so the lane loop has no carried
+// dependency and vectorizes: the portable kernels are written so the
+// compiler's auto-vectorizer can take them, and the AVX2 specializations
+// (runtime-dispatched via simd::resolve(), compiled behind a function-level
+// `target("avx2")` attribute so the rest of the binary stays baseline-ISA)
+// process 4 rows per 256-bit vector.
+//
+// AVX2 has no 64×64-bit vector multiply, but none is needed: a state is a
+// uint8, so with stride = hi·2³² + lo the term decomposes into two 32×32→64
+// multiplies, s·lo + ((s·hi) << 32) — exact mod 2⁶⁴, and every encoded word
+// stays below 2⁶³ by the codecs' construction-time bound. Most workloads
+// (uniform r=2..8, n ≤ 32) have every stride below 2³², where the hi
+// multiply is skipped entirely.
+//
+// Every kernel computes bit-identical keys to the scalar reference loop —
+// integer addition is associative and commutative, so lane order cannot
+// change the sum. The BlockRoutingOracle and codec tests pin this down at
+// every dispatch level, both key widths, and remainder-strip row counts.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "table/wide_key_codec.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define WFBN_AVX2_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace wfbn::simd_detail {
+
+inline constexpr std::size_t kRowTile = 32;  ///< rows (keys) per SoA tile
+inline constexpr std::size_t kVarTile = 64;  ///< variables transposed per pass
+
+/// Transposes variables [j0, j0+jn) of a [t × n] row-major sub-strip into
+/// per-variable lanes: lanes[jj * kRowTile + i] = rows[i * n + j0 + jj].
+/// Reads the strip sequentially; the strided byte stores land in an
+/// L1-resident buffer (kVarTile * kRowTile = 2 KB).
+inline void transpose_tile(const State* rows, std::size_t n, std::size_t j0,
+                           std::size_t jn, std::size_t t,
+                           State* lanes) noexcept {
+  for (std::size_t i = 0; i < t; ++i) {
+    const State* row = rows + i * n + j0;
+    State* col = lanes + i;
+    for (std::size_t jj = 0; jj < jn; ++jj) col[jj * kRowTile] = row[jj];
+  }
+}
+
+/// Portable SoA tile: any t <= kRowTile (the remainder-strip kernel, and the
+/// whole vectorized path on non-x86 builds). The i-loop is the
+/// auto-vectorizable multiply-add across lanes.
+inline void encode_tile_lanes(const State* rows, std::size_t n,
+                              const std::uint64_t* strides, std::size_t t,
+                              std::uint64_t* out) noexcept {
+  std::uint64_t acc[kRowTile] = {};
+  State lanes[kVarTile * kRowTile];
+  for (std::size_t j0 = 0; j0 < n; j0 += kVarTile) {
+    const std::size_t jn = std::min(kVarTile, n - j0);
+    transpose_tile(rows, n, j0, jn, t, lanes);
+    for (std::size_t jj = 0; jj < jn; ++jj) {
+      const std::uint64_t s = strides[j0 + jj];
+      const State* lane = lanes + jj * kRowTile;
+      for (std::size_t i = 0; i < t; ++i) {
+        acc[i] += static_cast<std::uint64_t>(lane[i]) * s;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < t; ++i) out[i] = acc[i];
+}
+
+/// Portable SoA tile, two-word keys: one accumulator set per word, the
+/// variable's word (codec packing) selecting the target set.
+inline void encode_tile_lanes_wide(const State* rows, std::size_t n,
+                                   const std::uint64_t* strides,
+                                   const unsigned* words, std::size_t t,
+                                   WideKey* out) noexcept {
+  std::uint64_t acc_lo[kRowTile] = {};
+  std::uint64_t acc_hi[kRowTile] = {};
+  State lanes[kVarTile * kRowTile];
+  for (std::size_t j0 = 0; j0 < n; j0 += kVarTile) {
+    const std::size_t jn = std::min(kVarTile, n - j0);
+    transpose_tile(rows, n, j0, jn, t, lanes);
+    for (std::size_t jj = 0; jj < jn; ++jj) {
+      const std::uint64_t s = strides[j0 + jj];
+      const State* lane = lanes + jj * kRowTile;
+      std::uint64_t* acc = words[j0 + jj] == 0 ? acc_lo : acc_hi;
+      for (std::size_t i = 0; i < t; ++i) {
+        acc[i] += static_cast<std::uint64_t>(lane[i]) * s;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < t; ++i) out[i] = WideKey{acc_lo[i], acc_hi[i]};
+}
+
+#ifdef WFBN_AVX2_KERNELS
+
+/// Zero-extends 4 lane bytes into the 4 uint64 lanes of a vector.
+__attribute__((target("avx2"))) inline __m256i load4_lane_bytes(
+    const State* p) noexcept {
+  std::uint32_t quad;
+  std::memcpy(&quad, p, sizeof quad);
+  return _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(quad)));
+}
+
+/// acc += lane * stride for 4 rows, stride split into 32-bit halves (see the
+/// header comment for the exactness argument).
+__attribute__((target("avx2"))) inline __m256i mul_add_stride(
+    __m256i acc, __m256i lane4, std::uint64_t stride) noexcept {
+  const auto lo = static_cast<std::uint32_t>(stride);
+  const auto hi = static_cast<std::uint32_t>(stride >> 32);
+  const __m256i vlo = _mm256_set1_epi64x(static_cast<long long>(lo));
+  __m256i term = _mm256_mul_epu32(lane4, vlo);
+  if (hi != 0) {
+    const __m256i vhi = _mm256_set1_epi64x(static_cast<long long>(hi));
+    term = _mm256_add_epi64(
+        term, _mm256_slli_epi64(_mm256_mul_epu32(lane4, vhi), 32));
+  }
+  return _mm256_add_epi64(acc, term);
+}
+
+/// AVX2 SoA tile, full kRowTile rows: 8 vector accumulators of 4 keys each.
+__attribute__((target("avx2"))) inline void encode_tile_avx2(
+    const State* rows, std::size_t n, const std::uint64_t* strides,
+    std::uint64_t* out) noexcept {
+  constexpr std::size_t kVecs = kRowTile / 4;
+  __m256i acc[kVecs];
+  for (std::size_t v = 0; v < kVecs; ++v) acc[v] = _mm256_setzero_si256();
+  State lanes[kVarTile * kRowTile];
+  for (std::size_t j0 = 0; j0 < n; j0 += kVarTile) {
+    const std::size_t jn = std::min(kVarTile, n - j0);
+    transpose_tile(rows, n, j0, jn, kRowTile, lanes);
+    for (std::size_t jj = 0; jj < jn; ++jj) {
+      const std::uint64_t s = strides[j0 + jj];
+      const State* lane = lanes + jj * kRowTile;
+      for (std::size_t v = 0; v < kVecs; ++v) {
+        acc[v] = mul_add_stride(acc[v], load4_lane_bytes(lane + v * 4), s);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < kVecs; ++v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + v * 4), acc[v]);
+  }
+}
+
+/// AVX2 SoA tile, two-word keys: two accumulator banks, interleaved into
+/// (lo, hi) pairs at the end.
+__attribute__((target("avx2"))) inline void encode_tile_avx2_wide(
+    const State* rows, std::size_t n, const std::uint64_t* strides,
+    const unsigned* words, WideKey* out) noexcept {
+  constexpr std::size_t kVecs = kRowTile / 4;
+  __m256i acc_lo[kVecs];
+  __m256i acc_hi[kVecs];
+  for (std::size_t v = 0; v < kVecs; ++v) {
+    acc_lo[v] = _mm256_setzero_si256();
+    acc_hi[v] = _mm256_setzero_si256();
+  }
+  State lanes[kVarTile * kRowTile];
+  for (std::size_t j0 = 0; j0 < n; j0 += kVarTile) {
+    const std::size_t jn = std::min(kVarTile, n - j0);
+    transpose_tile(rows, n, j0, jn, kRowTile, lanes);
+    for (std::size_t jj = 0; jj < jn; ++jj) {
+      const std::uint64_t s = strides[j0 + jj];
+      const State* lane = lanes + jj * kRowTile;
+      __m256i* acc = words[j0 + jj] == 0 ? acc_lo : acc_hi;
+      for (std::size_t v = 0; v < kVecs; ++v) {
+        acc[v] = mul_add_stride(acc[v], load4_lane_bytes(lane + v * 4), s);
+      }
+    }
+  }
+  alignas(32) std::uint64_t lo[kRowTile];
+  alignas(32) std::uint64_t hi[kRowTile];
+  for (std::size_t v = 0; v < kVecs; ++v) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lo + v * 4), acc_lo[v]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(hi + v * 4), acc_hi[v]);
+  }
+  for (std::size_t i = 0; i < kRowTile; ++i) out[i] = WideKey{lo[i], hi[i]};
+}
+
+#endif  // WFBN_AVX2_KERNELS
+
+}  // namespace wfbn::simd_detail

@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "table/simd_kernels.hpp"
 #include "util/error.hpp"
 
 namespace wfbn {
@@ -74,21 +75,43 @@ WideKey WideKeyCodec::encode_checked(std::span<const State> states) const {
 }
 
 void WideKeyCodec::encode_block(const State* rows, std::size_t row_count,
-                                WideKey* out) const noexcept {
+                                WideKey* out,
+                                simd::Level level) const noexcept {
   const std::size_t n = cardinalities_.size();
-  for (std::size_t i = 0; i < row_count; ++i) {
-    const State* row = rows + i * n;
-    WideKey key;
-    for (std::size_t j = 0; j < n; ++j) {
-      const std::uint64_t term =
-          static_cast<std::uint64_t>(row[j]) * strides_[j];
-      if (words_[j] == 0) {
-        key.lo += term;
-      } else {
-        key.hi += term;
+  if (level == simd::Level::kScalar) {
+    for (std::size_t i = 0; i < row_count; ++i) {
+      const State* row = rows + i * n;
+      WideKey key;
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::uint64_t term =
+            static_cast<std::uint64_t>(row[j]) * strides_[j];
+        if (words_[j] == 0) {
+          key.lo += term;
+        } else {
+          key.hi += term;
+        }
       }
+      out[i] = key;
     }
-    out[i] = key;
+    return;
+  }
+  const std::uint64_t* strides = strides_.data();
+  const unsigned* words = words_.data();
+  std::size_t i = 0;
+#ifdef WFBN_AVX2_KERNELS
+  for (; i + simd_detail::kRowTile <= row_count; i += simd_detail::kRowTile) {
+    simd_detail::encode_tile_avx2_wide(rows + i * n, n, strides, words,
+                                       out + i);
+  }
+#else
+  for (; i + simd_detail::kRowTile <= row_count; i += simd_detail::kRowTile) {
+    simd_detail::encode_tile_lanes_wide(rows + i * n, n, strides, words,
+                                        simd_detail::kRowTile, out + i);
+  }
+#endif
+  if (i < row_count) {
+    simd_detail::encode_tile_lanes_wide(rows + i * n, n, strides, words,
+                                        row_count - i, out + i);
   }
 }
 

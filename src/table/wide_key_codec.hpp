@@ -69,9 +69,10 @@ class WideKeyCodec {
   [[nodiscard]] WideKey encode_checked(std::span<const State> states) const;
 
   /// Encodes a contiguous row-major strip of `row_count` state strings into
-  /// `out` (see KeyCodec::encode_block — same contract, two-word keys).
-  void encode_block(const State* rows, std::size_t row_count,
-                    WideKey* out) const noexcept;
+  /// `out` (see KeyCodec::encode_block — same contract and dispatch levels,
+  /// two-word keys: the SoA kernels keep one accumulator bank per word).
+  void encode_block(const State* rows, std::size_t row_count, WideKey* out,
+                    simd::Level level = simd::Level::kScalar) const noexcept;
   [[nodiscard]] State decode(WideKey key, std::size_t j) const noexcept {
     const std::uint64_t word = words_[j] == 0 ? key.lo : key.hi;
     return static_cast<State>((word / strides_[j]) % cardinalities_[j]);

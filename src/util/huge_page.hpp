@@ -1,0 +1,165 @@
+// Optionally huge-page-backed flat array — the storage of the open-addressing
+// count tables.
+//
+// The builders' stage-2 probe stream is uniformly random over a table that is
+// far larger than cache, so on the paper's workloads nearly every probe costs
+// a TLB walk on top of the cache miss. Backing the entry array with 2 MB
+// pages (anonymous mmap + madvise(MADV_HUGEPAGE)) cuts the walk frequency by
+// ~512×. The advice is strictly best-effort:
+//
+//   - allocations below one huge page keep normal heap backing (honoring the
+//     request would waste most of a 2 MB page per partition);
+//   - a refused mmap or madvise (THP disabled, fragmentation, the
+//     table.huge_page fault point) falls back to normal pages — never an
+//     error, surfaced through backing() so BuildStats can report it.
+//
+// The array owns trivially copyable elements only and value-initializes them
+// (mmap zero-fill is NOT assumed: the tables' empty sentinel is all-ones).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define WFBN_HAVE_MMAP 1
+#endif
+
+#include "util/fault_injection.hpp"
+
+namespace wfbn {
+
+/// How a PageArray's memory ended up backed.
+enum class PageBacking : int {
+  kHeap = 0,        ///< normal pages, huge backing never requested (or the
+                    ///< allocation is smaller than one huge page)
+  kHugeAdvised,     ///< mmap'd and MADV_HUGEPAGE accepted
+  kHugeFallback,    ///< requested for a huge-page-sized allocation, refused —
+                    ///< normal pages serve instead (degradation, not error)
+};
+
+template <typename T>
+class PageArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PageArray elements must be trivially copyable");
+
+ public:
+  static constexpr std::size_t kHugePageBytes = 2u << 20;
+
+  PageArray() = default;
+
+  explicit PageArray(std::size_t count, bool huge_pages = false) {
+    allocate(count, huge_pages);
+    for (std::size_t i = 0; i < count_; ++i) new (data_ + i) T{};
+  }
+
+  PageArray(const PageArray& other) {
+    allocate(other.count_, other.huge_requested_);
+    if (count_ != 0) std::memcpy(data_, other.data_, count_ * sizeof(T));
+  }
+
+  PageArray& operator=(const PageArray& other) {
+    if (this != &other) {
+      PageArray copy(other);
+      swap(copy);
+    }
+    return *this;
+  }
+
+  PageArray(PageArray&& other) noexcept { swap(other); }
+
+  PageArray& operator=(PageArray&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~PageArray() { release(); }
+
+  void swap(PageArray& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(count_, other.count_);
+    std::swap(mapped_bytes_, other.mapped_bytes_);
+    std::swap(backing_, other.backing_);
+    std::swap(huge_requested_, other.huge_requested_);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + count_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + count_; }
+
+  [[nodiscard]] PageBacking backing() const noexcept { return backing_; }
+  [[nodiscard]] bool huge_requested() const noexcept { return huge_requested_; }
+
+ private:
+  void allocate(std::size_t count, bool huge_pages) {
+    count_ = count;
+    huge_requested_ = huge_pages;
+    if (count == 0) {
+      data_ = nullptr;
+      return;
+    }
+    const std::size_t bytes = count * sizeof(T);
+#ifdef WFBN_HAVE_MMAP
+    if (huge_pages && bytes >= kHugePageBytes) {
+      // The table.huge_page fault point models a refused mmap/madvise: the
+      // allocation degrades to normal heap pages below, never throws.
+      const bool injected_refusal =
+          fault::enabled() && fault::should_fail(fault::Point::kTableHugePage);
+      if (!injected_refusal) {
+        const std::size_t rounded =
+            (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+        void* mapped = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                              MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (mapped != MAP_FAILED) {
+          if (::madvise(mapped, rounded, MADV_HUGEPAGE) == 0) {
+            data_ = static_cast<T*>(mapped);
+            mapped_bytes_ = rounded;
+            backing_ = PageBacking::kHugeAdvised;
+            return;
+          }
+          ::munmap(mapped, rounded);
+        }
+      }
+      backing_ = PageBacking::kHugeFallback;
+    }
+#endif
+    data_ = static_cast<T*>(::operator new(bytes));
+    if (backing_ != PageBacking::kHugeFallback) backing_ = PageBacking::kHeap;
+  }
+
+  void release() noexcept {
+    if (data_ == nullptr) return;
+#ifdef WFBN_HAVE_MMAP
+    if (mapped_bytes_ != 0) {
+      ::munmap(data_, mapped_bytes_);
+      data_ = nullptr;
+      mapped_bytes_ = 0;
+      return;
+    }
+#endif
+    ::operator delete(data_);
+    data_ = nullptr;
+  }
+
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t mapped_bytes_ = 0;  // non-zero iff mmap-backed
+  PageBacking backing_ = PageBacking::kHeap;
+  bool huge_requested_ = false;
+};
+
+}  // namespace wfbn

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "table/key_codec.hpp"
+#include "table/wide_key_codec.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace wfbn {
 namespace {
@@ -211,6 +213,98 @@ INSTANTIATE_TEST_SUITE_P(
       return "n" + std::to_string(std::get<0>(param_info.param)) + "_r" +
              std::to_string(std::get<1>(param_info.param));
     });
+
+// ---- encode_block dispatch levels (the SIMD hot path).
+//
+// Every level must compute bit-identical keys to per-row encode(), at every
+// strip shape — including row counts off the kRowTile=32 grid (1, 31, 33)
+// and strips large enough to cross many tiles (4097).
+
+constexpr std::size_t kStripSweep[] = {1, 31, 32, 33, 100, 4097};
+
+std::vector<State> random_rows(Xoshiro256& rng,
+                               const std::vector<std::uint32_t>& cards,
+                               std::size_t rows) {
+  std::vector<State> data(rows * cards.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cards.size(); ++j) {
+      data[i * cards.size() + j] = static_cast<State>(rng.bounded(cards[j]));
+    }
+  }
+  return data;
+}
+
+TEST(KeyCodecBlock, AllDispatchLevelsMatchPerRowEncode) {
+  Xoshiro256 rng(99);
+  // Mixed radices with multi-byte strides so the AVX2 hi-word multiply runs.
+  const std::vector<std::uint32_t> cards = {2, 5, 3, 2, 7, 4, 2,
+                                            3, 6, 2, 3, 2, 5, 4};
+  const KeyCodec codec(cards);
+  const std::size_t n = cards.size();
+  for (const std::size_t rows : kStripSweep) {
+    const std::vector<State> data = random_rows(rng, cards, rows);
+    std::vector<Key> expected(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      expected[i] = codec.encode({data.data() + i * n, n});
+    }
+    for (const simd::Level level :
+         {simd::Level::kScalar, simd::detected()}) {
+      std::vector<Key> got(rows, ~0ULL);
+      codec.encode_block(data.data(), rows, got.data(), level);
+      EXPECT_EQ(got, expected)
+          << "rows=" << rows << " level=" << simd::level_name(level);
+    }
+  }
+}
+
+TEST(KeyCodecBlock, ZeroRowStripIsANoOp) {
+  const KeyCodec codec = KeyCodec::uniform(8, 3);
+  Key sentinel = 12345;
+  codec.encode_block(nullptr, 0, &sentinel, simd::detected());
+  EXPECT_EQ(sentinel, 12345u);
+}
+
+TEST(WideKeyCodecBlock, AllDispatchLevelsMatchPerRowEncode) {
+  Xoshiro256 rng(101);
+  // 80 binary variables: spills into the hi word, so both accumulator banks
+  // and the word-selection path are exercised.
+  const std::vector<std::uint32_t> cards(80, 2);
+  const WideKeyCodec codec(cards);
+  const std::size_t n = cards.size();
+  for (const std::size_t rows : kStripSweep) {
+    const std::vector<State> data = random_rows(rng, cards, rows);
+    std::vector<WideKey> expected(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      expected[i] = codec.encode({data.data() + i * n, n});
+    }
+    for (const simd::Level level :
+         {simd::Level::kScalar, simd::detected()}) {
+      std::vector<WideKey> got(rows);
+      codec.encode_block(data.data(), rows, got.data(), level);
+      EXPECT_EQ(got, expected)
+          << "rows=" << rows << " level=" << simd::level_name(level);
+    }
+  }
+}
+
+TEST(KeyCodecBlock, ForcedDowngradeCapsResolutionAtScalar) {
+  simd::ScopedForceLevel force(simd::Level::kScalar);
+  EXPECT_EQ(simd::detected(), simd::Level::kScalar);
+  EXPECT_EQ(simd::resolve(simd::Policy::kAuto), simd::Level::kScalar);
+  // An explicit AVX2 request degrades silently instead of erroring.
+  EXPECT_EQ(simd::resolve(simd::Policy::kAvx2), simd::Level::kScalar);
+
+  Xoshiro256 rng(7);
+  const std::vector<std::uint32_t> cards = {3, 2, 4, 5, 2, 3};
+  const KeyCodec codec(cards);
+  const std::vector<State> data = random_rows(rng, cards, 65);
+  std::vector<Key> scalar(65);
+  std::vector<Key> resolved(65);
+  codec.encode_block(data.data(), 65, scalar.data(), simd::Level::kScalar);
+  codec.encode_block(data.data(), 65, resolved.data(),
+                     simd::resolve(simd::Policy::kAvx2));
+  EXPECT_EQ(resolved, scalar);
+}
 
 }  // namespace
 }  // namespace wfbn

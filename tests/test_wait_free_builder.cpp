@@ -11,6 +11,7 @@
 #include "core/wait_free_builder.hpp"
 #include "data/generators.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace wfbn {
 namespace {
@@ -309,6 +310,9 @@ WaitFreeBuilderOptions scalar_options(std::size_t threads, bool pipelined) {
   options.route_buffer_keys = 1;
   options.prefetch_distance = 0;
   options.encode_block_rows = 1;
+  options.simd = simd::Policy::kScalar;
+  options.probe_cursors = 0;
+  options.huge_pages = false;
   return options;
 }
 
@@ -356,6 +360,81 @@ TYPED_TEST(BlockRoutingOracle, BatchedBuildIsByteIdenticalToScalarBuild) {
       EXPECT_LE(stats.total_bulk_pops(), pops);
     }
   }
+}
+
+TYPED_TEST(BlockRoutingOracle, SimdProbeHugePageSweepIsByteIdenticalToScalar) {
+  const Dataset data = generate_uniform(30000, 12, 3, 25);
+  for (const bool pipelined : {false, true}) {
+    BasicWaitFreeBuilder<TypeParam> scalar(scalar_options(4, pipelined));
+    const auto scalar_table = scalar.build(data);
+
+    // Every dispatch policy (kAvx2 degrades gracefully on hosts without it)
+    // crossed with in-order vs. multi-cursor draining and both page
+    // backings. 31 rows per strip keeps a remainder sub-tile in play on
+    // every strip.
+    for (const simd::Policy policy :
+         {simd::Policy::kScalar, simd::Policy::kAuto, simd::Policy::kAvx2}) {
+      for (const std::size_t cursors : {0u, 16u}) {
+        for (const bool huge : {false, true}) {
+          WaitFreeBuilderOptions options = scalar_options(4, pipelined);
+          options.route_buffer_keys = 64;
+          options.prefetch_distance = 4;
+          options.encode_block_rows = 31;
+          options.simd = policy;
+          options.probe_cursors = cursors;
+          options.huge_pages = huge;
+          BasicWaitFreeBuilder<TypeParam> swept(options);
+          const auto swept_table = swept.build(data);
+          EXPECT_EQ(snapshot_of(swept_table), snapshot_of(scalar_table))
+              << "policy=" << simd::policy_name(policy)
+              << " cursors=" << cursors << " huge=" << huge
+              << " pipelined=" << pipelined;
+          EXPECT_LE(static_cast<int>(swept.stats().simd_level),
+                    static_cast<int>(simd::detected()));
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(BlockRoutingOracle, ForcedSimdDowngradeBuildsIdenticalTables) {
+  const Dataset data = generate_uniform(20000, 10, 3, 26);
+  WaitFreeBuilderOptions options = scalar_options(4, false);
+  options.encode_block_rows = 32;
+  options.simd = simd::Policy::kAvx2;
+
+  BasicWaitFreeBuilder<TypeParam> native(options);
+  const auto native_table = native.build(data);
+
+  simd::ScopedForceLevel force(simd::Level::kScalar);
+  BasicWaitFreeBuilder<TypeParam> forced(options);
+  const auto forced_table = forced.build(data);
+  // The downgrade is silent, reported, and bit-exact.
+  EXPECT_EQ(forced.stats().simd_level, simd::Level::kScalar);
+  EXPECT_EQ(snapshot_of(forced_table), snapshot_of(native_table));
+}
+
+TEST(WaitFreeBuilder, HugePageOutcomesAreReportedInBuildStats) {
+  const Dataset data = generate_uniform(10000, 12, 2, 27);
+  WaitFreeBuilderOptions options;
+  options.threads = 2;
+  // Pre-size each partition past one huge page (16-byte entries) so the
+  // request is eligible everywhere.
+  options.expected_distinct_keys = 400000;
+
+  options.huge_pages = false;
+  WaitFreeBuilder plain(options);
+  (void)plain.build(data);
+  EXPECT_EQ(plain.stats().huge_page_tables, 0u);
+  EXPECT_EQ(plain.stats().huge_page_fallbacks, 0u);
+
+  options.huge_pages = true;
+  WaitFreeBuilder huge(options);
+  (void)huge.build(data);
+  // Advice accepted or refused is host policy; either way every eligible
+  // partition must be accounted for and nothing may throw.
+  EXPECT_EQ(huge.stats().huge_page_tables + huge.stats().huge_page_fallbacks,
+            2u);
 }
 
 TYPED_TEST(BlockRoutingOracle, BatchedAppendIsByteIdenticalToScalarAppend) {
