@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Run clang-tidy (config: .clang-tidy at the repo root) over the
-# concurrency-critical directories — src/concurrent and src/serve — plus any
-# extra files/directories passed as arguments.
+# concurrency-critical directories — src/concurrent, src/serve, src/net, and
+# src/learn — plus any extra files/directories passed as arguments.
 #
 #   scripts/clang_tidy.sh                 # the default gate CI runs
 #   scripts/clang_tidy.sh src/analysis    # widen the net
@@ -32,14 +32,14 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
 # directories. Headers in those directories are covered transitively via
 # HeaderFilterRegex in .clang-tidy.
 TARGETS=()
-for arg in "${@:-src/concurrent src/serve}"; do
+for arg in "${@:-src/concurrent src/serve src/net src/learn}"; do
   while IFS= read -r f; do
     TARGETS+=("$f")
   done < <(find $arg -name '*.cpp' | sort)
 done
 
 if [ "${#TARGETS[@]}" -eq 0 ]; then
-  echo "error: no .cpp files found for: ${*:-src/concurrent src/serve}" >&2
+  echo "error: no .cpp files found for: ${*:-src/concurrent src/serve src/net src/learn}" >&2
   exit 2
 fi
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build and run wfbn-lint over the tree. Exit codes: 0 clean, 1 findings,
+# 2 usage/build/IO error. Pass --fix-docs to regenerate the generated doc
+# blocks (docs/ALGORITHMS.md atomics audit, docs/ROBUSTNESS.md fault points)
+# instead of just checking them; any other arguments are forwarded too.
+#
+#   scripts/lint.sh                # check, human output
+#   scripts/lint.sh --json         # check, machine output (CI artifact)
+#   scripts/lint.sh --fix-docs     # repair doc drift, then re-check
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${WFBN_LINT_BUILD_DIR:-build-lint}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DWFBN_BUILD_TESTS=OFF -DWFBN_BUILD_BENCH=OFF -DWFBN_BUILD_EXAMPLES=OFF \
+  > /dev/null || exit 2
+cmake --build "$BUILD_DIR" --target wfbn_lint -j "$(nproc)" > /dev/null || exit 2
+
+"$BUILD_DIR/tools/wfbn_lint/wfbn_lint" --root . "$@"

@@ -34,6 +34,7 @@ class BasicSpinBarrier {
 
   /// Blocks until all participants have arrived. Safe to reuse for any number
   /// of phases (sense reversal).
+  // wfbn-lint: wait-free-begin
   void arrive_and_wait() noexcept(Policy::kNoexceptOps) {
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -49,6 +50,7 @@ class BasicSpinBarrier {
       }
     }
   }
+  // wfbn-lint: wait-free-end
 
   [[nodiscard]] std::size_t participants() const noexcept { return participants_; }
 

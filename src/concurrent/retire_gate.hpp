@@ -46,6 +46,7 @@ class BasicRetireGate {
   /// Marks one producer finished. The release half publishes every write the
   /// producer made before retiring to any thread that subsequently observes
   /// the incremented count via all_retired()/retired().
+  // wfbn-lint: wait-free-begin
   void retire() noexcept(Policy::kNoexceptOps) {
     done_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -83,6 +84,7 @@ class BasicRetireGate {
     abort();
     if (!already_retired) retire();
   }
+  // wfbn-lint: wait-free-end
 
  private:
   std::size_t producers_;

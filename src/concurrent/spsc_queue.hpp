@@ -72,11 +72,13 @@ class SpscQueue {
   /// Producer side. Never blocks; allocates a fresh chunk when the current
   /// one fills up. If the allocation throws (OOM or an injected fault), the
   /// queue is untouched: the item is not enqueued and both ends stay valid.
+  // wfbn-lint: wait-free-begin
   void push(const T& item) {
     Chunk* chunk = tail_chunk_;
     const std::size_t fill = chunk->count.load(std::memory_order_relaxed);
     if (fill == kChunkCapacity) {
       WFBN_FAULT_POINT(fault::Point::kSpscChunkAlloc);
+      // wfbn-lint: allow(wait-free-region) amortized refill: one allocation per kChunkCapacity pushes
       auto* fresh = new Chunk;
       fresh->items[0] = item;
       fresh->count.store(1, std::memory_order_relaxed);
@@ -91,6 +93,7 @@ class SpscQueue {
     chunk->count.store(fill + 1, std::memory_order_release);
     ++pushed_;
   }
+  // wfbn-lint: wait-free-end
 
   /// Bulk producer: copies `count` items from `items` and publishes one
   /// release store per touched chunk instead of one per item — the
@@ -99,12 +102,14 @@ class SpscQueue {
   /// one per kChunkCapacity items). If an allocation throws mid-block (OOM
   /// or an injected fault), the prefix already published stays enqueued and
   /// both ends stay valid; the remainder of the block is not enqueued.
+  // wfbn-lint: wait-free-begin
   void push_block(const T* items, std::size_t count) {
     Chunk* chunk = tail_chunk_;
     std::size_t fill = chunk->count.load(std::memory_order_relaxed);
     while (count != 0) {
       if (fill == kChunkCapacity) {
         WFBN_FAULT_POINT(fault::Point::kSpscChunkAlloc);
+        // wfbn-lint: allow(wait-free-region) amortized refill: one allocation per kChunkCapacity items
         auto* fresh = new Chunk;
         const std::size_t take = std::min(count, kChunkCapacity);
         std::copy_n(items, take, fresh->items);
@@ -129,10 +134,12 @@ class SpscQueue {
       count -= take;
     }
   }
+  // wfbn-lint: wait-free-end
 
   /// Consumer side. Returns false when no item is currently available (the
   /// producer may still push more later — emptiness is transient unless the
   /// producer is known to be done, e.g. after the construction barrier).
+  // wfbn-lint: wait-free-begin
   bool try_pop(T& out) {
     Chunk* chunk = head_chunk_;
     for (;;) {
@@ -149,6 +156,7 @@ class SpscQueue {
       chunk = next;
     }
   }
+  // wfbn-lint: wait-free-end
 
   /// Bulk consumer: hands every currently published span to
   /// fn(const Data<T>* items, std::size_t count) — with the default policy
@@ -159,6 +167,7 @@ class SpscQueue {
   /// caveat as try_pop). The span is only marked consumed after fn returns:
   /// if fn throws, the items of the throwing call are redelivered on the
   /// next consume()/try_pop().
+  // wfbn-lint: wait-free-begin
   template <typename Fn>
   std::size_t consume(Fn&& fn) {
     std::size_t total = 0;
@@ -179,12 +188,14 @@ class SpscQueue {
       chunk = next;
     }
   }
+  // wfbn-lint: wait-free-end
 
   /// Total number of items ever pushed. Producer-thread view; used by the
   /// builder instrumentation after the barrier.
   [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
 
   /// True iff a try_pop() right now would fail. Consumer-thread view.
+  // wfbn-lint: wait-free-begin
   [[nodiscard]] bool empty() const noexcept(Policy::kNoexceptOps) {
     Chunk* chunk = head_chunk_;
     std::size_t index = read_index_;
@@ -196,6 +207,7 @@ class SpscQueue {
       index = 0;
     }
   }
+  // wfbn-lint: wait-free-end
 
   static constexpr std::size_t chunk_capacity() noexcept { return kChunkCapacity; }
 

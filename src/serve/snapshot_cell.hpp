@@ -57,6 +57,7 @@ class BasicPtrCell {
 
   /// Wait-free reader side: pins and returns the currently published
   /// snapshot. Safe from any thread, any number of concurrent readers.
+  // wfbn-lint: wait-free-begin
   [[nodiscard]] Ptr load() const noexcept(Policy::kNoexceptOps) {
     const std::size_t vi = version_index_.load(std::memory_order_seq_cst);
     readers_[vi].count.fetch_add(1, std::memory_order_seq_cst);
@@ -65,6 +66,7 @@ class BasicPtrCell {
     readers_[vi].count.fetch_sub(1, std::memory_order_release);
     return result;
   }
+  // wfbn-lint: wait-free-end
 
   /// Publishes `next`. SINGLE WRITER: callers must serialize store() calls
   /// externally (TableStore holds its ingest mutex across this). May wait

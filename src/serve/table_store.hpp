@@ -84,6 +84,7 @@ class BasicTableStore {
 
  private:
   BasicSnapshotCell<K, Policy> current_;
+  // wfbn-lint: allow(policy-purity) writer-side only; wfcheck models the reader/writer interplay via current_
   std::mutex ingest_mutex_;              ///< serializes writers only
   BasicWaitFreeBuilder<K> builder_;      ///< guarded by ingest_mutex_
   typename Policy::template Atomic<std::uint64_t> publishes_{1};

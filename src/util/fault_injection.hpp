@@ -130,10 +130,13 @@ std::string arm_random_net_schedule(std::uint64_t seed);
 /// enabled state on destruction.
 class ScopedFaultInjection {
  public:
-  ScopedFaultInjection() : was_enabled_(g_enabled.exchange(true)) { reset(); }
+  ScopedFaultInjection()
+      : was_enabled_(g_enabled.exchange(true, std::memory_order_seq_cst)) {
+    reset();
+  }
   ~ScopedFaultInjection() {
     reset();
-    g_enabled.store(was_enabled_);
+    g_enabled.store(was_enabled_, std::memory_order_seq_cst);
   }
   ScopedFaultInjection(const ScopedFaultInjection&) = delete;
   ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;

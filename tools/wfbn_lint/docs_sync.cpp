@@ -1,0 +1,254 @@
+// Parsing and regeneration of the generated doc blocks: the atomics-audit
+// table in docs/ALGORITHMS.md and the fault-point table in docs/ROBUSTNESS.md.
+// Both live between HTML-comment markers; --fix-docs rewrites only the block
+// interior and preserves the hand-written prose columns (Invariant / Fires)
+// by key, so regeneration never loses documentation.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wfbn_lint {
+
+namespace {
+
+[[nodiscard]] std::string trim(std::string s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.erase(s.begin());
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.pop_back();
+  }
+  return s;
+}
+
+[[nodiscard]] std::string strip_backticks(std::string s) {
+  if (s.size() >= 2 && s.front() == '`' && s.back() == '`') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+/// Splits a markdown table row into trimmed cells. Returns empty for
+/// non-row lines and separator rows (|---|---|).
+[[nodiscard]] std::vector<std::string> split_row(const std::string& line) {
+  const std::string trimmed = trim(line);
+  if (trimmed.size() < 2 || trimmed.front() != '|') return {};
+  std::vector<std::string> cells;
+  std::string cell;
+  for (std::size_t i = 1; i < trimmed.size(); ++i) {
+    if (trimmed[i] == '|') {
+      cells.push_back(trim(cell));
+      cell.clear();
+    } else {
+      cell.push_back(trimmed[i]);
+    }
+  }
+  if (!trim(cell).empty()) cells.push_back(trim(cell));
+  const bool separator = std::all_of(cells.begin(), cells.end(), [](const std::string& c) {
+    return !c.empty() && c.find_first_not_of("-: ") == std::string::npos;
+  });
+  if (separator) return {};
+  return cells;
+}
+
+/// Splits text into lines, tolerating a missing trailing newline.
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+/// Locates the generated block; returns {begin_idx, end_idx} (0-based line
+/// indexes of the marker lines) or nullopt.
+[[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>> find_block(
+    const std::vector<std::string>& lines, const std::string& begin_marker,
+    const std::string& end_marker) {
+  std::size_t begin = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find(begin_marker) != std::string::npos) {
+      begin = i;
+      break;
+    }
+  }
+  if (begin == lines.size()) return std::nullopt;
+  for (std::size_t i = begin + 1; i < lines.size(); ++i) {
+    if (lines[i].find(end_marker) != std::string::npos) {
+      return std::make_pair(begin, i);
+    }
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] std::vector<int> parse_lines_cell(const std::string& cell) {
+  std::vector<int> out;
+  int value = 0;
+  bool in_number = false;
+  for (const char c : cell + ",") {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + (c - '0');
+      in_number = true;
+    } else {
+      if (in_number) out.push_back(value);
+      value = 0;
+      in_number = false;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string render_lines_cell(const std::vector<int>& lines) {
+  std::string out;
+  for (const int line : lines) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(line);
+  }
+  return out;
+}
+
+}  // namespace
+
+AuditDoc parse_audit_doc(const std::string& text, const std::string& rel_path) {
+  AuditDoc doc;
+  const std::vector<std::string> lines = split_lines(text);
+  const auto block = find_block(lines, kAuditBegin, kAuditEnd);
+  if (!block) {
+    doc.errors.push_back({Rule::kAuditSync, rel_path, 1,
+                          "missing generated atomics-audit block (markers `" +
+                              std::string(kAuditBegin) + "` ... end)"});
+    return doc;
+  }
+  doc.found = true;
+  bool header_seen = false;
+  for (std::size_t i = block->first + 1; i < block->second; ++i) {
+    const std::vector<std::string> cells = split_row(lines[i]);
+    if (cells.empty()) continue;
+    if (!header_seen) {  // the `| File | Object | ... |` header row
+      header_seen = true;
+      continue;
+    }
+    if (cells.size() != 6) {
+      doc.errors.push_back({Rule::kAuditSync, rel_path, static_cast<int>(i + 1),
+                            "audit row must have 6 cells (File, Object, Op, Ordering, Lines, Invariant), got " +
+                                std::to_string(cells.size())});
+      continue;
+    }
+    AuditRow row;
+    row.file = strip_backticks(cells[0]);
+    row.object = strip_backticks(cells[1]);
+    row.op = strip_backticks(cells[2]);
+    row.order = strip_backticks(cells[3]);
+    row.lines = parse_lines_cell(cells[4]);
+    row.invariant = cells[5];
+    row.doc_line = static_cast<int>(i + 1);
+    doc.rows.push_back(row);
+  }
+  return doc;
+}
+
+FaultDoc parse_fault_doc(const std::string& text, const std::string& rel_path) {
+  FaultDoc doc;
+  const std::vector<std::string> lines = split_lines(text);
+  const auto block = find_block(lines, kFaultBegin, kFaultEnd);
+  if (!block) {
+    doc.errors.push_back({Rule::kFaultSync, rel_path, 1,
+                          "missing generated fault-point block (markers `" +
+                              std::string(kFaultBegin) + "` ... end)"});
+    return doc;
+  }
+  doc.found = true;
+  bool header_seen = false;
+  for (std::size_t i = block->first + 1; i < block->second; ++i) {
+    const std::vector<std::string> cells = split_row(lines[i]);
+    if (cells.empty()) continue;
+    if (!header_seen) {
+      header_seen = true;
+      continue;
+    }
+    if (cells.size() != 3) {
+      doc.errors.push_back({Rule::kFaultSync, rel_path, static_cast<int>(i + 1),
+                            "fault-point row must have 3 cells (Point, Schedules, Fires), got " +
+                                std::to_string(cells.size())});
+      continue;
+    }
+    FaultDocRow row;
+    row.name = strip_backticks(cells[0]);
+    row.schedules = strip_backticks(cells[1]);
+    row.fires = cells[2];
+    row.doc_line = static_cast<int>(i + 1);
+    doc.rows.push_back(row);
+  }
+  return doc;
+}
+
+std::optional<std::string> replace_block(const std::string& text,
+                                         const std::string& begin_marker,
+                                         const std::string& end_marker,
+                                         const std::string& rows_markdown) {
+  const std::vector<std::string> lines = split_lines(text);
+  const auto block = find_block(lines, begin_marker, end_marker);
+  if (!block) return std::nullopt;
+  std::string out;
+  for (std::size_t i = 0; i <= block->first; ++i) out += lines[i] + "\n";
+  out += rows_markdown;
+  if (!rows_markdown.empty() && rows_markdown.back() != '\n') out += "\n";
+  for (std::size_t i = block->second; i < lines.size(); ++i) out += lines[i] + "\n";
+  return out;
+}
+
+std::string render_audit_block(const std::vector<AuditRow>& rows) {
+  std::vector<AuditRow> sorted = rows;
+  std::sort(sorted.begin(), sorted.end(), [](const AuditRow& a, const AuditRow& b) {
+    if (a.file != b.file) return a.file < b.file;
+    const int la = a.lines.empty() ? 0 : a.lines.front();
+    const int lb = b.lines.empty() ? 0 : b.lines.front();
+    if (la != lb) return la < lb;
+    if (a.object != b.object) return a.object < b.object;
+    return a.op < b.op;
+  });
+  std::ostringstream out;
+  out << "| File | Object | Op | Ordering | Lines | Invariant |\n";
+  out << "|---|---|---|---|---|---|\n";
+  for (const AuditRow& row : sorted) {
+    out << "| `" << row.file << "` | `" << row.object << "` | `" << row.op
+        << "` | `" << row.order << "` | " << render_lines_cell(row.lines)
+        << " | " << (row.invariant.empty() ? kInvariantPlaceholder : row.invariant)
+        << " |\n";
+  }
+  return out.str();
+}
+
+std::string schedules_of(const FaultPoint& point) {
+  if (point.in_random && point.in_net) return "random+net";
+  if (point.in_random) return "random";
+  if (point.in_net) return "net";
+  return "manual";
+}
+
+std::string render_fault_block(const std::vector<FaultPoint>& points,
+                               const std::vector<FaultDocRow>& old_rows) {
+  std::ostringstream out;
+  out << "| Point | Schedules | Fires |\n";
+  out << "|---|---|---|\n";
+  for (const FaultPoint& point : points) {
+    std::string fires = kFiresPlaceholder;
+    for (const FaultDocRow& row : old_rows) {
+      if (row.name == point.wire_name && !row.fires.empty()) {
+        fires = row.fires;
+        break;
+      }
+    }
+    out << "| `" << point.wire_name << "` | " << schedules_of(point) << " | "
+        << fires << " |\n";
+  }
+  return out.str();
+}
+
+}  // namespace wfbn_lint

@@ -1,0 +1,435 @@
+// Token-level extraction: atomic declarations, atomic operation sites,
+// policy-seam detection, operator RMWs, and the fault-point registry.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wfbn_lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when text[pos..] matches `token` on identifier boundaries.
+[[nodiscard]] bool word_at(const std::string& text, std::size_t pos,
+                           const std::string& token) {
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && is_ident(text[pos - 1])) return false;
+  const std::size_t end = pos + token.size();
+  if (end < text.size() && is_ident(text[end])) return false;
+  return true;
+}
+
+[[nodiscard]] std::size_t skip_spaces(const std::string& text, std::size_t pos) {
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  return pos;
+}
+
+/// Reads the identifier starting at `pos`; empty if none.
+[[nodiscard]] std::string ident_at(const std::string& text, std::size_t pos) {
+  std::string out;
+  while (pos < text.size() && is_ident(text[pos])) out.push_back(text[pos++]);
+  return out;
+}
+
+/// Balances `<...>` starting at the '<' at `pos`; returns the index one past
+/// the matching '>', or npos when unbalanced on this line.
+[[nodiscard]] std::size_t balance_angles(const std::string& text, std::size_t pos) {
+  int depth = 0;
+  for (; pos < text.size(); ++pos) {
+    if (text[pos] == '<') ++depth;
+    if (text[pos] == '>') {
+      --depth;
+      if (depth == 0) return pos + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// After an atomic type spelling ends at `pos`, reads the declared variable
+/// name across `* & const` qualifiers. Returns "" when the spelling is not a
+/// declaration (alias target, template argument, ...).
+[[nodiscard]] std::string declared_name(const std::string& line, std::size_t pos) {
+  for (;;) {
+    pos = skip_spaces(line, pos);
+    if (pos < line.size() && (line[pos] == '*' || line[pos] == '&')) {
+      ++pos;
+      continue;
+    }
+    if (word_at(line, pos, "const") || word_at(line, pos, "mutable")) {
+      pos += line[pos] == 'm' ? 7u : 5u;
+      continue;
+    }
+    break;
+  }
+  const std::string name = ident_at(line, pos);
+  if (name.empty()) return "";
+  const std::size_t after = skip_spaces(line, pos + name.size());
+  if (after >= line.size()) return name;  // declaration continues next line
+  switch (line[after]) {
+    case ';': case '{': case '=': case ',': case ')': case '[':
+      return name;
+    default:
+      return "";  // e.g. a function or alias, not a variable declaration
+  }
+}
+
+const char* const kOps[] = {
+    "compare_exchange_strong", "compare_exchange_weak", "exchange",
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "load", "store",
+};
+
+/// Captures a balanced argument list starting at the '(' at (line_idx, pos),
+/// spanning at most a handful of lines. Returns the argument text (without
+/// the outer parens) or nullopt when unbalanced.
+[[nodiscard]] std::optional<std::string> capture_args(const SourceFile& file,
+                                                      std::size_t line_idx,
+                                                      std::size_t pos) {
+  std::string args;
+  int depth = 0;
+  for (std::size_t l = line_idx; l < file.code.size() && l < line_idx + 12; ++l) {
+    const std::string& line = file.code[l];
+    for (std::size_t i = l == line_idx ? pos : 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;
+      }
+      if (c == ')') {
+        --depth;
+        if (depth == 0) return args;
+      }
+      if (depth >= 1) args.push_back(c);
+    }
+    args.push_back(' ');
+  }
+  return std::nullopt;
+}
+
+/// All std::memory_order_* suffixes mentioned in `args`, in order.
+[[nodiscard]] std::vector<std::string> orders_in(const std::string& args) {
+  std::vector<std::string> out;
+  const std::string needle = "memory_order_";
+  std::size_t pos = 0;
+  while ((pos = args.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    std::string suffix;
+    while (pos < args.size() &&
+           (std::islower(static_cast<unsigned char>(args[pos])) != 0 ||
+            args[pos] == '_')) {
+      suffix.push_back(args[pos++]);
+    }
+    if (!suffix.empty()) out.push_back(suffix);
+  }
+  return out;
+}
+
+/// Finds the function definition line containing `signature_token` and
+/// returns the [first, last] line range (0-based) of its brace-balanced
+/// body; nullopt when not found.
+[[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>> function_body(
+    const SourceFile& file, const std::string& signature_token) {
+  for (std::size_t l = 0; l < file.code.size(); ++l) {
+    const std::size_t pos = file.code[l].find(signature_token);
+    if (pos == std::string::npos) continue;
+    if (file.code[l].find(';') != std::string::npos) continue;  // a declaration
+    int depth = 0;
+    bool opened = false;
+    for (std::size_t b = l; b < file.code.size(); ++b) {
+      for (const char c : file.code[b]) {
+        if (c == '{') {
+          ++depth;
+          opened = true;
+        }
+        if (c == '}') --depth;
+      }
+      if (opened && depth == 0) return std::make_pair(l, b);
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// All `Point::kXyz` enum references inside a line range.
+[[nodiscard]] std::set<std::string> point_refs(const SourceFile& file,
+                                               std::size_t first, std::size_t last) {
+  std::set<std::string> out;
+  const std::string needle = "Point::";
+  for (std::size_t l = first; l <= last && l < file.code.size(); ++l) {
+    const std::string& line = file.code[l];
+    std::size_t pos = 0;
+    while ((pos = line.find(needle, pos)) != std::string::npos) {
+      pos += needle.size();
+      const std::string name = ident_at(line, pos);
+      if (!name.empty()) out.insert(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::set<std::string> atomic_names(const SourceFile& file) {
+  std::set<std::string> names;
+  for (const std::string& line : file.code) {
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      std::size_t type_end = std::string::npos;
+      if (word_at(line, pos, "std") &&
+          line.compare(pos, 11, "std::atomic") == 0 &&
+          pos + 11 < line.size() && line[pos + 11] == '<') {
+        type_end = balance_angles(line, pos + 11);
+      } else if (word_at(line, pos, "Atomic") && pos + 6 < line.size() &&
+                 line[pos + 6] == '<') {
+        type_end = balance_angles(line, pos + 6);
+      }
+      if (type_end == std::string::npos) {
+        ++pos;
+        continue;
+      }
+      const std::string name = declared_name(line, type_end);
+      if (!name.empty()) names.insert(name);
+      pos = type_end;
+    }
+  }
+  return names;
+}
+
+bool is_policy_seam(const SourceFile& file) {
+  for (const std::string& line : file.code) {
+    if (line.find("::template Atomic<") != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::vector<AtomicSite> extract_sites(const SourceFile& file,
+                                      const std::set<std::string>& names) {
+  std::vector<AtomicSite> sites;
+  for (std::size_t l = 0; l < file.code.size(); ++l) {
+    const std::string& line = file.code[l];
+    for (const char* const op : kOps) {
+      const std::string op_name = op;
+      std::size_t pos = 0;
+      while ((pos = line.find(op_name, pos)) != std::string::npos) {
+        const std::size_t start = pos;
+        pos += op_name.size();
+        if (!word_at(line, start, op_name)) continue;
+        // Must be a member call: `.op(` or `->op(`.
+        if (start == 0) continue;
+        std::size_t recv_end;
+        if (line[start - 1] == '.') {
+          recv_end = start - 1;
+        } else if (start >= 2 && line[start - 1] == '>' && line[start - 2] == '-') {
+          recv_end = start - 2;
+        } else {
+          continue;
+        }
+        const std::size_t paren = skip_spaces(line, start + op_name.size());
+        if (paren >= line.size() || line[paren] != '(') continue;
+        // Receiver's trailing identifier.
+        std::size_t rb = recv_end;
+        while (rb > 0 && is_ident(line[rb - 1])) --rb;
+        const std::string receiver = line.substr(rb, recv_end - rb);
+
+        const std::optional<std::string> args = capture_args(file, l, paren);
+        if (!args) continue;
+        const std::vector<std::string> orders = orders_in(*args);
+        const bool empty_args =
+            args->find_first_not_of(" \t") == std::string::npos;
+        // `store()` with no arguments is a getter named store, never an
+        // atomic op; same for the RMWs. A zero-arg load() can be a real
+        // implicit-seq_cst atomic load, so it stays — gated on the receiver
+        // being a declared atomic below.
+        if (op_name != "load" && empty_args && orders.empty()) continue;
+        const bool known_atomic = !receiver.empty() && names.count(receiver) > 0;
+        if (!known_atomic && orders.empty()) continue;
+
+        AtomicSite site;
+        site.file = file.rel_path;
+        site.line = static_cast<int>(l + 1);
+        site.object = receiver.empty() ? "(expr)" : receiver;
+        site.op = op_name;
+        site.implicit = orders.empty();
+        if (orders.empty()) {
+          site.order = "seq_cst";
+        } else {
+          std::string joined;
+          for (const std::string& order : orders) {
+            if (!joined.empty()) joined += "/";
+            joined += order;
+          }
+          site.order = joined;
+        }
+        sites.push_back(site);
+      }
+    }
+  }
+  std::sort(sites.begin(), sites.end(), [](const AtomicSite& a, const AtomicSite& b) {
+    return a.line < b.line;
+  });
+  return sites;
+}
+
+std::vector<OperatorSite> extract_operator_sites(const SourceFile& file,
+                                                 const std::set<std::string>& names) {
+  static const char* const kRmwOps[] = {"++", "--", "+=", "-=", "|=", "&=", "^="};
+  std::vector<OperatorSite> out;
+  for (std::size_t l = 0; l < file.code.size(); ++l) {
+    const std::string& line = file.code[l];
+    for (const std::string& name : names) {
+      std::size_t pos = 0;
+      while ((pos = line.find(name, pos)) != std::string::npos) {
+        const std::size_t start = pos;
+        pos += name.size();
+        if (!word_at(line, start, name)) continue;
+        // Guard against locals/parameters shadowing an atomic member's name
+        // (e.g. a `count` parameter vs. Chunk's `count`): a bare identifier
+        // only counts when it follows the repo's member/global naming idiom
+        // (trailing `_` or leading `g_`); otherwise require explicit member
+        // access (`obj.name` / `ptr->name`).
+        const bool member_access =
+            start > 0 && (line[start - 1] == '.' || line[start - 1] == '>');
+        const bool idiomatic_name =
+            name.back() == '_' || name.compare(0, 2, "g_") == 0;
+        if (!member_access && !idiomatic_name) continue;
+        const std::size_t after = skip_spaces(line, start + name.size());
+        for (const char* const rmw : kRmwOps) {
+          const bool postfix = line.compare(after, 2, rmw) == 0;
+          const bool prefix =
+              start >= 2 && line.compare(start - 2, 2, rmw) == 0 &&
+              (rmw[0] == '+' || rmw[0] == '-') && rmw[0] == rmw[1];
+          if (postfix || prefix) {
+            out.push_back({static_cast<int>(l + 1), name, rmw});
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+FaultModel extract_fault_points(const SourceFile& hpp, const SourceFile& cpp) {
+  FaultModel model;
+
+  // 1. Enum constants from `enum class Point { ... };` in the header.
+  std::size_t enum_first = std::string::npos;
+  for (std::size_t l = 0; l < hpp.code.size(); ++l) {
+    if (hpp.code[l].find("enum class Point") != std::string::npos) {
+      enum_first = l;
+      break;
+    }
+  }
+  if (enum_first == std::string::npos) {
+    model.errors.push_back({Rule::kFaultSync, hpp.rel_path, 1,
+                            "cannot find `enum class Point` in the fault-injection header"});
+    return model;
+  }
+  for (std::size_t l = enum_first; l < hpp.code.size(); ++l) {
+    const std::string& line = hpp.code[l];
+    const std::size_t pos = skip_spaces(line, 0);
+    if (line.find("};") != std::string::npos) break;
+    const std::string name = ident_at(line, pos);
+    if (name.size() > 1 && name[0] == 'k' &&
+        std::isupper(static_cast<unsigned char>(name[1])) != 0) {
+      FaultPoint point;
+      point.enum_name = name;
+      point.decl_line = static_cast<int>(l + 1);
+      model.points.push_back(point);
+    }
+  }
+  if (model.points.empty()) {
+    model.errors.push_back({Rule::kFaultSync, hpp.rel_path,
+                            static_cast<int>(enum_first + 1),
+                            "`enum class Point` declares no fault points"});
+    return model;
+  }
+
+  // 2. Wire names from the point_name() switch in the .cpp: the string
+  // literal on (or directly after) each `case Point::kXyz:` line.
+  auto find_point = [&](const std::string& enum_name) -> FaultPoint* {
+    for (FaultPoint& point : model.points) {
+      if (point.enum_name == enum_name) return &point;
+    }
+    return nullptr;
+  };
+  const auto name_body = function_body(cpp, "point_name(Point");
+  if (!name_body) {
+    model.errors.push_back({Rule::kFaultSync, cpp.rel_path, 1,
+                            "cannot find the point_name() definition"});
+    return model;
+  }
+  for (std::size_t l = name_body->first; l <= name_body->second; ++l) {
+    const std::string& line = cpp.code[l];
+    std::size_t pos = line.find("case ");
+    if (pos == std::string::npos) continue;
+    pos = line.find("Point::", pos);
+    if (pos == std::string::npos) continue;
+    const std::string enum_name = ident_at(line, pos + 7);
+    FaultPoint* point = find_point(enum_name);
+    if (point == nullptr) {
+      model.errors.push_back({Rule::kFaultSync, cpp.rel_path, static_cast<int>(l + 1),
+                              "point_name() names `Point::" + enum_name +
+                                  "` which the Point enum does not declare"});
+      continue;
+    }
+    point->case_line = static_cast<int>(l + 1);
+    for (const StringLit& lit : cpp.strings) {
+      if (lit.line == static_cast<int>(l + 1) ||
+          lit.line == static_cast<int>(l + 2)) {
+        point->wire_name = lit.text;
+        break;
+      }
+    }
+    if (point->wire_name.empty()) {
+      model.errors.push_back({Rule::kFaultSync, cpp.rel_path, static_cast<int>(l + 1),
+                              "no wire-name string found for `Point::" + enum_name + "`"});
+    }
+  }
+  for (const FaultPoint& point : model.points) {
+    if (point.case_line == 0) {
+      model.errors.push_back(
+          {Rule::kFaultSync, hpp.rel_path, point.decl_line,
+           "`Point::" + point.enum_name +
+               "` has no case in point_name() — it would print as \"unknown\""});
+    }
+  }
+
+  // 3. Schedule wiring: Point:: references inside the two arm functions.
+  const auto random_body = function_body(cpp, "arm_random_schedule(");
+  const auto net_body = function_body(cpp, "arm_random_net_schedule(");
+  if (!random_body || !net_body) {
+    model.errors.push_back({Rule::kFaultSync, cpp.rel_path, 1,
+                            "cannot find arm_random_schedule()/arm_random_net_schedule() definitions"});
+    return model;
+  }
+  const std::set<std::string> in_random =
+      point_refs(cpp, random_body->first, random_body->second);
+  const std::set<std::string> in_net =
+      point_refs(cpp, net_body->first, net_body->second);
+  for (FaultPoint& point : model.points) {
+    point.in_random = in_random.count(point.enum_name) > 0;
+    point.in_net = in_net.count(point.enum_name) > 0;
+  }
+  for (const std::string& name : in_random) {
+    if (find_point(name) == nullptr) {
+      model.errors.push_back({Rule::kFaultSync, cpp.rel_path,
+                              static_cast<int>(random_body->first + 1),
+                              "arm_random_schedule() references undeclared `Point::" + name + "`"});
+    }
+  }
+  for (const std::string& name : in_net) {
+    if (find_point(name) == nullptr) {
+      model.errors.push_back({Rule::kFaultSync, cpp.rel_path,
+                              static_cast<int>(net_body->first + 1),
+                              "arm_random_net_schedule() references undeclared `Point::" + name + "`"});
+    }
+  }
+  return model;
+}
+
+}  // namespace wfbn_lint

@@ -1,0 +1,218 @@
+// Comment/string-stripping lexer. The analyzer never sees a token that was
+// inside a comment, a string, or a char literal — those become spaces in the
+// code view, preserving line and column structure — while comments are kept
+// separately for directive parsing and string literals for the fault-point
+// wire-name extraction.
+#include "lint.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace wfbn_lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parses one `wfbn-lint:` directive out of a comment line's text.
+[[nodiscard]] std::optional<Directive> parse_directive(const std::string& comment,
+                                                       int line) {
+  const std::size_t tag = comment.find("wfbn-lint:");
+  if (tag == std::string::npos) return std::nullopt;
+  std::size_t pos = tag + std::string("wfbn-lint:").size();
+  while (pos < comment.size() && comment[pos] == ' ') ++pos;
+
+  Directive directive;
+  directive.line = line;
+  if (comment.compare(pos, 15, "wait-free-begin") == 0) {
+    directive.kind = Directive::Kind::kWaitFreeBegin;
+    return directive;
+  }
+  if (comment.compare(pos, 13, "wait-free-end") == 0) {
+    directive.kind = Directive::Kind::kWaitFreeEnd;
+    return directive;
+  }
+  if (comment.compare(pos, 6, "allow(") == 0) {
+    directive.kind = Directive::Kind::kAllow;
+    pos += 6;
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) {
+      directive.kind = Directive::Kind::kUnknown;
+      return directive;
+    }
+    std::string rule;
+    for (std::size_t i = pos; i <= close; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ')') {
+        while (!rule.empty() && rule.front() == ' ') rule.erase(rule.begin());
+        while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+        if (!rule.empty()) directive.rules.push_back(rule);
+        rule.clear();
+      } else {
+        rule.push_back(c);
+      }
+    }
+    std::string reason = comment.substr(close + 1);
+    while (!reason.empty() && (reason.front() == ' ' || reason.front() == '-')) {
+      reason.erase(reason.begin());
+    }
+    while (!reason.empty() &&
+           (reason.back() == ' ' || reason.back() == '\r' || reason.back() == '\n')) {
+      reason.pop_back();
+    }
+    directive.reason = reason;
+    return directive;
+  }
+  directive.kind = Directive::Kind::kUnknown;
+  return directive;
+}
+
+}  // namespace
+
+SourceFile lex_source(const std::string& text, std::string rel_path) {
+  SourceFile out;
+  out.rel_path = std::move(rel_path);
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+
+  std::string code_line;
+  std::map<int, std::string> comments;   // line -> accumulated comment text
+  int line = 1;
+  std::string raw_delim;                 // for R"delim( ... )delim"
+  StringLit current_lit;
+
+  auto end_line = [&] {
+    out.code.push_back(code_line);
+    code_line.clear();
+    ++line;
+  };
+
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      end_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          // R"delim( opens a raw string; a trailing identifier char before
+          // the quote that is not R means a literal suffix/prefix we treat
+          // as ordinary (u8"..." etc. still lex as strings).
+          if (!code_line.empty() && code_line.back() == 'R' &&
+              (code_line.size() < 2 || !is_ident(code_line[code_line.size() - 2]))) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < n && text[j] != '(' && text[j] != '\n') {
+              raw_delim.push_back(text[j]);
+              ++j;
+            }
+            state = State::kRawString;
+            current_lit = {line, ""};
+            code_line.push_back('"');
+            for (std::size_t k = i + 1; k <= j && k < n; ++k) code_line.push_back(' ');
+            i = j;  // consumed through the '('
+          } else {
+            state = State::kString;
+            current_lit = {line, ""};
+            code_line.push_back('"');
+          }
+        } else if (c == '\'') {
+          // Heuristic: a ' directly after an identifier/digit would be a
+          // digit separator (1'000) — not a char literal.
+          if (!code_line.empty() && is_ident(code_line.back())) {
+            code_line.push_back(' ');
+          } else {
+            state = State::kChar;
+            code_line.push_back('\'');
+          }
+        } else {
+          code_line.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        comments[line].push_back(c);
+        code_line.push_back(' ');
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comments[line].push_back(c);
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          current_lit.text.push_back(next);
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.strings.push_back(current_lit);
+          code_line.push_back('"');
+        } else {
+          current_lit.text.push_back(c);
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line.push_back('\'');
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (text.compare(i, close.size(), close) == 0) {
+          state = State::kCode;
+          out.strings.push_back(current_lit);
+          for (std::size_t k = 0; k < close.size(); ++k) code_line.push_back(' ');
+          i += close.size() - 1;
+        } else {
+          current_lit.text.push_back(c);
+          code_line.push_back(' ');
+        }
+        break;
+      }
+    }
+  }
+  if (!code_line.empty() || out.code.empty()) end_line();
+
+  for (const auto& [comment_line, comment_text] : comments) {
+    if (auto directive = parse_directive(comment_text, comment_line)) {
+      out.directives.push_back(*directive);
+    }
+  }
+  return out;
+}
+
+}  // namespace wfbn_lint

@@ -1,0 +1,232 @@
+// wfbn-lint: the project-specific concurrency linter.
+//
+// The wait-free guarantees of this library live in artifacts that ordinary
+// compilers and sanitizers never cross-check: the per-site memory-order
+// audit table in docs/ALGORITHMS.md, the fault-point registry in
+// docs/ROBUSTNESS.md, the rule that model-checkable protocol code goes
+// through Policy::Atomic instead of bare std::atomic, and the convention
+// that the publish/read/drain hot paths never allocate or block. wfcheck
+// (src/analysis/) checks the *dynamic* half of that discipline; this tool is
+// the static half — a token-level analyzer (own comment/string-stripping
+// lexer, no libclang) that extracts every atomic operation site and enforces
+// five rules on every CI run:
+//
+//   R1 implicit-order    no implicit-seq_cst atomic op in src/concurrent,
+//                        src/serve, src/core, src/net, src/analysis — every
+//                        ordering is spelled out where the protocol lives.
+//                        Operator RMWs on atomics (++/+=/...) are flagged
+//                        repo-wide: they are implicit AND unauditable.
+//   R2 audit-sync        the generated atomics-audit block in
+//                        docs/ALGORITHMS.md matches the code, both
+//                        directions: every production atomic site (src/**
+//                        minus src/analysis) has a row whose ordering and
+//                        line list match; stale rows are errors too.
+//   R3 fault-sync        the fault-point registry is consistent three ways:
+//                        the Point enum, the point_name() wire names, the
+//                        arm_random_schedule / arm_random_net_schedule
+//                        wiring, and the generated table in
+//                        docs/ROBUSTNESS.md all agree.
+//   R4 policy-purity     files that use the atomics-policy seam
+//                        (Policy::template Atomic<...>) must not smuggle in
+//                        bare std::atomic / std::mutex / sleeps /
+//                        this_thread::yield — otherwise wfcheck coverage
+//                        silently shrinks.
+//   R5 wait-free-region  inside // wfbn-lint: wait-free-begin ... -end
+//                        annotations, no allocation, locks, or blocking
+//                        calls. (Deallocation of consumer-exhausted memory
+//                        is allowed: freeing is bounded and intrinsic to the
+//                        drain; acquisition is the unbounded-latency risk.)
+//
+// Suppressions: `// wfbn-lint: allow(<rule>[,<rule>...]) <reason>` on the
+// finding's line or the line directly above. The reason is mandatory — a
+// bare allow is itself a finding (rule `directive`).
+//
+// Everything is heuristic token analysis, tuned to this repo's idiom; the
+// limits (single-line declarations, receiver-name matching across a
+// .cpp/.hpp pair) are documented in docs/VERIFICATION.md.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wfbn_lint {
+
+enum class Rule {
+  kImplicitOrder,
+  kAuditSync,
+  kFaultSync,
+  kPolicyPurity,
+  kWaitFreeRegion,
+  kDirective,
+};
+
+[[nodiscard]] const char* rule_name(Rule rule) noexcept;
+[[nodiscard]] std::optional<Rule> rule_from_name(const std::string& name);
+
+struct Finding {
+  Rule rule = Rule::kDirective;
+  std::string file;  ///< path relative to the lint root
+  int line = 0;      ///< 1-based
+  std::string message;
+};
+
+/// A lint directive parsed from a comment.
+struct Directive {
+  enum class Kind { kAllow, kWaitFreeBegin, kWaitFreeEnd, kUnknown };
+  Kind kind = Kind::kUnknown;
+  int line = 0;
+  std::vector<std::string> rules;  ///< for kAllow
+  std::string reason;              ///< for kAllow
+};
+
+struct StringLit {
+  int line = 0;
+  std::string text;
+};
+
+/// One lexed file: code with comments and string/char literal contents
+/// blanked to spaces (line structure and columns preserved), plus the
+/// directives and string literals the stripping recorded.
+struct SourceFile {
+  std::string rel_path;
+  std::vector<std::string> code;  ///< code[i] is line i+1
+  std::vector<Directive> directives;
+  std::vector<StringLit> strings;
+};
+
+/// One atomic operation site: `object.op(args)` where either the receiver is
+/// a declared atomic variable or the arguments name a std::memory_order.
+struct AtomicSite {
+  std::string file;
+  int line = 0;
+  std::string object;  ///< receiver's trailing identifier ("(expr)" if none)
+  std::string op;      ///< load / store / exchange / compare_exchange_* / fetch_*
+  std::string order;   ///< canonical suffixes, "/"-joined for CAS; "seq_cst" if implicit
+  bool implicit = false;
+};
+
+/// A row of the generated atomics-audit block in docs/ALGORITHMS.md.
+struct AuditRow {
+  std::string file, object, op, order;
+  std::vector<int> lines;
+  std::string invariant;
+  int doc_line = 0;
+};
+
+/// One declared fault point, cross-referenced across fault_injection.{hpp,cpp}.
+struct FaultPoint {
+  std::string enum_name;  ///< e.g. kStage1Row
+  std::string wire_name;  ///< e.g. "builder.stage1_row"
+  int decl_line = 0;      ///< enum constant line in fault_injection.hpp
+  int case_line = 0;      ///< point_name() case line in fault_injection.cpp
+  bool in_random = false; ///< referenced inside arm_random_schedule()
+  bool in_net = false;    ///< referenced inside arm_random_net_schedule()
+};
+
+/// A row of the generated fault-point block in docs/ROBUSTNESS.md.
+struct FaultDocRow {
+  std::string name, schedules, fires;
+  int doc_line = 0;
+};
+
+// ---- lexer.cpp -------------------------------------------------------------
+
+[[nodiscard]] SourceFile lex_source(const std::string& text, std::string rel_path);
+
+// ---- extract.cpp -----------------------------------------------------------
+
+/// Names of variables declared with an atomic type in this file:
+/// `std::atomic<...> name` or the policy-seam `Atomic<...> name` /
+/// `typename Policy::template Atomic<...> name`. Single-line declarations
+/// only (the repo's idiom; a multi-line declaration is missed).
+[[nodiscard]] std::set<std::string> atomic_names(const SourceFile& file);
+
+/// Extracts every atomic operation site (see AtomicSite). `names` should be
+/// the union of atomic_names() over the file and its .cpp/.hpp pair.
+[[nodiscard]] std::vector<AtomicSite> extract_sites(const SourceFile& file,
+                                                    const std::set<std::string>& names);
+
+/// True when the file routes atomics through the policy seam
+/// (`::template Atomic<` appears in code) — the R4 trigger.
+[[nodiscard]] bool is_policy_seam(const SourceFile& file);
+
+/// Operator RMWs (++/--/+=/...) applied to a declared atomic name; each is
+/// an implicit-seq_cst site the audit table cannot express.
+struct OperatorSite {
+  int line = 0;
+  std::string object, op;
+};
+[[nodiscard]] std::vector<OperatorSite> extract_operator_sites(
+    const SourceFile& file, const std::set<std::string>& names);
+
+struct FaultModel {
+  std::vector<FaultPoint> points;
+  std::vector<Finding> errors;  ///< inconsistencies found while extracting
+};
+
+/// Cross-references the Point enum (hpp), the point_name() switch and the
+/// two arm-schedule function bodies (cpp).
+[[nodiscard]] FaultModel extract_fault_points(const SourceFile& hpp,
+                                              const SourceFile& cpp);
+
+// ---- docs_sync.cpp ---------------------------------------------------------
+
+inline constexpr const char* kAuditBegin = "<!-- wfbn-lint:atomics-audit:begin -->";
+inline constexpr const char* kAuditEnd = "<!-- wfbn-lint:atomics-audit:end -->";
+inline constexpr const char* kFaultBegin = "<!-- wfbn-lint:fault-points:begin -->";
+inline constexpr const char* kFaultEnd = "<!-- wfbn-lint:fault-points:end -->";
+inline constexpr const char* kInvariantPlaceholder = "(document the invariant)";
+inline constexpr const char* kFiresPlaceholder = "(document where this point fires)";
+
+struct AuditDoc {
+  bool found = false;
+  std::vector<AuditRow> rows;
+  std::vector<Finding> errors;
+};
+struct FaultDoc {
+  bool found = false;
+  std::vector<FaultDocRow> rows;
+  std::vector<Finding> errors;
+};
+
+[[nodiscard]] AuditDoc parse_audit_doc(const std::string& text, const std::string& rel_path);
+[[nodiscard]] FaultDoc parse_fault_doc(const std::string& text, const std::string& rel_path);
+
+/// Replaces the generated block between the markers with `rows_markdown`
+/// (which must include the table header). Returns the patched text, or
+/// nullopt when the markers are absent.
+[[nodiscard]] std::optional<std::string> replace_block(const std::string& text,
+                                                       const std::string& begin_marker,
+                                                       const std::string& end_marker,
+                                                       const std::string& rows_markdown);
+
+[[nodiscard]] std::string render_audit_block(const std::vector<AuditRow>& rows);
+[[nodiscard]] std::string render_fault_block(const std::vector<FaultPoint>& points,
+                                             const std::vector<FaultDocRow>& old_rows);
+[[nodiscard]] std::string schedules_of(const FaultPoint& point);
+
+// ---- rules.cpp -------------------------------------------------------------
+
+struct Options {
+  std::string root = ".";
+  bool fix_docs = false;  ///< regenerate the docs' generated blocks first
+};
+
+struct Result {
+  std::vector<Finding> findings;
+  std::vector<std::string> fixed_files;  ///< docs rewritten by --fix-docs
+  std::vector<AtomicSite> sites;         ///< every extracted site (for --dump-sites)
+  bool io_error = false;
+  std::string io_error_message;
+};
+
+[[nodiscard]] Result run(const Options& options);
+
+// ---- output.cpp ------------------------------------------------------------
+
+[[nodiscard]] std::string render_human(const Result& result);
+[[nodiscard]] std::string render_json(const Result& result, const std::string& root);
+
+}  // namespace wfbn_lint

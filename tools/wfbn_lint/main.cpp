@@ -1,0 +1,80 @@
+// Command-line front end.
+//
+// Exit codes:
+//   0  clean tree
+//   1  findings reported
+//   2  usage or I/O error
+#include "lint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace {
+
+void print_usage(std::FILE* stream) {
+  std::fputs(
+      "usage: wfbn_lint [--root <dir>] [--json] [--fix-docs] [--dump-sites]\n"
+      "\n"
+      "Static concurrency lint for the wfbn tree. Enforces:\n"
+      "  implicit-order    explicit memory orderings in protocol directories\n"
+      "  audit-sync        docs/ALGORITHMS.md atomics-audit block matches the code\n"
+      "  fault-sync        fault-point enum / wire names / arm schedules /\n"
+      "                    docs/ROBUSTNESS.md table all agree\n"
+      "  policy-purity     no bare std::atomic, mutexes, or sleeps in\n"
+      "                    atomics-policy seam files\n"
+      "  wait-free-region  no allocation, locks, or blocking inside\n"
+      "                    // wfbn-lint: wait-free-begin/end annotations\n"
+      "\n"
+      "  --root <dir>   repository root to lint (default: .)\n"
+      "  --json         machine-readable findings on stdout\n"
+      "  --fix-docs     regenerate the generated doc blocks from the code\n"
+      "  --dump-sites   list every extracted atomic site and exit 0\n",
+      stream);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfbn_lint::Options options;
+  bool json = false;
+  bool dump_sites = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      options.root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix-docs") {
+      options.fix_docs = true;
+    } else if (arg == "--dump-sites") {
+      dump_sites = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "wfbn-lint: unknown argument `%s`\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+
+  const wfbn_lint::Result result = wfbn_lint::run(options);
+  if (result.io_error) {
+    std::fprintf(stderr, "wfbn-lint: error: %s\n", result.io_error_message.c_str());
+    return 2;
+  }
+  if (dump_sites) {
+    for (const wfbn_lint::AtomicSite& site : result.sites) {
+      std::printf("%s:%d: %s.%s @ %s%s\n", site.file.c_str(), site.line,
+                  site.object.c_str(), site.op.c_str(), site.order.c_str(),
+                  site.implicit ? " (implicit)" : "");
+    }
+    return 0;
+  }
+  std::fputs(json ? wfbn_lint::render_json(result, options.root).c_str()
+                  : wfbn_lint::render_human(result).c_str(),
+             stdout);
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// Rendering: rule-name mapping, the human diff-style report, and the
+// machine-readable JSON document consumed by the CI artifact upload.
+#include "lint.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace wfbn_lint {
+
+const char* rule_name(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::kImplicitOrder: return "implicit-order";
+    case Rule::kAuditSync: return "audit-sync";
+    case Rule::kFaultSync: return "fault-sync";
+    case Rule::kPolicyPurity: return "policy-purity";
+    case Rule::kWaitFreeRegion: return "wait-free-region";
+    case Rule::kDirective: return "directive";
+  }
+  return "unknown";
+}
+
+std::optional<Rule> rule_from_name(const std::string& name) {
+  static const std::map<std::string, Rule> kNames = {
+      {"implicit-order", Rule::kImplicitOrder},
+      {"audit-sync", Rule::kAuditSync},
+      {"fault-sync", Rule::kFaultSync},
+      {"policy-purity", Rule::kPolicyPurity},
+      {"wait-free-region", Rule::kWaitFreeRegion},
+      {"directive", Rule::kDirective},
+  };
+  const auto it = kNames.find(name);
+  if (it == kNames.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string render_human(const Result& result) {
+  std::ostringstream out;
+  if (result.io_error) {
+    out << "wfbn-lint: error: " << result.io_error_message << "\n";
+    return out.str();
+  }
+  for (const std::string& fixed : result.fixed_files) {
+    out << "wfbn-lint: rewrote generated block in " << fixed << "\n";
+  }
+  for (const Finding& finding : result.findings) {
+    out << finding.file << ":" << finding.line << ": [" << rule_name(finding.rule)
+        << "] " << finding.message << "\n";
+  }
+  if (result.findings.empty()) {
+    out << "wfbn-lint: clean (" << result.sites.size() << " atomic sites audited)\n";
+  } else {
+    out << "wfbn-lint: " << result.findings.size() << " finding"
+        << (result.findings.size() == 1 ? "" : "s") << " across "
+        << result.sites.size() << " atomic sites\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_json(const Result& result, const std::string& root) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"root\": \"" << json_escape(root) << "\",\n";
+  out << "  \"io_error\": " << (result.io_error ? "true" : "false") << ",\n";
+  if (result.io_error) {
+    out << "  \"io_error_message\": \"" << json_escape(result.io_error_message)
+        << "\",\n";
+  }
+  out << "  \"site_count\": " << result.sites.size() << ",\n";
+  out << "  \"fixed_files\": [";
+  for (std::size_t i = 0; i < result.fixed_files.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << json_escape(result.fixed_files[i]) << "\"";
+  }
+  out << "],\n";
+  out << "  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& finding = result.findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"rule\": \"" << rule_name(finding.rule) << "\", \"file\": \""
+        << json_escape(finding.file) << "\", \"line\": " << finding.line
+        << ", \"message\": \"" << json_escape(finding.message) << "\"}";
+  }
+  out << (result.findings.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace wfbn_lint

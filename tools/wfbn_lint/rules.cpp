@@ -1,0 +1,466 @@
+// The lint driver: walks src/**, lexes every translation unit, and enforces
+// the five rules against the code and the two generated doc blocks. With
+// --fix-docs it first regenerates the blocks from the code (preserving the
+// hand-written Invariant / Fires prose by key) and then checks the patched
+// text, so the only findings that survive a fix run are ones that need a
+// human (e.g. placeholder invariants).
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace wfbn_lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool word_at(const std::string& text, std::size_t pos,
+                           const std::string& token) {
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && is_ident(text[pos - 1])) return false;
+  const std::size_t end = pos + token.size();
+  if (end < text.size() && is_ident(text[end])) return false;
+  return true;
+}
+
+[[nodiscard]] bool contains_word(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    if (word_at(line, pos, token)) return true;
+    pos += token.size();
+  }
+  return false;
+}
+
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+[[nodiscard]] std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+[[nodiscard]] bool write_file(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+/// The directories where R1 (explicit orderings) is enforced.
+[[nodiscard]] bool in_explicit_order_scope(const std::string& rel) {
+  return starts_with(rel, "src/concurrent/") || starts_with(rel, "src/serve/") ||
+         starts_with(rel, "src/core/") || starts_with(rel, "src/net/") ||
+         starts_with(rel, "src/analysis/");
+}
+
+/// Production code whose atomic sites must appear in the audit table.
+[[nodiscard]] bool in_audit_scope(const std::string& rel) {
+  return starts_with(rel, "src/") && !starts_with(rel, "src/analysis/");
+}
+
+/// The paired header/source path of `rel` ("a/b.cpp" <-> "a/b.hpp").
+[[nodiscard]] std::optional<std::string> pair_of(const std::string& rel) {
+  if (rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".cpp") == 0) {
+    return rel.substr(0, rel.size() - 4) + ".hpp";
+  }
+  if (rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0) {
+    return rel.substr(0, rel.size() - 4) + ".cpp";
+  }
+  return std::nullopt;
+}
+
+struct GroupKey {
+  std::string file, object, op, order;
+  bool operator<(const GroupKey& other) const {
+    if (file != other.file) return file < other.file;
+    if (object != other.object) return object < other.object;
+    if (op != other.op) return op < other.op;
+    return order < other.order;
+  }
+};
+
+// Tokens forbidden inside wait-free regions. Deallocation (delete / free)
+// stays legal: freeing exhausted chunks is bounded work intrinsic to a
+// drain; *acquiring* memory or a lock is the unbounded-latency hazard.
+const char* const kRegionWords[] = {
+    "new",        "malloc",      "calloc",     "realloc",
+    "aligned_alloc", "posix_memalign", "lock_guard", "unique_lock",
+    "scoped_lock", "shared_lock", "condition_variable", "sleep_for",
+    "sleep_until", "usleep",      "nanosleep",
+};
+
+// Tokens forbidden in atomics-policy seam files (R4): anything that
+// hard-codes the real backend or blocks, invisible to wfcheck.
+const char* const kSeamTokens[] = {
+    "std::atomic<",          "std::mutex",          "std::condition_variable",
+    "std::shared_mutex",     "std::recursive_mutex", "std::timed_mutex",
+};
+const char* const kSeamWords[] = {"sleep_for", "sleep_until"};
+
+}  // namespace
+
+Result run(const Options& options) {
+  Result result;
+  const fs::path root = options.root;
+  const fs::path src_root = root / "src";
+  if (!fs::exists(src_root) || !fs::is_directory(src_root)) {
+    result.io_error = true;
+    result.io_error_message = "no src/ directory under lint root " + root.string();
+    return result;
+  }
+
+  // ---- 1. Lex every C++ file under src/. -----------------------------------
+  std::map<std::string, SourceFile> files;  // rel path -> lexed view
+  std::vector<std::string> rel_paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+    const std::string rel = fs::relative(entry.path(), root).generic_string();
+    const std::optional<std::string> text = read_file(entry.path());
+    if (!text) {
+      result.io_error = true;
+      result.io_error_message = "cannot read " + rel;
+      return result;
+    }
+    files.emplace(rel, lex_source(*text, rel));
+    rel_paths.push_back(rel);
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+
+  // Declared atomic names per file, unioned with the .cpp/.hpp pair so a
+  // member declared in the header is recognized at sites in the source file.
+  std::map<std::string, std::set<std::string>> names_of;
+  for (const std::string& rel : rel_paths) {
+    std::set<std::string> names = atomic_names(files.at(rel));
+    if (const auto pair = pair_of(rel); pair && files.count(*pair) > 0) {
+      const std::set<std::string> pair_names = atomic_names(files.at(*pair));
+      names.insert(pair_names.begin(), pair_names.end());
+    }
+    names_of.emplace(rel, std::move(names));
+  }
+
+  // ---- 2. Suppression machinery. -------------------------------------------
+  // A finding at (file, line) is suppressed by `// wfbn-lint: allow(<rule>)
+  // <reason>` on the same line or the line directly above. Malformed
+  // directives are findings themselves and never suppress anything.
+  auto is_suppressed = [&](const Finding& finding) {
+    const auto it = files.find(finding.file);
+    if (it == files.end()) return false;
+    const std::string name = rule_name(finding.rule);
+    for (const Directive& directive : it->second.directives) {
+      if (directive.kind != Directive::Kind::kAllow) continue;
+      if (directive.line != finding.line && directive.line != finding.line - 1) {
+        continue;
+      }
+      if (directive.reason.empty()) continue;  // invalid, reported separately
+      for (const std::string& rule : directive.rules) {
+        if (rule == name) return true;
+      }
+    }
+    return false;
+  };
+  auto add = [&](Finding finding) {
+    if (!is_suppressed(finding)) result.findings.push_back(std::move(finding));
+  };
+
+  // Validate every directive up front.
+  for (const std::string& rel : rel_paths) {
+    const SourceFile& file = files.at(rel);
+    for (const Directive& directive : file.directives) {
+      if (directive.kind == Directive::Kind::kUnknown) {
+        add({Rule::kDirective, rel, directive.line,
+             "unrecognized wfbn-lint directive (expected wait-free-begin, wait-free-end, or allow(<rule>) <reason>)"});
+      } else if (directive.kind == Directive::Kind::kAllow) {
+        if (directive.rules.empty()) {
+          add({Rule::kDirective, rel, directive.line,
+               "allow() names no rule"});
+        }
+        for (const std::string& rule : directive.rules) {
+          if (!rule_from_name(rule)) {
+            add({Rule::kDirective, rel, directive.line,
+                 "allow() names unknown rule `" + rule + "`"});
+          }
+        }
+        if (directive.reason.empty()) {
+          add({Rule::kDirective, rel, directive.line,
+               "allow(...) requires a reason after the closing parenthesis"});
+        }
+      }
+    }
+  }
+
+  // ---- 3. Extract sites; apply R1 (implicit orders). -----------------------
+  std::map<GroupKey, std::vector<int>> groups;  // audit-scope sites by key
+  for (const std::string& rel : rel_paths) {
+    const SourceFile& file = files.at(rel);
+    const std::set<std::string>& names = names_of.at(rel);
+    const std::vector<AtomicSite> sites = extract_sites(file, names);
+    for (const AtomicSite& site : sites) {
+      result.sites.push_back(site);
+      if (site.implicit && in_explicit_order_scope(rel)) {
+        add({Rule::kImplicitOrder, rel, site.line,
+             "`" + site.object + "." + site.op +
+                 "` uses implicit seq_cst — spell out the std::memory_order"});
+      }
+      if (in_audit_scope(rel)) {
+        groups[{rel, site.object, site.op, site.order}].push_back(site.line);
+      }
+    }
+    // Operator RMWs are implicit seq_cst AND invisible to the audit table,
+    // so they are flagged everywhere, not just in the R1 directories.
+    for (const OperatorSite& op_site : extract_operator_sites(file, names)) {
+      add({Rule::kImplicitOrder, rel, op_site.line,
+           "operator `" + op_site.op + "` on atomic `" + op_site.object +
+               "` is an implicit-seq_cst RMW — use an explicit fetch_ op"});
+    }
+  }
+
+  // ---- 4. R5: wait-free-region hygiene. ------------------------------------
+  for (const std::string& rel : rel_paths) {
+    const SourceFile& file = files.at(rel);
+    std::vector<std::pair<int, int>> regions;
+    std::vector<int> open;
+    std::vector<Directive> markers;
+    for (const Directive& directive : file.directives) {
+      if (directive.kind == Directive::Kind::kWaitFreeBegin ||
+          directive.kind == Directive::Kind::kWaitFreeEnd) {
+        markers.push_back(directive);
+      }
+    }
+    std::sort(markers.begin(), markers.end(),
+              [](const Directive& a, const Directive& b) { return a.line < b.line; });
+    for (const Directive& marker : markers) {
+      if (marker.kind == Directive::Kind::kWaitFreeBegin) {
+        open.push_back(marker.line);
+      } else if (open.empty()) {
+        add({Rule::kDirective, rel, marker.line,
+             "wait-free-end without a matching wait-free-begin"});
+      } else {
+        regions.emplace_back(open.back(), marker.line);
+        open.pop_back();
+      }
+    }
+    for (const int line : open) {
+      add({Rule::kDirective, rel, line,
+           "wait-free-begin without a matching wait-free-end"});
+    }
+    for (const auto& [begin, end] : regions) {
+      for (int l = begin; l <= end; ++l) {
+        const std::string& line = file.code[static_cast<std::size_t>(l - 1)];
+        for (const char* const word : kRegionWords) {
+          if (contains_word(line, word)) {
+            add({Rule::kWaitFreeRegion, rel, l,
+                 std::string("`") + word +
+                     "` inside a wait-free region — no allocation, locks, or blocking here"});
+          }
+        }
+        if (line.find(".lock(") != std::string::npos ||
+            line.find("->lock(") != std::string::npos) {
+          add({Rule::kWaitFreeRegion, rel, l,
+               "lock acquisition inside a wait-free region"});
+        }
+      }
+    }
+  }
+
+  // ---- 5. R4: atomics-policy purity. ---------------------------------------
+  for (const std::string& rel : rel_paths) {
+    const SourceFile& file = files.at(rel);
+    if (!is_policy_seam(file)) continue;
+    for (std::size_t l = 0; l < file.code.size(); ++l) {
+      const std::string& line = file.code[l];
+      for (const char* const token : kSeamTokens) {
+        if (line.find(token) != std::string::npos) {
+          add({Rule::kPolicyPurity, rel, static_cast<int>(l + 1),
+               std::string("`") + token +
+                   "` in an atomics-policy seam file — route through the Policy to keep wfcheck coverage"});
+        }
+      }
+      for (const char* const word : kSeamWords) {
+        if (contains_word(line, word)) {
+          add({Rule::kPolicyPurity, rel, static_cast<int>(l + 1),
+               std::string("`") + word +
+                   "` blocks in an atomics-policy seam file — use Policy-provided backoff"});
+        }
+      }
+      if (line.find("this_thread::yield") != std::string::npos) {
+        add({Rule::kPolicyPurity, rel, static_cast<int>(l + 1),
+             "`std::this_thread::yield` in an atomics-policy seam file — use Policy::yield()"});
+      }
+    }
+  }
+
+  // ---- 6. R2: audit-table sync against docs/ALGORITHMS.md. -----------------
+  const std::string audit_rel = "docs/ALGORITHMS.md";
+  std::optional<std::string> audit_text = read_file(root / audit_rel);
+  if (!audit_text) {
+    add({Rule::kAuditSync, audit_rel, 1, "cannot read " + audit_rel});
+  } else {
+    if (options.fix_docs) {
+      const AuditDoc old_doc = parse_audit_doc(*audit_text, audit_rel);
+      std::vector<AuditRow> rows;
+      for (const auto& [key, lines] : groups) {
+        AuditRow row;
+        row.file = key.file;
+        row.object = key.object;
+        row.op = key.op;
+        row.order = key.order;
+        row.lines = lines;
+        for (const AuditRow& old_row : old_doc.rows) {
+          if (old_row.file == key.file && old_row.object == key.object &&
+              old_row.op == key.op && old_row.order == key.order) {
+            row.invariant = old_row.invariant;
+            break;
+          }
+        }
+        rows.push_back(row);
+      }
+      const std::optional<std::string> patched =
+          replace_block(*audit_text, kAuditBegin, kAuditEnd, render_audit_block(rows));
+      if (patched && *patched != *audit_text) {
+        if (!write_file(root / audit_rel, *patched)) {
+          result.io_error = true;
+          result.io_error_message = "cannot write " + audit_rel;
+          return result;
+        }
+        result.fixed_files.push_back(audit_rel);
+        audit_text = patched;
+      }
+    }
+    const AuditDoc doc = parse_audit_doc(*audit_text, audit_rel);
+    for (const Finding& finding : doc.errors) add(finding);
+    if (doc.found) {
+      for (const auto& [key, lines] : groups) {
+        const AuditRow* match = nullptr;
+        bool object_op_known = false;
+        for (const AuditRow& row : doc.rows) {
+          if (row.file == key.file && row.object == key.object && row.op == key.op) {
+            object_op_known = true;
+            if (row.order == key.order) match = &row;
+          }
+        }
+        if (match == nullptr) {
+          const std::string what =
+              object_op_known ? "audit row ordering does not match the code ("
+                              : "no audit row in docs/ALGORITHMS.md for (";
+          add({Rule::kAuditSync, key.file, lines.front(),
+               what + "`" + key.object + "." + key.op + "` @ " + key.order +
+                   ") — run wfbn_lint --fix-docs, then document the invariant"});
+        }
+      }
+      for (const AuditRow& row : doc.rows) {
+        const auto it = groups.find({row.file, row.object, row.op, row.order});
+        if (it == groups.end()) {
+          add({Rule::kAuditSync, audit_rel, row.doc_line,
+               "stale audit row: no `" + row.object + "." + row.op + "` @ " +
+                   row.order + " site in " + row.file});
+        } else if (row.invariant == kInvariantPlaceholder || row.invariant.empty()) {
+          add({Rule::kAuditSync, audit_rel, row.doc_line,
+               "audit row for `" + row.object + "." + row.op + "` in " + row.file +
+                   " has a placeholder invariant — document what the ordering protects"});
+        }
+      }
+    }
+  }
+
+  // ---- 7. R3: fault-point sync. --------------------------------------------
+  const std::string fault_hpp_rel = "src/util/fault_injection.hpp";
+  const std::string fault_cpp_rel = "src/util/fault_injection.cpp";
+  const std::string robustness_rel = "docs/ROBUSTNESS.md";
+  if (files.count(fault_hpp_rel) == 0 || files.count(fault_cpp_rel) == 0) {
+    add({Rule::kFaultSync, fault_hpp_rel, 1,
+         "fault-injection sources not found under src/util/"});
+  } else {
+    const FaultModel model =
+        extract_fault_points(files.at(fault_hpp_rel), files.at(fault_cpp_rel));
+    for (const Finding& finding : model.errors) add(finding);
+    std::optional<std::string> fault_text = read_file(root / robustness_rel);
+    if (!fault_text) {
+      add({Rule::kFaultSync, robustness_rel, 1, "cannot read " + robustness_rel});
+    } else {
+      if (options.fix_docs) {
+        const FaultDoc old_doc = parse_fault_doc(*fault_text, robustness_rel);
+        const std::optional<std::string> patched =
+            replace_block(*fault_text, kFaultBegin, kFaultEnd,
+                          render_fault_block(model.points, old_doc.rows));
+        if (patched && *patched != *fault_text) {
+          if (!write_file(root / robustness_rel, *patched)) {
+            result.io_error = true;
+            result.io_error_message = "cannot write " + robustness_rel;
+            return result;
+          }
+          result.fixed_files.push_back(robustness_rel);
+          fault_text = patched;
+        }
+      }
+      const FaultDoc doc = parse_fault_doc(*fault_text, robustness_rel);
+      for (const Finding& finding : doc.errors) add(finding);
+      if (doc.found) {
+        for (const FaultPoint& point : model.points) {
+          const FaultDocRow* match = nullptr;
+          for (const FaultDocRow& row : doc.rows) {
+            if (row.name == point.wire_name) match = &row;
+          }
+          if (match == nullptr) {
+            add({Rule::kFaultSync, fault_hpp_rel, point.decl_line,
+                 "fault point `" + point.wire_name +
+                     "` has no row in docs/ROBUSTNESS.md — run wfbn_lint --fix-docs"});
+            continue;
+          }
+          const std::string wired = schedules_of(point);
+          if (match->schedules != wired) {
+            add({Rule::kFaultSync, robustness_rel, match->doc_line,
+                 "fault point `" + point.wire_name + "` documented as `" +
+                     match->schedules + "` but the arm functions wire it as `" +
+                     wired + "`"});
+          }
+          if (match->fires == kFiresPlaceholder || match->fires.empty()) {
+            add({Rule::kFaultSync, robustness_rel, match->doc_line,
+                 "fault point `" + point.wire_name +
+                     "` has a placeholder Fires description"});
+          }
+        }
+        for (const FaultDocRow& row : doc.rows) {
+          const bool known = std::any_of(
+              model.points.begin(), model.points.end(),
+              [&](const FaultPoint& point) { return point.wire_name == row.name; });
+          if (!known) {
+            add({Rule::kFaultSync, robustness_rel, row.doc_line,
+                 "stale fault-point row `" + row.name +
+                     "`: no such point is declared in fault_injection.hpp"});
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  std::sort(result.sites.begin(), result.sites.end(),
+            [](const AtomicSite& a, const AtomicSite& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return result;
+}
+
+}  // namespace wfbn_lint
